@@ -1,0 +1,167 @@
+//! The ACE `Driver`: serves class scans and named-object fetches.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kleisli_core::{
+    Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
+    MetricsSnapshot, Oid, Value, ValueStream,
+};
+
+use crate::store::AceStore;
+
+/// A served ACE database.
+pub struct AceServer {
+    name: String,
+    store: RwLock<AceStore>,
+    latency: Arc<LatencyModel>,
+    metrics: Arc<DriverMetrics>,
+}
+
+impl AceServer {
+    pub fn new(name: impl Into<String>, store: AceStore, latency: LatencyModel) -> AceServer {
+        AceServer {
+            name: name.into(),
+            store: RwLock::new(store),
+            latency: Arc::new(latency),
+            metrics: Arc::new(DriverMetrics::default()),
+        }
+    }
+
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut AceStore) -> R) -> R {
+        f(&mut self.store.write())
+    }
+
+    /// Resolve an object identity (used by the session's `deref`).
+    pub fn deref(&self, oid: &Oid) -> KResult<Value> {
+        self.store.read().deref(oid)
+    }
+}
+
+impl Driver for AceServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            max_concurrent_requests: 4,
+            ..Capabilities::default()
+        }
+    }
+
+    fn execute(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.metrics.record_request();
+        self.latency.charge_request();
+        let rows: Vec<Value> = match req {
+            DriverRequest::AceFetch { class, name } => {
+                let store = self.store.read();
+                match name {
+                    Some(n) => {
+                        let obj = store.find(class, n).ok_or_else(|| {
+                            KError::driver(
+                                &self.name,
+                                format!("no object {class}:\"{n}\""),
+                            )
+                        })?;
+                        vec![obj.to_value()]
+                    }
+                    None => store.class(class).iter().map(|o| o.to_value()).collect(),
+                }
+            }
+            other => {
+                return Err(KError::driver(
+                    &self.name,
+                    format!("unsupported request: {}", other.describe()),
+                ))
+            }
+        };
+        let latency = Arc::clone(&self.latency);
+        let metrics = Arc::clone(&self.metrics);
+        Ok(Box::new(rows.into_iter().map(move |v| {
+            latency.charge_row();
+            metrics.record_row(v.approx_size());
+            Ok(v)
+        })))
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> AceServer {
+        let mut store = AceStore::new();
+        store
+            .insert(
+                "Clone",
+                "c22-5",
+                vec![("Length".into(), vec![Value::Int(1200)])],
+            )
+            .unwrap();
+        store
+            .insert(
+                "Clone",
+                "c22-9",
+                vec![("Length".into(), vec![Value::Int(900)])],
+            )
+            .unwrap();
+        AceServer::new("ACE22", store, LatencyModel::instant())
+    }
+
+    #[test]
+    fn class_scan_and_named_fetch() {
+        let s = server();
+        let all: Vec<Value> = s
+            .execute(&DriverRequest::AceFetch {
+                class: "Clone".into(),
+                name: None,
+            })
+            .unwrap()
+            .collect::<KResult<_>>()
+            .unwrap();
+        assert_eq!(all.len(), 2);
+        let one: Vec<Value> = s
+            .execute(&DriverRequest::AceFetch {
+                class: "Clone".into(),
+                name: Some("c22-9".into()),
+            })
+            .unwrap()
+            .collect::<KResult<_>>()
+            .unwrap();
+        assert_eq!(one[0].project("Length"), Some(&Value::Int(900)));
+    }
+
+    #[test]
+    fn missing_object_is_a_driver_error() {
+        let s = server();
+        assert!(s
+            .execute(&DriverRequest::AceFetch {
+                class: "Clone".into(),
+                name: Some("nope".into())
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn metrics_count_rows() {
+        let s = server();
+        let _ = s
+            .execute(&DriverRequest::AceFetch {
+                class: "Clone".into(),
+                name: None,
+            })
+            .unwrap()
+            .collect::<Vec<_>>();
+        assert_eq!(s.metrics().rows_shipped, 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! E9 — caching an outer-independent inner subquery: with the cache the
+//! inner remote aggregate is fetched once; without it, once per outer row.
+
+use std::time::Duration;
+
+use bench_harness::{latency_federation, CACHEABLE};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kleisli_opt::OptConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caching");
+    g.sample_size(10);
+    let (mut session, _fed) = latency_federation(60, Duration::from_micros(500));
+    let base = OptConfig {
+        enable_pushdown: false,
+        enable_joins: false,
+        enable_parallel: false,
+        ..OptConfig::default()
+    };
+    session.set_opt_config(OptConfig {
+        enable_cache: true,
+        ..base.clone()
+    });
+    let cached = session.compile(CACHEABLE).expect("compile");
+    session.set_opt_config(OptConfig {
+        enable_cache: false,
+        ..base
+    });
+    let uncached = session.compile(CACHEABLE).expect("compile");
+    g.bench_function("cached", |b| {
+        b.iter(|| black_box(session.run_compiled(&cached).expect("run")))
+    });
+    g.bench_function("uncached", |b| {
+        b.iter(|| black_box(session.run_compiled(&uncached).expect("run")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

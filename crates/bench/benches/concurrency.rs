@@ -1,0 +1,57 @@
+//! E11 — bounded-concurrency retrieval: per-element remote link lookups
+//! with K in-flight requests; the speedup saturates at the server's
+//! tolerated concurrency (5 in the paper's example).
+
+use std::time::Duration;
+
+use bench_harness::{bind_uids, latency_federation, CONCURRENCY};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kleisli_opt::OptConfig;
+use nrc::Expr;
+
+fn with_width(e: &Expr, width: usize) -> Expr {
+    // rewrite every ParExt to the requested width (1 = sequential)
+    fn go(e: Expr, width: usize) -> Expr {
+        let e = e.map_children(&mut |c| go(c, width));
+        match e {
+            Expr::ParExt {
+                kind,
+                var,
+                body,
+                source,
+                ..
+            } => Expr::ParExt {
+                kind,
+                var,
+                body,
+                source,
+                max_in_flight: width,
+            },
+            other => other,
+        }
+    }
+    go(e.clone(), width)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrency");
+    g.sample_size(10);
+    let (mut session, fed) = latency_federation(60, Duration::from_millis(2));
+    bind_uids(&mut session, &fed, 30);
+    session.set_opt_config(OptConfig {
+        enable_cache: false,
+        ..OptConfig::default()
+    });
+    let compiled = session.compile(CONCURRENCY).expect("compile");
+    for width in [1usize, 2, 5, 10] {
+        let mut c2 = compiled.clone();
+        c2.optimized = with_width(&compiled.optimized, width);
+        g.bench_with_input(BenchmarkId::new("K", width), &width, |b, _| {
+            b.iter(|| black_box(session.run_compiled(&c2).expect("run")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E4/E5/E6 — the monadic rules R1 (vertical fusion), R2 (horizontal
+//! fusion) and R3 (filter promotion): optimized vs unoptimized evaluation.
+
+use bench_harness::{horizontal_pipeline, invariant_filter, vertical_pipeline};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kleisli_exec::{eval, Context, Env};
+use kleisli_opt::{optimize, NullCatalog, OptConfig};
+use nrc::Expr;
+
+fn run(e: &Expr) -> kleisli_core::Value {
+    eval(e, &Env::empty(), &Context::new()).expect("eval")
+}
+
+fn opt(e: Expr) -> Expr {
+    let config = OptConfig {
+        enable_pushdown: false,
+        enable_joins: false,
+        enable_cache: false,
+        enable_parallel: false,
+        ..OptConfig::default()
+    };
+    optimize(e, &NullCatalog, &config).0
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion");
+    for n in [1_000i64, 10_000, 100_000] {
+        let raw = vertical_pipeline(n);
+        let fused = opt(raw.clone());
+        g.bench_with_input(BenchmarkId::new("vertical/unfused", n), &n, |b, _| {
+            b.iter(|| black_box(run(&raw)))
+        });
+        g.bench_with_input(BenchmarkId::new("vertical/fused-R1", n), &n, |b, _| {
+            b.iter(|| black_box(run(&fused)))
+        });
+    }
+    let n = 50_000i64;
+    let raw = horizontal_pipeline(n);
+    let fused = opt(raw.clone());
+    g.bench_function("horizontal/unfused", |b| b.iter(|| black_box(run(&raw))));
+    g.bench_function("horizontal/fused-R2", |b| b.iter(|| black_box(run(&fused))));
+    // filter promotion with a false invariant: the promoted form skips
+    // the scan entirely
+    let raw = invariant_filter(100_000, 0);
+    let promoted = opt(raw.clone());
+    g.bench_function("filter/in-loop", |b| b.iter(|| black_box(run(&raw))));
+    g.bench_function("filter/promoted-R3", |b| b.iter(|| black_box(run(&promoted))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E10 — time-to-first-result: the pipelined executor produces the first
+//! k rows of a remote scan without materializing the query.
+
+use bench_harness::latency_federation_rows;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const SCAN: &str = r#"{[s = l.locus_symbol] | \l <- GDB-Tab("locus")}"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laziness");
+    g.sample_size(10);
+    let (mut session, _fed) = latency_federation_rows(
+        20_000,
+        Duration::from_micros(100),
+        Duration::from_micros(20),
+    );
+    g.bench_function("first-10-pipelined", |b| {
+        b.iter(|| black_box(session.query_first_n(SCAN, 10).expect("query")))
+    });
+    let compiled = session.compile(SCAN).expect("compile");
+    g.bench_function("full-materialization", |b| {
+        b.iter(|| black_box(session.run_compiled(&compiled).expect("run")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E13 — path extraction at the ASN.1 driver: pruning during the parse vs
+//! shipping whole entries and projecting locally.
+
+use std::time::Duration;
+
+use bench_harness::latency_federation;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const WITH_PATH: &str = r#"flatten(GenBank([db = "na",
+    select = "organism \"Homo sapiens\"",
+    path = "Seq-entry.seq.id..giim"]))"#;
+
+const WITHOUT_PATH: &str = r#"{g |
+    \e <- GenBank([db = "na", select = "organism \"Homo sapiens\""]),
+    <giim = \g> <- e.seq.id}"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_extraction");
+    g.sample_size(20);
+    let (mut session, _fed) = latency_federation(400, Duration::from_micros(200));
+    let with_path = session.compile(WITH_PATH).expect("compile");
+    session.set_opt_config(kleisli_opt::OptConfig {
+        enable_pushdown: false,
+        ..kleisli_opt::OptConfig::default()
+    });
+    let without = session.compile(WITHOUT_PATH).expect("compile");
+    session.set_opt_config(kleisli_opt::OptConfig::default());
+    // both must produce the same uid set
+    assert_eq!(
+        session.run_compiled(&with_path).expect("run"),
+        session.run_compiled(&without).expect("run"),
+    );
+    g.bench_function("path-at-driver", |b| {
+        b.iter(|| black_box(session.run_compiled(&with_path).expect("run")))
+    });
+    g.bench_function("ship-whole-entries", |b| {
+        b.iter(|| black_box(session.run_compiled(&without).expect("run")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 — migrating selections/projections/joins to the SQL server: the
+//! paper's Loci22 query under increasing network latency, full optimizer
+//! vs local joins vs naive nested loops.
+
+use std::time::Duration;
+
+use bench_harness::{config_variants, latency_federation, LOCI22};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pushdown_loci22");
+    g.sample_size(10);
+    for latency_us in [0u64, 500, 2000] {
+        let (mut session, _fed) =
+            latency_federation(300, Duration::from_micros(latency_us));
+        for (label, config) in config_variants() {
+            if label != "full" && label != "no-pushdown" {
+                // the unoptimized plans make hundreds of sequential
+                // round-trips; they are measured by the report binary
+                continue;
+            }
+            session.set_opt_config(config);
+            let compiled = session.compile(LOCI22).expect("compile");
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{latency_us}us")),
+                &latency_us,
+                |b, _| b.iter(|| black_box(session.run_compiled(&compiled).expect("run"))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E3 — the paper's quantitative claim: "A greater than two-fold
+//! improvement has been obtained over the plain Rémy projection."
+
+use bench_harness::{project_cached, project_plain, remy_rows};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remy_projection");
+    for width in [4usize, 8, 16, 32] {
+        let rows = remy_rows(100_000, width);
+        let field = format!("field{}", width / 2);
+        g.bench_with_input(BenchmarkId::new("plain", width), &width, |b, _| {
+            b.iter(|| black_box(project_plain(&rows, &field)))
+        });
+        g.bench_with_input(BenchmarkId::new("homogeneous", width), &width, |b, _| {
+            b.iter(|| black_box(project_cached(&rows, &field)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,322 @@
+//! # bench-harness
+//!
+//! Shared workload builders for the Criterion benches (`benches/`) and the
+//! table-printing report binary (`src/bin/report.rs`). Each experiment in
+//! EXPERIMENTS.md maps to one function here, so the benches and the report
+//! measure exactly the same workloads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bio_data::{GdbConfig, GenBankConfig};
+use kleisli::{bio_federation, BioFederation, Session};
+use kleisli_core::{CollKind, LatencyModel, RemyRecord, Value};
+use kleisli_opt::OptConfig;
+use nrc::{Expr, JoinStrategy, Prim};
+
+/// Rows for the Rémy-projection experiment (E3): `n` records of `width`
+/// fields, all sharing one directory (the homogeneous case the paper
+/// optimizes).
+pub fn remy_rows(n: usize, width: usize) -> Vec<RemyRecord> {
+    (0..n)
+        .map(|i| {
+            RemyRecord::new(
+                (0..width)
+                    .map(|f| {
+                        (
+                            Arc::from(format!("field{f}").as_str()),
+                            Value::Int((i * width + f) as i64),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Plain Rémy projection: directory lookup per record.
+pub fn project_plain(rows: &[RemyRecord], field: &str) -> i64 {
+    let mut acc = 0;
+    for r in rows {
+        if let Some(Value::Int(i)) = r.get(field) {
+            acc += *i;
+        }
+    }
+    acc
+}
+
+/// Homogeneous-optimized projection: offset computed once, revalidated by
+/// directory magic number.
+pub fn project_cached(rows: &[RemyRecord], field: &str) -> i64 {
+    let mut p = kleisli_core::CachedProjector::new(field);
+    let mut acc = 0;
+    for r in rows {
+        if let Some(Value::Int(i)) = p.project(r) {
+            acc += *i;
+        }
+    }
+    acc
+}
+
+/// A constant set of `n` ints as an NRC expression.
+pub fn int_set(n: i64) -> Expr {
+    Expr::Const(Value::set((0..n).map(Value::Int).collect()))
+}
+
+/// E4: the unfused producer/consumer pipeline
+/// `U{ {x+1} | \x <- U{ {y*2} | \y <- S } }`.
+pub fn vertical_pipeline(n: i64) -> Expr {
+    let inner = Expr::ext(
+        CollKind::Set,
+        "y",
+        Expr::single(
+            CollKind::Set,
+            Expr::Prim(Prim::Mul, vec![Expr::var("y"), Expr::int(2)]),
+        ),
+        int_set(n),
+    );
+    Expr::ext(
+        CollKind::Set,
+        "x",
+        Expr::single(
+            CollKind::Set,
+            Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
+        ),
+        inner,
+    )
+}
+
+/// E5: two independent loops over the same source, unioned.
+pub fn horizontal_pipeline(n: i64) -> Expr {
+    let mk = |off: i64| {
+        Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::single(
+                CollKind::Set,
+                Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::int(off)]),
+            ),
+            int_set(n),
+        )
+    };
+    Expr::union(CollKind::Set, mk(0), mk(n))
+}
+
+/// E6: a loop whose filter (`flag = 1`) is loop-invariant; with promotion
+/// the false case never scans.
+pub fn invariant_filter(n: i64, flag: i64) -> Expr {
+    Expr::let_(
+        "flag",
+        Expr::int(flag),
+        Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::if_(
+                Expr::eq(Expr::var("flag"), Expr::int(1)),
+                Expr::single(CollKind::Set, Expr::var("x")),
+                Expr::Empty(CollKind::Set),
+            ),
+            int_set(n),
+        ),
+    )
+}
+
+/// A pair of join inputs keyed with the given selectivity.
+pub fn join_inputs(n: i64, modulus: i64) -> (Expr, Expr) {
+    let table = |rows: i64, m: i64, tag: &str| {
+        Expr::Const(Value::set(
+            (0..rows)
+                .map(|i| {
+                    Value::record_from(vec![
+                        ("k", Value::Int(i % m)),
+                        (tag, Value::Int(i)),
+                    ])
+                })
+                .collect(),
+        ))
+    };
+    (table(n, modulus, "a"), table(n, modulus, "b"))
+}
+
+/// E8: a join of the two inputs under the given strategy (or the naive
+/// nested loop when `strategy` is `None`).
+pub fn join_query(left: Expr, right: Expr, strategy: Option<JoinStrategy>) -> Expr {
+    let cond = Expr::eq(
+        Expr::proj(Expr::var("l"), "k"),
+        Expr::proj(Expr::var("r"), "k"),
+    );
+    let body = Expr::single(
+        CollKind::Set,
+        Expr::record(vec![
+            ("a", Expr::proj(Expr::var("l"), "a")),
+            ("b", Expr::proj(Expr::var("r"), "b")),
+        ]),
+    );
+    match strategy {
+        None => Expr::ext(
+            CollKind::Set,
+            "l",
+            Expr::ext(
+                CollKind::Set,
+                "r",
+                Expr::if_(cond, body, Expr::Empty(CollKind::Set)),
+                right,
+            ),
+            left,
+        ),
+        Some(strategy) => Expr::Join {
+            kind: CollKind::Set,
+            strategy,
+            left: Box::new(left),
+            right: Box::new(right),
+            lvar: nrc::name("l"),
+            rvar: nrc::name("r"),
+            left_key: Some(Box::new(Expr::proj(Expr::var("l"), "k"))),
+            right_key: Some(Box::new(Expr::proj(Expr::var("r"), "k"))),
+            cond: Box::new(Expr::bool(true)),
+            body: Box::new(body),
+        },
+    }
+}
+
+/// The standard federation for driver-facing experiments, with the given
+/// per-request latency realized as real sleeps.
+pub fn latency_federation(loci: usize, per_request: Duration) -> (Session, BioFederation) {
+    latency_federation_rows(loci, per_request, Duration::ZERO)
+}
+
+/// Like [`latency_federation`] but also charging a per-row transfer cost —
+/// used by the laziness experiment, where the row transfer time is what
+/// the pipelined executor avoids.
+pub fn latency_federation_rows(
+    loci: usize,
+    per_request: Duration,
+    per_row: Duration,
+) -> (Session, BioFederation) {
+    let fed = bio_federation(
+        &GdbConfig {
+            loci,
+            seed: 97,
+            ..Default::default()
+        },
+        &GenBankConfig {
+            extra_entries: 50,
+            links_per_entry: 3,
+            seq_len: 60,
+            seed: 97,
+            ..Default::default()
+        },
+        LatencyModel::real(per_request, per_row),
+        LatencyModel::real(per_request, per_row),
+    )
+    .expect("federation");
+    let mut session = Session::new();
+    session.register_driver(fed.gdb.clone());
+    session.register_driver(fed.genbank.clone());
+    (session, fed)
+}
+
+/// The Loci22 CPL text (E7).
+pub const LOCI22: &str = r#"{[locus_symbol = x, genbank_ref = y] |
+    [locus_symbol = \x, locus_id = \a, ...] <- GDB-Tab("locus"),
+    [genbank_ref = \y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+    [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...] <- GDB-Tab("locus_cyto_location")}"#;
+
+/// Optimizer configurations compared by the ablation experiments.
+pub fn config_variants() -> Vec<(&'static str, OptConfig)> {
+    vec![
+        ("full", OptConfig::default()),
+        (
+            "no-pushdown",
+            OptConfig {
+                enable_pushdown: false,
+                ..OptConfig::default()
+            },
+        ),
+        (
+            // monadic rules only, sequential: isolates what the naive
+            // remote plan costs without joins/caching/concurrency
+            "local-no-cache",
+            OptConfig {
+                enable_pushdown: false,
+                enable_joins: false,
+                enable_cache: false,
+                enable_parallel: false,
+                ..OptConfig::default()
+            },
+        ),
+        ("none", OptConfig::none()),
+    ]
+}
+
+/// E9: per-locus remote aggregate whose inner subquery is outer-
+/// independent (cacheable): pairs every locus with the total number of
+/// class-1 GenBank cross-references.
+pub const CACHEABLE: &str = r#"{[s = l.locus_symbol,
+       n = count({e | \e <- GDB-Tab("object_genbank_eref"), e.object_class_key = 1})] |
+    \l <- GDB-Tab("locus")}"#;
+
+/// E11: per-element remote calls (links), parallelizable. `UIDS` must be
+/// bound in the session (see [`bind_uids`]).
+pub const CONCURRENCY: &str =
+    r#"{[u = uid, n = count(GenBank([db = "na", link = uid]))] | \uid <- UIDS}"#;
+
+/// Bind `UIDS` to the first `n` GenBank entry uids.
+pub fn bind_uids(session: &mut Session, fed: &BioFederation, n: usize) {
+    let uids: Vec<Value> = fed
+        .genbank_data
+        .entries
+        .iter()
+        .take(n)
+        .map(|e| Value::Int(e.uid))
+        .collect();
+    session.bind_value("UIDS", Value::set(uids));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kleisli_exec::{eval, Context, Env};
+
+    #[test]
+    fn projections_agree() {
+        let rows = remy_rows(1000, 8);
+        assert_eq!(
+            project_plain(&rows, "field3"),
+            project_cached(&rows, "field3")
+        );
+    }
+
+    #[test]
+    fn fusion_workloads_evaluate() {
+        let ctx = Context::new();
+        let v = eval(&vertical_pipeline(100), &Env::empty(), &ctx).unwrap();
+        assert_eq!(v.len(), Some(100));
+        let h = eval(&horizontal_pipeline(100), &Env::empty(), &ctx).unwrap();
+        assert_eq!(h.len(), Some(200));
+    }
+
+    #[test]
+    fn join_workloads_agree_across_strategies() {
+        let (l, r) = join_inputs(200, 10);
+        let ctx = Context::new();
+        let naive = eval(
+            &join_query(l.clone(), r.clone(), None),
+            &Env::empty(),
+            &ctx,
+        )
+        .unwrap();
+        for s in [
+            JoinStrategy::BlockedNl { block_size: 64 },
+            JoinStrategy::IndexedNl,
+        ] {
+            let v = eval(
+                &join_query(l.clone(), r.clone(), Some(s)),
+                &Env::empty(),
+                &ctx,
+            )
+            .unwrap();
+            assert_eq!(v, naive);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! # bio-data
+//!
+//! Deterministic, seeded generators for the biological data the paper's
+//! system federates. The shapes follow what the paper prints:
+//!
+//! * **GDB** relational extracts — the `locus`, `object_genbank_eref` and
+//!   `locus_cyto_location` tables used by `Loci22`, with cytogenetic band
+//!   positions for the Figure-1 band-interval parameter;
+//! * **GenBank** `Seq-entry` values — nested records with variant-typed
+//!   sequence ids (`giim` / `accession`), publications with variant-typed
+//!   journals, keyword sets and DNA sequences — plus the precomputed
+//!   homology-link graph served by `NA-Links`;
+//! * **Publications** — the `Publication` type from the paper's
+//!   introduction, for the restructuring examples of Section 2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kleisli_core::Value;
+
+pub mod gdb;
+pub mod genbank;
+pub mod publications;
+
+pub use gdb::{GdbConfig, GdbData};
+pub use genbank::{GenBankConfig, GenBankData};
+pub use publications::publications;
+
+/// Shared RNG constructor so every generator is reproducible.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random DNA string of the given length.
+pub(crate) fn dna(rng: &mut StdRng, len: usize) -> String {
+    const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// A GenBank-style accession number, unique per index `n`.
+pub(crate) fn accession(n: usize) -> String {
+    let letter = (b'A' + (n % 26) as u8) as char;
+    format!("{letter}{:05}", 10_000 + n)
+}
+
+/// Helper: string value.
+pub(crate) fn s(v: impl AsRef<str>) -> Value {
+    Value::str(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = GdbData::generate(&GdbConfig {
+            loci: 50,
+            seed: 7,
+            ..Default::default()
+        });
+        let b = GdbData::generate(&GdbConfig {
+            loci: 50,
+            seed: 7,
+            ..Default::default()
+        });
+        assert_eq!(a.loci.len(), b.loci.len());
+        assert_eq!(a.loci[10], b.loci[10]);
+    }
+
+    #[test]
+    fn dna_is_dna() {
+        let mut r = rng(1);
+        let d = dna(&mut r, 100);
+        assert_eq!(d.len(), 100);
+        assert!(d.chars().all(|c| "ACGT".contains(c)));
+    }
+
+    #[test]
+    fn accessions_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..1000 {
+            assert!(seen.insert(accession(n)));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by every layer of the system.
+
+use std::fmt;
+
+/// Any error produced while parsing, typing, optimizing, or executing a CPL
+/// query, or while talking to a data-source driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KError {
+    /// Surface-syntax error with 1-based position information.
+    Parse { msg: String, line: u32, col: u32 },
+    /// Static type error.
+    Type(String),
+    /// An unbound variable or undefined function name.
+    Unbound(String),
+    /// Runtime evaluation error (wrong shapes, missing fields, ...).
+    Eval(String),
+    /// A data-source driver failed.
+    Driver { driver: String, msg: String },
+    /// Malformed token stream / exchange text.
+    Exchange(String),
+    /// Malformed native-format data (SQL, ASN.1, ACE, FASTA, ...).
+    Format { format: String, msg: String },
+}
+
+impl KError {
+    pub fn parse(msg: impl Into<String>, line: u32, col: u32) -> KError {
+        KError::Parse {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    pub fn eval(msg: impl Into<String>) -> KError {
+        KError::Eval(msg.into())
+    }
+
+    pub fn ty(msg: impl Into<String>) -> KError {
+        KError::Type(msg.into())
+    }
+
+    pub fn driver(driver: impl Into<String>, msg: impl Into<String>) -> KError {
+        KError::Driver {
+            driver: driver.into(),
+            msg: msg.into(),
+        }
+    }
+
+    pub fn exchange(msg: impl Into<String>) -> KError {
+        KError::Exchange(msg.into())
+    }
+
+    pub fn format(format: impl Into<String>, msg: impl Into<String>) -> KError {
+        KError::Format {
+            format: format.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for KError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KError::Parse { msg, line, col } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            KError::Type(m) => write!(f, "type error: {m}"),
+            KError::Unbound(n) => write!(f, "unbound identifier: {n}"),
+            KError::Eval(m) => write!(f, "evaluation error: {m}"),
+            KError::Driver { driver, msg } => write!(f, "driver '{driver}': {msg}"),
+            KError::Exchange(m) => write!(f, "exchange format error: {m}"),
+            KError::Format { format, msg } => write!(f, "{format} format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KError {}
+
+/// Result alias used throughout the workspace.
+pub type KResult<T> = Result<T, KError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = KError::parse("unexpected '}'", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected '}'");
+        let e = KError::driver("GDB", "connection refused");
+        assert!(e.to_string().contains("GDB"));
+        let e = KError::format("fasta", "missing header");
+        assert!(e.to_string().contains("fasta"));
+    }
+}

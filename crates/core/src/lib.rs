@@ -1,0 +1,39 @@
+//! # kleisli-core
+//!
+//! The shared foundation of this reproduction of Buneman, Davidson, Hart,
+//! Overton & Wong, *A Data Transformation System for Biological Data
+//! Sources* (VLDB 1995): the complex-object data model of CPL/Kleisli and
+//! the abstractions every other crate builds on.
+//!
+//! * [`value`] — nested sets, bags, lists, records, variants, references,
+//!   with a canonical total order.
+//! * [`types`] — the CPL type system, including open record/variant types.
+//! * [`remy`] — Rémy's directory+array record representation and the
+//!   homogeneous-projection fast path (Section 4 of the paper).
+//! * [`token`] — token streams and the textual exchange format used
+//!   between the system and its drivers.
+//! * [`print`] — CPL-syntax, HTML, and tabular printers.
+//! * [`driver`] — the driver trait, request language, capabilities,
+//!   statistics, and traffic metrics.
+//! * [`latency`] — the simulated wide-area latency model.
+//! * [`error`] — the shared error type.
+
+pub mod driver;
+pub mod error;
+pub mod latency;
+pub mod print;
+pub mod remy;
+pub mod token;
+pub mod types;
+pub mod value;
+
+pub use driver::{
+    Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, TableStats,
+    ValueStream,
+};
+pub use error::{KError, KResult};
+pub use latency::LatencyModel;
+pub use remy::{CachedProjector, Directory, RemyRecord};
+pub use token::{detokenize, read_exchange, tokenize, write_exchange, Token};
+pub use types::Type;
+pub use value::{CollKind, Oid, Value};

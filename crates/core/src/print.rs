@@ -1,0 +1,273 @@
+//! Flexible printing routines (Section 3: "a flexible printing routine in
+//! CPL allows data to be converted to a variety of formats for use in
+//! displaying (e.g. HTML) or reading into another programming language").
+//!
+//! Three printers are provided here: CPL surface syntax (the `Display`
+//! impl of [`Value`]), HTML (nested tables/lists for Mosaic-era browsers),
+//! and an aligned text table for flat relations. The token exchange format
+//! lives in [`crate::token`]; native formats (ASN.1, `.ace`, FASTA) live in
+//! their source crates.
+
+use std::fmt::{self, Write as _};
+
+use crate::value::Value;
+
+/// Write a value in CPL surface syntax: `[name = "x", keywd = {"a", "b"}]`.
+pub fn write_cpl(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Unit => write!(f, "()"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        Value::Str(s) => write!(f, "\"{}\"", escape_str(s)),
+        Value::Set(_) | Value::Bag(_) | Value::List(_) => {
+            let (open, close) = v.coll_kind().expect("collection").brackets();
+            write!(f, "{open}")?;
+            for (i, e) in v.elements().expect("collection").iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_cpl(f, e)?;
+            }
+            write!(f, "{close}")
+        }
+        Value::Record(r) => {
+            write!(f, "[")?;
+            for (i, (n, fv)) in r.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n} = ")?;
+                write_cpl(f, fv)?;
+            }
+            write!(f, "]")
+        }
+        Value::Variant(tag, inner) => {
+            write!(f, "<{tag} = ")?;
+            write_cpl(f, inner)?;
+            write!(f, ">")
+        }
+        Value::Ref(o) => write!(f, "{o}"),
+    }
+}
+
+/// Escape a string for CPL syntax.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a value as HTML, the way the prototype's Mosaic views did:
+/// records become two-column tables, collections become lists.
+pub fn to_html(v: &Value) -> String {
+    let mut out = String::new();
+    html_value(&mut out, v);
+    out
+}
+
+fn html_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Unit => out.push_str("&empty;"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "{}", html_escape(s));
+        }
+        Value::Set(_) | Value::Bag(_) | Value::List(_) => {
+            let ordered = matches!(v, Value::List(_));
+            out.push_str(if ordered { "<ol>" } else { "<ul>" });
+            for e in v.elements().expect("collection") {
+                out.push_str("<li>");
+                html_value(out, e);
+                out.push_str("</li>");
+            }
+            out.push_str(if ordered { "</ol>" } else { "</ul>" });
+        }
+        Value::Record(r) => {
+            out.push_str("<table border=\"1\">");
+            for (n, fv) in r.iter() {
+                let _ = write!(out, "<tr><th>{}</th><td>", html_escape(n));
+                html_value(out, fv);
+                out.push_str("</td></tr>");
+            }
+            out.push_str("</table>");
+        }
+        Value::Variant(tag, inner) => {
+            let _ = write!(out, "<em>{}</em>: ", html_escape(tag));
+            html_value(out, inner);
+        }
+        Value::Ref(o) => {
+            let _ = write!(out, "<a href=\"#{}\">{}</a>", o, o);
+        }
+    }
+}
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a collection of flat records as an aligned text table (the shape
+/// in which the paper prints relational results). Non-record elements and
+/// nested fields are rendered in CPL syntax within their cell.
+pub fn to_table(v: &Value) -> String {
+    let Some(elems) = v.elements() else {
+        return v.to_string();
+    };
+    // Collect the union of column names in first-seen order.
+    let mut columns: Vec<String> = Vec::new();
+    for e in elems {
+        if let Value::Record(r) = e {
+            for (n, _) in r.iter() {
+                if !columns.iter().any(|c| c == &**n) {
+                    columns.push(n.to_string());
+                }
+            }
+        }
+    }
+    if columns.is_empty() {
+        // Not records: one value per line.
+        let mut out = String::new();
+        for e in elems {
+            let _ = writeln!(out, "{e}");
+        }
+        return out;
+    }
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(elems.len());
+    for e in elems {
+        let row = columns
+            .iter()
+            .map(|c| match e.project(c) {
+                Some(Value::Str(s)) => s.to_string(),
+                Some(fv) => fv.to_string(),
+                None => String::new(),
+            })
+            .collect();
+        rows.push(row);
+    }
+    let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<String> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(" | "));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "{}", rule.join("-+-"));
+    for row in &rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", line.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpl_syntax_matches_paper_shapes() {
+        let v = Value::record_from(vec![
+            ("title", Value::str("x")),
+            ("keywd", Value::set(vec![Value::str("Exons")])),
+            ("journal", Value::variant("uncontrolled", Value::str("N"))),
+        ]);
+        let s = v.to_string();
+        assert_eq!(
+            s,
+            "[journal = <uncontrolled = \"N\">, keywd = {\"Exons\"}, title = \"x\"]"
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Value::str("a\"b\\c\nd");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn html_escapes_and_nests() {
+        let v = Value::record_from(vec![("a<b", Value::str("x&y"))]);
+        let h = to_html(&v);
+        assert!(h.contains("a&lt;b"));
+        assert!(h.contains("x&amp;y"));
+        assert!(h.starts_with("<table"));
+    }
+
+    #[test]
+    fn html_lists_ordered_only_for_lists() {
+        assert!(to_html(&Value::list(vec![Value::Int(1)])).starts_with("<ol>"));
+        assert!(to_html(&Value::set(vec![Value::Int(1)])).starts_with("<ul>"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let v = Value::list(vec![
+            Value::record_from(vec![("locus", Value::str("D22S1")), ("n", Value::Int(1))]),
+            Value::record_from(vec![
+                ("locus", Value::str("IGLV")),
+                ("n", Value::Int(23456)),
+            ]),
+        ]);
+        let t = to_table(&v);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("locus"));
+        assert!(lines[0].contains('n'));
+        // all rows same width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_of_scalars_prints_one_per_line() {
+        let v = Value::set(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(to_table(&v), "1\n2\n");
+    }
+
+    #[test]
+    fn float_display_keeps_decimal_point() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+    }
+}

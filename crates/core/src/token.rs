@@ -1,0 +1,400 @@
+//! Token streams — Kleisli's mechanism for "laziness, pipelining and fast
+//! response" (Section 3).
+//!
+//! A complex object is flattened into a stream of tokens so that a consumer
+//! (a driver, a printer, or the pipelined executor) can start working on a
+//! prefix of a value before the producer has finished materializing it. The
+//! textual exchange format used between drivers and the system is a direct
+//! rendering of this token stream.
+
+use std::sync::Arc;
+
+use crate::error::{KError, KResult};
+use crate::value::{CollKind, Oid, Value};
+
+/// One token of the exchange stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Unit,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    StartColl(CollKind),
+    EndColl,
+    StartRecord,
+    /// Introduces the next record field; followed by that field's value.
+    Field(Arc<str>),
+    EndRecord,
+    /// Introduces a variant; followed by the payload value.
+    StartVariant(Arc<str>),
+    EndVariant,
+    Ref(Oid),
+}
+
+/// Lazily tokenize a value (depth-first, with an explicit work stack so the
+/// stream is produced incrementally rather than all at once).
+pub struct Tokenizer {
+    stack: Vec<Frame>,
+}
+
+enum Frame {
+    Value(Value),
+    Emit(Token),
+}
+
+impl Tokenizer {
+    pub fn new(v: Value) -> Tokenizer {
+        Tokenizer {
+            stack: vec![Frame::Value(v)],
+        }
+    }
+}
+
+impl Iterator for Tokenizer {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        match self.stack.pop()? {
+            Frame::Emit(t) => Some(t),
+            Frame::Value(v) => match v {
+                Value::Unit => Some(Token::Unit),
+                Value::Bool(b) => Some(Token::Bool(b)),
+                Value::Int(i) => Some(Token::Int(i)),
+                Value::Float(x) => Some(Token::Float(x)),
+                Value::Str(s) => Some(Token::Str(s)),
+                Value::Ref(o) => Some(Token::Ref(o)),
+                ref coll @ (Value::Set(_) | Value::Bag(_) | Value::List(_)) => {
+                    let kind = coll.coll_kind().expect("collection");
+                    let es = coll.elements().expect("collection").to_vec();
+                    self.stack.push(Frame::Emit(Token::EndColl));
+                    for e in es.iter().rev() {
+                        self.stack.push(Frame::Value(e.clone()));
+                    }
+                    Some(Token::StartColl(kind))
+                }
+                Value::Record(r) => {
+                    self.stack.push(Frame::Emit(Token::EndRecord));
+                    let pairs: Vec<_> = r
+                        .iter()
+                        .map(|(n, fv)| (Arc::clone(n), fv.clone()))
+                        .collect();
+                    for (n, fv) in pairs.into_iter().rev() {
+                        self.stack.push(Frame::Value(fv));
+                        self.stack.push(Frame::Emit(Token::Field(n)));
+                    }
+                    Some(Token::StartRecord)
+                }
+                Value::Variant(tag, inner) => {
+                    self.stack.push(Frame::Emit(Token::EndVariant));
+                    self.stack.push(Frame::Value((*inner).clone()));
+                    Some(Token::StartVariant(tag))
+                }
+            },
+        }
+    }
+}
+
+/// Tokenize a value.
+pub fn tokenize(v: &Value) -> Tokenizer {
+    Tokenizer::new(v.clone())
+}
+
+/// Rebuild a value from a token stream. Fails on malformed streams.
+pub fn detokenize<I: Iterator<Item = Token>>(tokens: &mut I) -> KResult<Value> {
+    let tok = tokens
+        .next()
+        .ok_or_else(|| KError::exchange("unexpected end of token stream"))?;
+    value_from(tok, tokens)
+}
+
+fn value_from<I: Iterator<Item = Token>>(tok: Token, rest: &mut I) -> KResult<Value> {
+    match tok {
+        Token::Unit => Ok(Value::Unit),
+        Token::Bool(b) => Ok(Value::Bool(b)),
+        Token::Int(i) => Ok(Value::Int(i)),
+        Token::Float(x) => Ok(Value::Float(x)),
+        Token::Str(s) => Ok(Value::Str(s)),
+        Token::Ref(o) => Ok(Value::Ref(o)),
+        Token::StartColl(kind) => {
+            let mut elems = Vec::new();
+            loop {
+                match rest
+                    .next()
+                    .ok_or_else(|| KError::exchange("unterminated collection"))?
+                {
+                    Token::EndColl => break,
+                    t => elems.push(value_from(t, rest)?),
+                }
+            }
+            Ok(Value::collection(kind, elems))
+        }
+        Token::StartRecord => {
+            let mut fields = Vec::new();
+            loop {
+                match rest
+                    .next()
+                    .ok_or_else(|| KError::exchange("unterminated record"))?
+                {
+                    Token::EndRecord => break,
+                    Token::Field(n) => {
+                        let v = detokenize(rest)?;
+                        fields.push((n, v));
+                    }
+                    other => {
+                        return Err(KError::exchange(format!(
+                            "expected field or end-of-record, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(Value::record(fields))
+        }
+        Token::StartVariant(tag) => {
+            let inner = detokenize(rest)?;
+            match rest.next() {
+                Some(Token::EndVariant) => Ok(Value::Variant(tag, Arc::new(inner))),
+                other => Err(KError::exchange(format!(
+                    "expected end-of-variant, got {other:?}"
+                ))),
+            }
+        }
+        other => Err(KError::exchange(format!("unexpected token {other:?}"))),
+    }
+}
+
+/// Render a token stream in the line-oriented textual exchange format used
+/// between Kleisli and its drivers.
+pub fn write_exchange(v: &Value) -> String {
+    let mut out = String::new();
+    for t in tokenize(v) {
+        match t {
+            Token::Unit => out.push_str("U\n"),
+            Token::Bool(b) => out.push_str(if b { "B 1\n" } else { "B 0\n" }),
+            Token::Int(i) => out.push_str(&format!("I {i}\n")),
+            Token::Float(x) => out.push_str(&format!("F {}\n", hex_f64(x))),
+            Token::Str(s) => out.push_str(&format!("S {}\n", escape(&s))),
+            Token::StartColl(k) => out.push_str(&format!("C {}\n", k.name())),
+            Token::EndColl => out.push_str("c\n"),
+            Token::StartRecord => out.push_str("R\n"),
+            Token::Field(n) => out.push_str(&format!("L {}\n", escape(&n))),
+            Token::EndRecord => out.push_str("r\n"),
+            Token::StartVariant(t) => out.push_str(&format!("V {}\n", escape(&t))),
+            Token::EndVariant => out.push_str("v\n"),
+            Token::Ref(o) => out.push_str(&format!("O {} {}\n", escape(&o.class), o.id)),
+        }
+    }
+    out
+}
+
+/// Parse the textual exchange format back into a value.
+pub fn read_exchange(text: &str) -> KResult<Value> {
+    let mut toks = text.lines().filter(|l| !l.is_empty()).map(parse_line);
+    let mut iter = ResultIter {
+        inner: &mut toks,
+        err: None,
+    };
+    let v = detokenize(&mut iter)?;
+    if let Some(e) = iter.err {
+        return Err(e);
+    }
+    Ok(v)
+}
+
+struct ResultIter<'a, I: Iterator<Item = KResult<Token>>> {
+    inner: &'a mut I,
+    err: Option<KError>,
+}
+
+impl<I: Iterator<Item = KResult<Token>>> Iterator for ResultIter<'_, I> {
+    type Item = Token;
+    fn next(&mut self) -> Option<Token> {
+        if self.err.is_some() {
+            return None;
+        }
+        match self.inner.next()? {
+            Ok(t) => Some(t),
+            Err(e) => {
+                self.err = Some(e);
+                None
+            }
+        }
+    }
+}
+
+fn parse_line(line: &str) -> KResult<Token> {
+    let (tag, rest) = match line.split_once(' ') {
+        Some((t, r)) => (t, r),
+        None => (line, ""),
+    };
+    match tag {
+        "U" => Ok(Token::Unit),
+        "B" => Ok(Token::Bool(rest == "1")),
+        "I" => rest
+            .parse()
+            .map(Token::Int)
+            .map_err(|_| KError::exchange(format!("bad int: {rest}"))),
+        "F" => parse_hex_f64(rest)
+            .map(Token::Float)
+            .ok_or_else(|| KError::exchange(format!("bad float: {rest}"))),
+        "S" => Ok(Token::Str(Arc::from(unescape(rest)?))),
+        "C" => match rest {
+            "set" => Ok(Token::StartColl(CollKind::Set)),
+            "bag" => Ok(Token::StartColl(CollKind::Bag)),
+            "list" => Ok(Token::StartColl(CollKind::List)),
+            _ => Err(KError::exchange(format!("bad collection kind: {rest}"))),
+        },
+        "c" => Ok(Token::EndColl),
+        "R" => Ok(Token::StartRecord),
+        "L" => Ok(Token::Field(Arc::from(unescape(rest)?))),
+        "r" => Ok(Token::EndRecord),
+        "V" => Ok(Token::StartVariant(Arc::from(unescape(rest)?))),
+        "v" => Ok(Token::EndVariant),
+        "O" => {
+            let (class, id) = rest
+                .rsplit_once(' ')
+                .ok_or_else(|| KError::exchange("bad ref"))?;
+            Ok(Token::Ref(Oid {
+                class: Arc::from(unescape(class)?),
+                id: id
+                    .parse()
+                    .map_err(|_| KError::exchange(format!("bad oid: {id}")))?,
+            }))
+        }
+        _ => Err(KError::exchange(format!("unknown token line: {line}"))),
+    }
+}
+
+fn hex_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_hex_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> KResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                other => {
+                    return Err(KError::exchange(format!("bad escape: \\{other:?}")));
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::set(vec![
+            Value::record_from(vec![
+                ("title", Value::str("Structure of the human perforin gene")),
+                (
+                    "authors",
+                    Value::list(vec![Value::record_from(vec![
+                        ("name", Value::str("Lichtenheld")),
+                        ("initial", Value::str("MG")),
+                    ])]),
+                ),
+                (
+                    "journal",
+                    Value::variant(
+                        "controlled",
+                        Value::variant("medline-jta", Value::str("J Immunol")),
+                    ),
+                ),
+                ("year", Value::Int(1989)),
+            ]),
+            Value::record_from(vec![
+                ("title", Value::str("x")),
+                ("authors", Value::list(vec![])),
+                ("journal", Value::variant("uncontrolled", Value::str("Nat"))),
+                ("year", Value::Int(1990)),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn tokenize_detokenize_roundtrip() {
+        let v = sample();
+        let mut toks = tokenize(&v);
+        let back = detokenize(&mut toks).unwrap();
+        assert_eq!(v, back);
+        assert!(toks.next().is_none(), "no trailing tokens");
+    }
+
+    #[test]
+    fn exchange_text_roundtrip() {
+        let v = sample();
+        let text = write_exchange(&v);
+        let back = read_exchange(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn exchange_handles_special_floats_exactly() {
+        for x in [0.0, -0.0, f64::NAN, f64::INFINITY, 1.5e-300] {
+            let v = Value::Float(x);
+            let back = read_exchange(&write_exchange(&v)).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn exchange_escapes_newlines_and_backslashes() {
+        let v = Value::str("line1\nline2\\end");
+        let back = read_exchange(&write_exchange(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn malformed_streams_error_cleanly() {
+        assert!(read_exchange("C set\n").is_err()); // unterminated
+        assert!(read_exchange("Z what\n").is_err()); // unknown tag
+        assert!(read_exchange("R\nI 3\n").is_err()); // value where field expected
+    }
+
+    #[test]
+    fn tokenizer_is_incremental() {
+        // The first token of a large set arrives without traversing it all.
+        let big = Value::set((0..10_000).map(Value::Int).collect());
+        let mut t = tokenize(&big);
+        assert_eq!(t.next(), Some(Token::StartColl(CollKind::Set)));
+        assert_eq!(t.next(), Some(Token::Int(0)));
+    }
+
+    #[test]
+    fn oid_roundtrip() {
+        let v = Value::Ref(Oid {
+            class: Arc::from("Clone"),
+            id: 42,
+        });
+        let back = read_exchange(&write_exchange(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+}

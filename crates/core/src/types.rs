@@ -1,0 +1,327 @@
+//! The CPL type system (Section 2 of the paper):
+//!
+//! ```text
+//! t ::= bool | int | float | string | unit
+//!     | {t} | {|t|} | [|t|]
+//!     | [l1: t1, ..., ln: tn]     records
+//!     | <l1: t1, ..., ln: tn>     variants ("tagged unions")
+//!     | ref t                     object identity
+//!     | t -> t                    functions
+//! ```
+//!
+//! Record and variant types may be *open* (written with a trailing `...`),
+//! which is how CPL patterns such as `[title = \t, ...]` are typed: the
+//! pattern demands the listed fields and is indifferent to the rest.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::{CollKind, Value};
+
+/// A CPL type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Unit,
+    Coll(CollKind, Box<Type>),
+    /// Record type; `open` means additional unlisted fields are allowed.
+    Record(Vec<(Arc<str>, Type)>, bool),
+    /// Variant type; `open` means additional unlisted tags are allowed.
+    Variant(Vec<(Arc<str>, Type)>, bool),
+    Ref(Box<Type>),
+    Fun(Box<Type>, Box<Type>),
+    /// Unknown/dynamic: conforms to everything. Used where static
+    /// information is unavailable (e.g. data fresh off a driver).
+    Any,
+}
+
+impl Type {
+    pub fn set(t: Type) -> Type {
+        Type::Coll(CollKind::Set, Box::new(t))
+    }
+    pub fn bag(t: Type) -> Type {
+        Type::Coll(CollKind::Bag, Box::new(t))
+    }
+    pub fn list(t: Type) -> Type {
+        Type::Coll(CollKind::List, Box::new(t))
+    }
+
+    /// A closed record type from `(name, type)` pairs.
+    pub fn record<I, S>(fields: I) -> Type
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: AsRef<str>,
+    {
+        let mut fs: Vec<(Arc<str>, Type)> = fields
+            .into_iter()
+            .map(|(n, t)| (Arc::from(n.as_ref()), t))
+            .collect();
+        fs.sort_by(|a, b| a.0.cmp(&b.0));
+        Type::Record(fs, false)
+    }
+
+    /// A closed variant type from `(tag, type)` pairs.
+    pub fn variant<I, S>(tags: I) -> Type
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: AsRef<str>,
+    {
+        let mut ts: Vec<(Arc<str>, Type)> = tags
+            .into_iter()
+            .map(|(n, t)| (Arc::from(n.as_ref()), t))
+            .collect();
+        ts.sort_by(|a, b| a.0.cmp(&b.0));
+        Type::Variant(ts, false)
+    }
+
+    /// Infer the (closed, exact) type of a value. Collections of mixed
+    /// element types infer as collections of the least upper bound.
+    pub fn of(v: &Value) -> Type {
+        match v {
+            Value::Unit => Type::Unit,
+            Value::Bool(_) => Type::Bool,
+            Value::Int(_) => Type::Int,
+            Value::Float(_) => Type::Float,
+            Value::Str(_) => Type::Str,
+            Value::Set(es) | Value::Bag(es) | Value::List(es) => {
+                let kind = v.coll_kind().expect("collection");
+                let elem = es
+                    .iter()
+                    .map(Type::of)
+                    .reduce(|a, b| a.lub(&b))
+                    .unwrap_or(Type::Any);
+                Type::Coll(kind, Box::new(elem))
+            }
+            Value::Record(r) => Type::Record(
+                r.iter()
+                    .map(|(n, fv)| (Arc::clone(n), Type::of(fv)))
+                    .collect(),
+                false,
+            ),
+            Value::Variant(tag, inner) => {
+                Type::Variant(vec![(Arc::clone(tag), Type::of(inner))], true)
+            }
+            Value::Ref(_) => Type::Ref(Box::new(Type::Any)),
+        }
+    }
+
+    /// Least upper bound of two types; `Any` when they are incompatible.
+    /// Variant types merge their tag sets; record types must agree on their
+    /// common fields and otherwise widen to open records.
+    pub fn lub(&self, other: &Type) -> Type {
+        use Type::*;
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Any, t) | (t, Any) => t.clone(),
+            (Coll(k1, a), Coll(k2, b)) if k1 == k2 => Coll(*k1, Box::new(a.lub(b))),
+            (Record(fa, oa), Record(fb, ob)) => {
+                let mut fields: Vec<(Arc<str>, Type)> = Vec::new();
+                let mut open = *oa || *ob;
+                for (n, t) in fa {
+                    match fb.iter().find(|(m, _)| m == n) {
+                        Some((_, t2)) => fields.push((Arc::clone(n), t.lub(t2))),
+                        None => open = true,
+                    }
+                }
+                if fb.iter().any(|(m, _)| !fa.iter().any(|(n, _)| n == m)) {
+                    open = true;
+                }
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Record(fields, open)
+            }
+            (Variant(ta, oa), Variant(tb, ob)) => {
+                let mut tags: Vec<(Arc<str>, Type)> = ta.clone();
+                for (n, t) in tb {
+                    match tags.iter_mut().find(|(m, _)| m == n) {
+                        Some((_, t1)) => *t1 = t1.lub(t),
+                        None => tags.push((Arc::clone(n), t.clone())),
+                    }
+                }
+                tags.sort_by(|a, b| a.0.cmp(&b.0));
+                Variant(tags, *oa || *ob)
+            }
+            (Ref(a), Ref(b)) => Ref(Box::new(a.lub(b))),
+            (Fun(a1, r1), Fun(a2, r2)) => Fun(Box::new(a1.lub(a2)), Box::new(r1.lub(r2))),
+            _ => Any,
+        }
+    }
+
+    /// Structural conformance: does `v` inhabit this type?
+    ///
+    /// Open records accept extra fields; open variants accept unlisted tags.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (Type::Any, _) => true,
+            (Type::Bool, Value::Bool(_)) => true,
+            (Type::Int, Value::Int(_)) => true,
+            (Type::Float, Value::Float(_)) => true,
+            (Type::Str, Value::Str(_)) => true,
+            (Type::Unit, Value::Unit) => true,
+            (Type::Coll(k, elem), _) => {
+                v.coll_kind() == Some(*k)
+                    && v.elements().is_some_and(|es| es.iter().all(|e| elem.admits(e)))
+            }
+            (Type::Record(fields, open), Value::Record(r)) => {
+                fields
+                    .iter()
+                    .all(|(n, t)| r.get(n).is_some_and(|fv| t.admits(fv)))
+                    && (*open
+                        || r.iter()
+                            .all(|(n, _)| fields.iter().any(|(m, _)| m == n)))
+            }
+            (Type::Variant(tags, open), Value::Variant(tag, inner)) => {
+                match tags.iter().find(|(n, _)| n == tag) {
+                    Some((_, t)) => t.admits(inner),
+                    None => *open,
+                }
+            }
+            (Type::Ref(_), Value::Ref(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// The element type, if this is a collection type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Coll(_, t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Str => write!(f, "string"),
+            Type::Unit => write!(f, "unit"),
+            Type::Coll(k, t) => {
+                let (open, close) = k.brackets();
+                write!(f, "{open}{t}{close}")
+            }
+            Type::Record(fields, open) => {
+                write!(f, "[")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                if *open {
+                    if !fields.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, "]")
+            }
+            Type::Variant(tags, open) => {
+                write!(f, "<")?;
+                for (i, (n, t)) in tags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                if *open {
+                    if !tags.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, ">")
+            }
+            Type::Ref(t) => write!(f, "ref {t}"),
+            Type::Fun(a, r) => write!(f, "({a} -> {r})"),
+            Type::Any => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_base_values() {
+        assert_eq!(Type::of(&Value::Int(1)), Type::Int);
+        assert_eq!(Type::of(&Value::str("x")), Type::Str);
+        assert_eq!(Type::of(&Value::Unit), Type::Unit);
+    }
+
+    #[test]
+    fn type_of_nested_collection() {
+        let v = Value::set(vec![Value::list(vec![Value::Int(1)])]);
+        assert_eq!(Type::of(&v), Type::set(Type::list(Type::Int)));
+    }
+
+    #[test]
+    fn type_of_record_and_admits() {
+        let v = Value::record_from(vec![("a", Value::Int(1)), ("b", Value::str("s"))]);
+        let t = Type::of(&v);
+        assert!(t.admits(&v));
+        let open = Type::Record(vec![(Arc::from("a"), Type::Int)], true);
+        assert!(open.admits(&v));
+        let closed = Type::Record(vec![(Arc::from("a"), Type::Int)], false);
+        assert!(!closed.admits(&v));
+    }
+
+    #[test]
+    fn variant_lub_merges_tags() {
+        let a = Type::of(&Value::variant("x", Value::Int(1)));
+        let b = Type::of(&Value::variant("y", Value::str("s")));
+        let l = a.lub(&b);
+        match l {
+            Type::Variant(tags, open) => {
+                assert!(open);
+                assert_eq!(tags.len(), 2);
+            }
+            other => panic!("expected variant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mixed_collection_infers_lub() {
+        let v = Value::set(vec![
+            Value::record_from(vec![("a", Value::Int(1))]),
+            Value::record_from(vec![("a", Value::Int(2)), ("b", Value::Int(3))]),
+        ]);
+        let t = Type::of(&v);
+        match t {
+            Type::Coll(CollKind::Set, elem) => match *elem {
+                Type::Record(fields, open) => {
+                    assert!(open);
+                    assert_eq!(fields.len(), 1);
+                    assert_eq!(&*fields[0].0, "a");
+                }
+                other => panic!("expected record, got {other}"),
+            },
+            other => panic!("expected set, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let t = Type::set(Type::record(vec![
+            ("title", Type::Str),
+            (
+                "journal",
+                Type::variant(vec![("uncontrolled", Type::Str), ("issn", Type::Str)]),
+            ),
+        ]));
+        let s = t.to_string();
+        assert!(s.contains("title: string"), "got {s}");
+        assert!(s.contains('<') && s.contains('>'), "got {s}");
+    }
+
+    #[test]
+    fn any_admits_everything() {
+        assert!(Type::Any.admits(&Value::Int(3)));
+        assert!(Type::Any.admits(&Value::set(vec![])));
+    }
+}

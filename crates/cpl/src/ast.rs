@@ -1,0 +1,103 @@
+//! Surface abstract syntax of CPL.
+
+use kleisli_core::{CollKind, Value};
+use nrc::{Name, Prim};
+
+/// A CPL expression as parsed (before desugaring to NRC).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Base-value literal.
+    Lit(Value),
+    Var(Name),
+    /// `[l1 = e1, ..., ln = en]`
+    Record(Vec<(Name, CExpr)>),
+    /// `<tag = e>`
+    Variant(Name, Box<CExpr>),
+    /// Collection literal `{e1, ..., en}` / `{|...|}` / `[|...|]`.
+    Coll(CollKind, Vec<CExpr>),
+    /// Comprehension `{ head | quals }` (set, bag or list).
+    Comp {
+        kind: CollKind,
+        head: Box<CExpr>,
+        quals: Vec<Qual>,
+    },
+    /// Field projection `e.l`.
+    Proj(Box<CExpr>, Name),
+    /// Application `f(e1, ..., en)` (multi-argument sugar for curried
+    /// application; primitives take their fixed arity directly).
+    App(Box<CExpr>, Vec<CExpr>),
+    If(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    BinOp(Prim, Box<CExpr>, Box<CExpr>),
+    UnOp(Prim, Box<CExpr>),
+    /// Pattern-matching function: one or more `pattern => body`
+    /// alternatives separated by `|` (the paper's `jname` style).
+    Lambda(Vec<(Pattern, CExpr)>),
+    /// `let \x == e in body`
+    LetIn {
+        pat: Pattern,
+        def: Box<CExpr>,
+        body: Box<CExpr>,
+    },
+}
+
+/// A comprehension qualifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Qual {
+    /// `pat <- e`: iterate `e`, matching each element against `pat`
+    /// (binding its `\x` variables and filtering on the rest).
+    Gen(Pattern, CExpr),
+    /// A boolean filter.
+    Filter(CExpr),
+}
+
+/// A CPL pattern. Patterns appear on the left of `<-` in generators, in
+/// function alternatives, and in `let`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `\x` — bind the matched value to `x`.
+    Bind(Name),
+    /// `_` — match anything, bind nothing.
+    Wild,
+    /// A literal: matches by equality.
+    Lit(Value),
+    /// A *bound* variable: matches by equality with its current value
+    /// (e.g. the `a` in `[object-id = a, ...]` after `locus-id = \a`).
+    EqVar(Name),
+    /// `[l1 = p1, ..., ln = pn]`, optionally open (`...` ellipsis). A
+    /// closed pattern requires the record to have exactly the listed
+    /// fields; an open one ignores the rest.
+    Record(Vec<(Name, Pattern)>, bool),
+    /// `<tag = p>` — matches only that tag.
+    Variant(Name, Box<Pattern>),
+}
+
+impl Pattern {
+    /// The variables this pattern binds, in syntactic order.
+    pub fn bound_vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        self.collect_bound(&mut out);
+        out
+    }
+
+    fn collect_bound(&self, out: &mut Vec<Name>) {
+        match self {
+            Pattern::Bind(n) => out.push(n.clone()),
+            Pattern::Record(fields, _) => {
+                for (_, p) in fields {
+                    p.collect_bound(out);
+                }
+            }
+            Pattern::Variant(_, p) => p.collect_bound(out),
+            Pattern::Wild | Pattern::Lit(_) | Pattern::EqVar(_) => {}
+        }
+    }
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `define name == expr;`
+    Define(Name, CExpr),
+    /// A query expression to evaluate.
+    Query(CExpr),
+}

@@ -1,0 +1,28 @@
+//! # cpl — the Collection Programming Language
+//!
+//! The surface query language of the Kleisli reproduction (Section 2 of the
+//! paper): comprehensions over sets, bags and lists, records and variants
+//! with pattern matching (including the `...` record ellipsis), function
+//! definition with pattern alternatives, and `define` bindings.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`desugar`] → NRC.
+//!
+//! ```
+//! use cpl::{parse_expr, desugar::{desugar, Definitions}};
+//! use kleisli_core::Value;
+//!
+//! let ast = parse_expr(r"{[t = p.title] | \p <- DB, p.year = 1989}").unwrap();
+//! let mut defs = Definitions::new();
+//! defs.insert_value("DB", Value::set(vec![]));
+//! let nrc_expr = desugar(&ast, &defs).unwrap();
+//! assert!(nrc_expr.free_vars().is_empty());
+//! ```
+
+pub mod ast;
+pub mod desugar;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CExpr, Pattern, Qual, Stmt};
+pub use desugar::{desugar, desugar_stmt, Definitions};
+pub use parser::{parse_expr, parse_program};

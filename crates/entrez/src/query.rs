@@ -1,0 +1,198 @@
+//! The Entrez boolean index-query language: "a simple syntax that uses
+//! boolean combinations of index-value pairs" (Section 3).
+//!
+//! ```text
+//! query := clause { ("AND" | "OR") clause }     (left-associative)
+//! clause := "NOT" clause | "(" query ")" | field term
+//! term  := word | "quoted string"
+//! ```
+
+use kleisli_core::{KError, KResult};
+
+/// A parsed boolean query over index fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolQuery {
+    Term { field: String, term: String },
+    And(Box<BoolQuery>, Box<BoolQuery>),
+    Or(Box<BoolQuery>, Box<BoolQuery>),
+    Not(Box<BoolQuery>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Eof,
+}
+
+fn lex(src: &str) -> KResult<Vec<Tok>> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(KError::format("entrez-query", "unterminated quote"));
+                }
+                out.push(Tok::Word(
+                    String::from_utf8_lossy(&b[start..i]).into_owned(),
+                ));
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < b.len() && !b" \t\r\n()\"".contains(&b[i]) {
+                    i += 1;
+                }
+                let w = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.push(match w.as_str() {
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    _ => Tok::Word(w),
+                });
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+/// Parse an Entrez boolean query.
+pub fn parse(src: &str) -> KResult<BoolQuery> {
+    let toks = lex(src)?;
+    let mut pos = 0;
+    let q = parse_query(&toks, &mut pos)?;
+    if toks[pos] != Tok::Eof {
+        return Err(KError::format(
+            "entrez-query",
+            format!("trailing input: {:?}", toks[pos]),
+        ));
+    }
+    Ok(q)
+}
+
+fn parse_query(toks: &[Tok], pos: &mut usize) -> KResult<BoolQuery> {
+    let mut lhs = parse_clause(toks, pos)?;
+    loop {
+        match &toks[*pos] {
+            Tok::And => {
+                *pos += 1;
+                let rhs = parse_clause(toks, pos)?;
+                lhs = BoolQuery::And(Box::new(lhs), Box::new(rhs));
+            }
+            Tok::Or => {
+                *pos += 1;
+                let rhs = parse_clause(toks, pos)?;
+                lhs = BoolQuery::Or(Box::new(lhs), Box::new(rhs));
+            }
+            _ => return Ok(lhs),
+        }
+    }
+}
+
+fn parse_clause(toks: &[Tok], pos: &mut usize) -> KResult<BoolQuery> {
+    match &toks[*pos] {
+        Tok::Not => {
+            *pos += 1;
+            let inner = parse_clause(toks, pos)?;
+            Ok(BoolQuery::Not(Box::new(inner)))
+        }
+        Tok::LParen => {
+            *pos += 1;
+            let q = parse_query(toks, pos)?;
+            if toks[*pos] != Tok::RParen {
+                return Err(KError::format("entrez-query", "expected ')'"));
+            }
+            *pos += 1;
+            Ok(q)
+        }
+        Tok::Word(field) => {
+            let field = field.clone();
+            *pos += 1;
+            match &toks[*pos] {
+                Tok::Word(term) => {
+                    let term = term.clone();
+                    *pos += 1;
+                    Ok(BoolQuery::Term { field, term })
+                }
+                other => Err(KError::format(
+                    "entrez-query",
+                    format!("expected a term after field '{field}', found {other:?}"),
+                )),
+            }
+        }
+        other => Err(KError::format(
+            "entrez-query",
+            format!("expected a clause, found {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_term() {
+        assert_eq!(
+            parse("accession M81409").unwrap(),
+            BoolQuery::Term {
+                field: "accession".into(),
+                term: "M81409".into()
+            }
+        );
+    }
+
+    #[test]
+    fn boolean_combinations_left_assoc() {
+        let q = parse("organism human AND chromosome 22 OR organism mouse").unwrap();
+        assert!(matches!(q, BoolQuery::Or(..)));
+    }
+
+    #[test]
+    fn parens_and_not() {
+        let q = parse("NOT (organism human OR organism mouse)").unwrap();
+        assert!(matches!(q, BoolQuery::Not(inner) if matches!(*inner, BoolQuery::Or(..))));
+    }
+
+    #[test]
+    fn quoted_terms() {
+        let q = parse("title \"perforin gene\"").unwrap();
+        assert_eq!(
+            q,
+            BoolQuery::Term {
+                field: "title".into(),
+                term: "perforin gene".into()
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("accession").is_err());
+        assert!(parse("(a b").is_err());
+        assert!(parse("a b extra AND").is_err());
+        assert!(parse("title \"unterminated").is_err());
+    }
+}

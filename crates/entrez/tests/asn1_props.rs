@@ -1,0 +1,50 @@
+//! Property test: ASN.1 value notation round-trips exactly for the
+//! schema-less decodable fragment (collections as SEQUENCE OF / lists).
+
+use entrez_sim::asn1::{parse_entry, parse_value, print_entry, print_value_string};
+use kleisli_core::Value;
+use proptest::prelude::*;
+
+/// Values whose collections are lists (what schema-less ASN.1 notation can
+/// represent losslessly) and whose records are non-empty.
+fn asn_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        (-10_000i64..10_000).prop_map(Value::Int),
+        "[a-zA-Z0-9 .,;:()-]{0,16}".prop_map(Value::str),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = asn_value(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+        1 => proptest::collection::vec(("[a-z][a-z0-9-]{0,6}", inner.clone()), 1..4)
+            .prop_map(|fields| Value::record_from(fields)),
+        1 => ("[a-z][a-z0-9-]{0,6}", inner).prop_map(|(t, v)| Value::variant(t, v)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_notation_roundtrip(v in asn_value(4)) {
+        let text = print_value_string(&v);
+        let back = parse_value(&text)
+            .unwrap_or_else(|e| panic!("parse failed on {text}: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn entry_roundtrip_keeps_the_type_name(v in asn_value(3)) {
+        let text = print_entry("Seq-entry", &v);
+        let (name, back) = parse_entry(&text).expect("entry parse");
+        prop_assert_eq!(name, "Seq-entry");
+        prop_assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,234 @@
+//! Execution context: the driver registry, the object store used by
+//! `deref`, and the subquery cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A memoization slot; its mutex serializes the first computation so that
+/// concurrent evaluators (inside `ParExt`) fetch a cached subquery once.
+pub type CacheSlot = Arc<Mutex<Option<Value>>>;
+
+use kleisli_core::{DriverRef, DriverRequest, KError, KResult, Oid, Value};
+
+/// Resolves object references for sources with object identity (ACE).
+/// CPL can dereference but never create or update references.
+pub trait ObjectStore: Send + Sync {
+    fn deref(&self, oid: &Oid) -> KResult<Value>;
+}
+
+/// Everything the evaluators need besides the expression itself.
+#[derive(Default)]
+pub struct Context {
+    drivers: HashMap<String, DriverRef>,
+    object_stores: Vec<Arc<dyn ObjectStore>>,
+    cache: Mutex<HashMap<u64, CacheSlot>>,
+}
+
+impl Context {
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Register a driver under its own name.
+    pub fn register_driver(&mut self, driver: DriverRef) {
+        self.drivers.insert(driver.name().to_string(), driver);
+    }
+
+    /// Register an object store consulted by `deref`.
+    pub fn register_object_store(&mut self, store: Arc<dyn ObjectStore>) {
+        self.object_stores.push(store);
+    }
+
+    pub fn driver(&self, name: &str) -> KResult<&DriverRef> {
+        self.drivers
+            .get(name)
+            .ok_or_else(|| KError::driver(name, "no such driver registered"))
+    }
+
+    pub fn drivers(&self) -> impl Iterator<Item = &DriverRef> {
+        self.drivers.values()
+    }
+
+    pub fn deref(&self, oid: &Oid) -> KResult<Value> {
+        for store in &self.object_stores {
+            match store.deref(oid) {
+                Ok(v) => return Ok(v),
+                Err(_) => continue,
+            }
+        }
+        Err(KError::eval(format!("dangling object reference {oid}")))
+    }
+
+    /// The memoization slot for a cached subquery. Callers lock the slot;
+    /// the first computes and stores, later ones read — even when racing
+    /// inside a parallel loop.
+    pub fn cache_slot(&self, id: u64) -> CacheSlot {
+        Arc::clone(self.cache.lock().entry(id).or_default())
+    }
+
+    /// Look up a memoized subquery result (testing convenience).
+    pub fn cache_get(&self, id: u64) -> Option<Value> {
+        let slot = self.cache_slot(id);
+        let guard = slot.lock();
+        guard.clone()
+    }
+
+    /// Store a memoized subquery result (testing convenience).
+    pub fn cache_put(&self, id: u64, v: Value) {
+        *self.cache_slot(id).lock() = Some(v);
+    }
+
+    /// Drop all memoized results (between queries).
+    pub fn cache_clear(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+/// Build a [`DriverRequest`] from a CPL record value, implementing the
+/// paper's driver-call convention:
+///
+/// * `[query = "..."]` — ship SQL (Sybase driver);
+/// * `[table = "..."]` — scan a table (the `GDB-Tab` template);
+/// * `[db = "...", select = "...", path = "...", ...]` — Entrez index
+///   retrieval with optional path extraction;
+/// * `[db = "...", link = uid]` — Entrez neighbor links;
+/// * `[class = "...", name = "..."]` — ACE object fetch;
+/// * `[function = "...", arg = v]` — generic driver call.
+pub fn request_from_value(v: &Value) -> KResult<DriverRequest> {
+    let Value::Record(r) = v else {
+        return Err(KError::eval(format!(
+            "driver argument must be a record, got {}",
+            v.kind_name()
+        )));
+    };
+    let get_str = |field: &str| -> KResult<Option<String>> {
+        match r.get(field) {
+            None => Ok(None),
+            Some(Value::Str(s)) => Ok(Some(s.to_string())),
+            Some(other) => Err(KError::eval(format!(
+                "driver argument field '{field}' must be a string, got {}",
+                other.kind_name()
+            ))),
+        }
+    };
+    if let Some(query) = get_str("query")? {
+        return Ok(DriverRequest::Sql { query });
+    }
+    if let Some(table) = get_str("table")? {
+        let columns = match r.get("columns") {
+            None => None,
+            Some(cols) => Some(
+                cols.elements()
+                    .ok_or_else(|| KError::eval("'columns' must be a collection"))?
+                    .iter()
+                    .map(|c| match c {
+                        Value::Str(s) => Ok(s.to_string()),
+                        other => Err(KError::eval(format!(
+                            "column names must be strings, got {}",
+                            other.kind_name()
+                        ))),
+                    })
+                    .collect::<KResult<Vec<_>>>()?,
+            ),
+        };
+        return Ok(DriverRequest::TableScan { table, columns });
+    }
+    if let Some(db) = get_str("db")? {
+        if let Some(Value::Int(uid)) = r.get("link") {
+            return Ok(DriverRequest::EntrezLinks { db, uid: *uid });
+        }
+        if let Some(select) = get_str("select")? {
+            return Ok(DriverRequest::EntrezFetch {
+                db,
+                query: select,
+                path: get_str("path")?,
+            });
+        }
+        return Err(KError::eval(
+            "entrez request needs a 'select' or 'link' field",
+        ));
+    }
+    if let Some(class) = get_str("class")? {
+        return Ok(DriverRequest::AceFetch {
+            class,
+            name: get_str("name")?,
+        });
+    }
+    if let Some(function) = get_str("function")? {
+        let arg = r.get("arg").cloned().unwrap_or(Value::Unit);
+        return Ok(DriverRequest::Call { function, arg });
+    }
+    Err(KError::eval(format!(
+        "unrecognized driver request record: {v}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_and_table_requests() {
+        let v = Value::record_from(vec![("query", Value::str("select 1"))]);
+        assert_eq!(
+            request_from_value(&v).unwrap(),
+            DriverRequest::Sql {
+                query: "select 1".into()
+            }
+        );
+        let v = Value::record_from(vec![("table", Value::str("locus"))]);
+        assert!(matches!(
+            request_from_value(&v).unwrap(),
+            DriverRequest::TableScan { table, columns: None } if table == "locus"
+        ));
+    }
+
+    #[test]
+    fn entrez_requests() {
+        let v = Value::record_from(vec![
+            ("db", Value::str("na")),
+            ("select", Value::str("accession M81409")),
+            ("path", Value::str("Seq-entry.seq.id..giim")),
+        ]);
+        match request_from_value(&v).unwrap() {
+            DriverRequest::EntrezFetch { db, query, path } => {
+                assert_eq!(db, "na");
+                assert_eq!(query, "accession M81409");
+                assert_eq!(path.as_deref(), Some("Seq-entry.seq.id..giim"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let v = Value::record_from(vec![("db", Value::str("na")), ("link", Value::Int(7))]);
+        assert!(matches!(
+            request_from_value(&v).unwrap(),
+            DriverRequest::EntrezLinks { uid: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_requests_error() {
+        assert!(request_from_value(&Value::Int(1)).is_err());
+        let v = Value::record_from(vec![("nonsense", Value::Int(1))]);
+        assert!(request_from_value(&v).is_err());
+        let v = Value::record_from(vec![("db", Value::str("na"))]);
+        assert!(request_from_value(&v).is_err());
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let ctx = Context::new();
+        assert_eq!(ctx.cache_get(1), None);
+        ctx.cache_put(1, Value::Int(42));
+        assert_eq!(ctx.cache_get(1), Some(Value::Int(42)));
+        ctx.cache_clear();
+        assert_eq!(ctx.cache_get(1), None);
+    }
+
+    #[test]
+    fn missing_driver_is_an_error() {
+        let ctx = Context::new();
+        assert!(ctx.driver("GDB").is_err());
+    }
+}

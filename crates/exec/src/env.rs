@@ -1,0 +1,109 @@
+//! Runtime environments and runtime results.
+//!
+//! Function values exist only transiently during evaluation (CPL data is
+//! first-order), so the evaluator's result type [`Rt`] separates closures
+//! from data values instead of extending [`Value`].
+
+use std::sync::Arc;
+
+use kleisli_core::{KError, KResult, Value};
+use nrc::{Expr, Name};
+
+/// A runtime result: a data value or a closure.
+#[derive(Debug, Clone)]
+pub enum Rt {
+    Val(Value),
+    Closure {
+        var: Name,
+        body: Arc<Expr>,
+        env: Env,
+    },
+}
+
+impl Rt {
+    /// Extract a data value; closures are not first-class data.
+    pub fn into_value(self) -> KResult<Value> {
+        match self {
+            Rt::Val(v) => Ok(v),
+            Rt::Closure { .. } => Err(KError::eval(
+                "a function escaped into a data position; functions are not data in CPL",
+            )),
+        }
+    }
+}
+
+impl From<Value> for Rt {
+    fn from(v: Value) -> Rt {
+        Rt::Val(v)
+    }
+}
+
+/// A persistent environment (linked list with cheap clones).
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Name,
+    value: Rt,
+    next: Env,
+}
+
+impl Env {
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// A new environment with `name` bound to `value`.
+    pub fn bind(&self, name: Name, value: Rt) -> Env {
+        Env(Some(Arc::new(EnvNode {
+            name,
+            value,
+            next: self.clone(),
+        })))
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&Rt> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &*node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_shadow() {
+        let e = Env::empty();
+        assert!(e.lookup("x").is_none());
+        let e1 = e.bind(Arc::from("x"), Rt::Val(Value::Int(1)));
+        let e2 = e1.bind(Arc::from("x"), Rt::Val(Value::Int(2)));
+        match e2.lookup("x") {
+            Some(Rt::Val(Value::Int(2))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // the original env is unchanged
+        match e1.lookup("x") {
+            Some(Rt::Val(Value::Int(1))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closures_are_not_data() {
+        let c = Rt::Closure {
+            var: Arc::from("x"),
+            body: Arc::new(Expr::var("x")),
+            env: Env::empty(),
+        };
+        assert!(c.into_value().is_err());
+        assert!(Rt::Val(Value::Unit).into_value().is_ok());
+    }
+}

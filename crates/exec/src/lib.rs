@@ -1,0 +1,24 @@
+//! # kleisli-exec
+//!
+//! Query execution for the Kleisli reproduction:
+//!
+//! * [`eval`] — the eager recursive evaluator, including the two local
+//!   join operators of Section 4 (blocked nested-loop and indexed blocked
+//!   nested-loop with an on-the-fly index), subquery caching, and the
+//!   bounded-concurrency parallel retrieval primitive.
+//! * [`stream`] — the pipelined executor providing the paper's strategic
+//!   laziness: `first_n` produces initial output without materializing
+//!   the full result.
+//! * [`context`] — the driver registry, object store, and subquery cache.
+//! * [`env`] — runtime environments and closures.
+
+pub mod context;
+pub mod env;
+pub mod eval;
+pub mod prims;
+pub mod stream;
+
+pub use context::{request_from_value, Context, ObjectStore};
+pub use env::{Env, Rt};
+pub use eval::{eval, eval_rt};
+pub use stream::{collect_stream, eval_stream, first_n, RowStream};

@@ -1,0 +1,393 @@
+//! Evaluation of NRC primitives over values.
+
+use std::sync::Arc;
+
+use kleisli_core::{KError, KResult, Value};
+use nrc::Prim;
+
+use crate::context::Context;
+
+fn num2(p: Prim, a: &Value, b: &Value) -> KResult<Value> {
+    use Value::{Float, Int};
+    match (a, b) {
+        (Int(x), Int(y)) => {
+            let r = match p {
+                Prim::Add => x.checked_add(*y),
+                Prim::Sub => x.checked_sub(*y),
+                Prim::Mul => x.checked_mul(*y),
+                Prim::Div => {
+                    if *y == 0 {
+                        return Err(KError::eval("division by zero"));
+                    }
+                    x.checked_div(*y)
+                }
+                Prim::Mod => {
+                    if *y == 0 {
+                        return Err(KError::eval("modulo by zero"));
+                    }
+                    x.checked_rem(*y)
+                }
+                _ => unreachable!(),
+            };
+            r.map(Int)
+                .ok_or_else(|| KError::eval("integer overflow in arithmetic"))
+        }
+        (Float(_), Float(_)) | (Int(_), Float(_)) | (Float(_), Int(_)) => {
+            let fx = match a {
+                Float(x) => *x,
+                Int(x) => *x as f64,
+                _ => unreachable!(),
+            };
+            let fy = match b {
+                Float(y) => *y,
+                Int(y) => *y as f64,
+                _ => unreachable!(),
+            };
+            Ok(Float(match p {
+                Prim::Add => fx + fy,
+                Prim::Sub => fx - fy,
+                Prim::Mul => fx * fy,
+                Prim::Div => fx / fy,
+                Prim::Mod => fx % fy,
+                _ => unreachable!(),
+            }))
+        }
+        _ => Err(KError::eval(format!(
+            "arithmetic '{p}' on {} and {}",
+            a.kind_name(),
+            b.kind_name()
+        ))),
+    }
+}
+
+fn want_str(v: &Value, what: &str) -> KResult<Arc<str>> {
+    match v {
+        Value::Str(s) => Ok(Arc::clone(s)),
+        other => Err(KError::eval(format!(
+            "{what} expects a string, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn want_bool(v: &Value, what: &str) -> KResult<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(KError::eval(format!(
+            "{what} expects a bool, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn want_int(v: &Value, what: &str) -> KResult<i64> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        other => Err(KError::eval(format!(
+            "{what} expects an int, got {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+fn want_coll<'a>(v: &'a Value, what: &str) -> KResult<&'a [Value]> {
+    v.elements().ok_or_else(|| {
+        KError::eval(format!(
+            "{what} expects a collection, got {}",
+            v.kind_name()
+        ))
+    })
+}
+
+fn numeric_as_f64(v: &Value) -> KResult<f64> {
+    match v {
+        Value::Int(i) => Ok(*i as f64),
+        Value::Float(x) => Ok(*x),
+        other => Err(KError::eval(format!(
+            "aggregate over non-numeric element {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+/// Apply a primitive to already-evaluated arguments.
+pub fn apply_prim(p: Prim, args: &[Value], ctx: &Context) -> KResult<Value> {
+    use Prim::*;
+    debug_assert_eq!(args.len(), p.arity());
+    Ok(match p {
+        Add | Sub | Mul | Div | Mod => num2(p, &args[0], &args[1])?,
+        Neg => match &args[0] {
+            Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
+                KError::eval("integer overflow in negation")
+            })?),
+            Value::Float(x) => Value::Float(-x),
+            other => {
+                return Err(KError::eval(format!(
+                    "'neg' on non-numeric {}",
+                    other.kind_name()
+                )))
+            }
+        },
+        Eq => Value::Bool(args[0] == args[1]),
+        Ne => Value::Bool(args[0] != args[1]),
+        Lt => Value::Bool(args[0] < args[1]),
+        Le => Value::Bool(args[0] <= args[1]),
+        Gt => Value::Bool(args[0] > args[1]),
+        Ge => Value::Bool(args[0] >= args[1]),
+        And => Value::Bool(want_bool(&args[0], "'and'")? && want_bool(&args[1], "'and'")?),
+        Or => Value::Bool(want_bool(&args[0], "'or'")? || want_bool(&args[1], "'or'")?),
+        Not => Value::Bool(!want_bool(&args[0], "'not'")?),
+        StrCat => {
+            let a = want_str(&args[0], "'^'")?;
+            let b = want_str(&args[1], "'^'")?;
+            Value::Str(Arc::from(format!("{a}{b}").as_str()))
+        }
+        StrLen => Value::Int(want_str(&args[0], "strlen")?.chars().count() as i64),
+        StrUpper => Value::str(want_str(&args[0], "strupper")?.to_uppercase()),
+        StrLower => Value::str(want_str(&args[0], "strlower")?.to_lowercase()),
+        StrContains => Value::Bool(
+            want_str(&args[0], "strcontains")?
+                .contains(&*want_str(&args[1], "strcontains")?),
+        ),
+        StrStartsWith => Value::Bool(
+            want_str(&args[0], "strstartswith")?
+                .starts_with(&*want_str(&args[1], "strstartswith")?),
+        ),
+        Substr => {
+            let s = want_str(&args[0], "substr")?;
+            let start = want_int(&args[1], "substr")?.max(0) as usize;
+            let len = want_int(&args[2], "substr")?.max(0) as usize;
+            let sub: String = s.chars().skip(start).take(len).collect();
+            Value::str(sub)
+        }
+        ToString => Value::str(args[0].to_string()),
+        IsEmpty => Value::Bool(want_coll(&args[0], "isempty")?.is_empty()),
+        Member => {
+            let es = want_coll(&args[1], "member")?;
+            Value::Bool(es.contains(&args[0]))
+        }
+        Flatten => {
+            let outer_kind = args[0]
+                .coll_kind()
+                .ok_or_else(|| KError::eval("flatten expects a collection"))?;
+            let mut out = Vec::new();
+            for inner in want_coll(&args[0], "flatten")? {
+                out.extend_from_slice(want_coll(inner, "flatten element")?);
+            }
+            Value::collection(outer_kind, out)
+        }
+        Distinct | SetOf => Value::set(want_coll(&args[0], "setof")?.to_vec()),
+        BagOf => Value::bag(want_coll(&args[0], "bagof")?.to_vec()),
+        ListOf => Value::list(want_coll(&args[0], "listof")?.to_vec()),
+        Append => {
+            let a = want_coll(&args[0], "append")?;
+            let b = want_coll(&args[1], "append")?;
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            out.extend_from_slice(a);
+            out.extend_from_slice(b);
+            Value::list(out)
+        }
+        Nth => {
+            let es = want_coll(&args[0], "nth")?;
+            let i = want_int(&args[1], "nth")?;
+            if i < 0 || i as usize >= es.len() {
+                return Err(KError::eval(format!(
+                    "nth index {i} out of range (length {})",
+                    es.len()
+                )));
+            }
+            es[i as usize].clone()
+        }
+        Range => {
+            let a = want_int(&args[0], "range")?;
+            let b = want_int(&args[1], "range")?;
+            Value::list((a..b).map(Value::Int).collect())
+        }
+        Count => Value::Int(want_coll(&args[0], "count")?.len() as i64),
+        Sum => {
+            let es = want_coll(&args[0], "sum")?;
+            if es.iter().all(|e| matches!(e, Value::Int(_))) {
+                let mut acc: i64 = 0;
+                for e in es {
+                    if let Value::Int(i) = e {
+                        acc = acc
+                            .checked_add(*i)
+                            .ok_or_else(|| KError::eval("integer overflow in sum"))?;
+                    }
+                }
+                Value::Int(acc)
+            } else {
+                let mut acc = 0.0;
+                for e in es {
+                    acc += numeric_as_f64(e)?;
+                }
+                Value::Float(acc)
+            }
+        }
+        Max => want_coll(&args[0], "max")?
+            .iter()
+            .max()
+            .cloned()
+            .ok_or_else(|| KError::eval("max of an empty collection"))?,
+        Min => want_coll(&args[0], "min")?
+            .iter()
+            .min()
+            .cloned()
+            .ok_or_else(|| KError::eval("min of an empty collection"))?,
+        Avg => {
+            let es = want_coll(&args[0], "avg")?;
+            if es.is_empty() {
+                return Err(KError::eval("avg of an empty collection"));
+            }
+            let mut acc = 0.0;
+            for e in es {
+                acc += numeric_as_f64(e)?;
+            }
+            Value::Float(acc / es.len() as f64)
+        }
+        Deref => match &args[0] {
+            Value::Ref(oid) => ctx.deref(oid)?,
+            other => {
+                return Err(KError::eval(format!(
+                    "deref expects a reference, got {}",
+                    other.kind_name()
+                )))
+            }
+        },
+        HasField => {
+            let Value::Record(r) = &args[0] else {
+                return Err(KError::eval(format!(
+                    "hasfield expects a record, got {}",
+                    args[0].kind_name()
+                )));
+            };
+            Value::Bool(r.has_field(&want_str(&args[1], "hasfield")?))
+        }
+        RecordWidth => {
+            let Value::Record(r) = &args[0] else {
+                return Err(KError::eval(format!(
+                    "recordwidth expects a record, got {}",
+                    args[0].kind_name()
+                )));
+            };
+            Value::Int(r.width() as i64)
+        }
+        Fail => {
+            let msg = match &args[0] {
+                Value::Str(s) => s.to_string(),
+                other => other.to_string(),
+            };
+            return Err(KError::eval(msg));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(p: Prim, args: &[Value]) -> KResult<Value> {
+        apply_prim(p, args, &Context::new())
+    }
+
+    #[test]
+    fn arithmetic_promotes_and_checks() {
+        assert_eq!(ap(Prim::Add, &[Value::Int(2), Value::Int(3)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            ap(Prim::Add, &[Value::Int(2), Value::Float(0.5)]).unwrap(),
+            Value::Float(2.5)
+        );
+        assert!(ap(Prim::Div, &[Value::Int(1), Value::Int(0)]).is_err());
+        assert!(ap(Prim::Add, &[Value::Int(i64::MAX), Value::Int(1)]).is_err());
+        assert!(ap(Prim::Add, &[Value::str("a"), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn string_ops() {
+        assert_eq!(
+            ap(Prim::StrCat, &[Value::str("ab"), Value::str("cd")]).unwrap(),
+            Value::str("abcd")
+        );
+        assert_eq!(ap(Prim::StrLen, &[Value::str("héllo")]).unwrap(), Value::Int(5));
+        assert_eq!(
+            ap(
+                Prim::Substr,
+                &[Value::str("chromosome"), Value::Int(3), Value::Int(4)]
+            )
+            .unwrap(),
+            Value::str("omos")
+        );
+        assert_eq!(
+            ap(Prim::StrContains, &[Value::str("abc"), Value::str("b")]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = Value::set(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+        assert_eq!(ap(Prim::Count, &[s.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(ap(Prim::Sum, &[s.clone()]).unwrap(), Value::Int(6));
+        assert_eq!(ap(Prim::Max, &[s.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(ap(Prim::Min, &[s.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(ap(Prim::Avg, &[s]).unwrap(), Value::Float(2.0));
+        assert!(ap(Prim::Max, &[Value::set(vec![])]).is_err());
+        assert_eq!(ap(Prim::Sum, &[Value::set(vec![])]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn mixed_sum_is_float() {
+        let s = Value::list(vec![Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(ap(Prim::Sum, &[s]).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn collection_ops() {
+        let l = Value::list(vec![Value::Int(2), Value::Int(2), Value::Int(1)]);
+        assert_eq!(
+            ap(Prim::SetOf, &[l.clone()]).unwrap(),
+            Value::set(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            ap(Prim::Nth, &[l.clone(), Value::Int(0)]).unwrap(),
+            Value::Int(2)
+        );
+        assert!(ap(Prim::Nth, &[l.clone(), Value::Int(9)]).is_err());
+        assert_eq!(
+            ap(Prim::Member, &[Value::Int(1), l.clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(ap(Prim::IsEmpty, &[Value::set(vec![])]).unwrap(), Value::Bool(true));
+        let nested = Value::set(vec![
+            Value::set(vec![Value::Int(1)]),
+            Value::set(vec![Value::Int(2)]),
+        ]);
+        assert_eq!(
+            ap(Prim::Flatten, &[nested]).unwrap(),
+            Value::set(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            ap(Prim::Range, &[Value::Int(1), Value::Int(4)]).unwrap(),
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn record_introspection() {
+        let r = Value::record_from(vec![("a", Value::Int(1))]);
+        assert_eq!(
+            ap(Prim::HasField, &[r.clone(), Value::str("a")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ap(Prim::HasField, &[r.clone(), Value::str("b")]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(ap(Prim::RecordWidth, &[r]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn fail_raises() {
+        assert!(ap(Prim::Fail, &[Value::str("boom")]).is_err());
+    }
+}

@@ -1,0 +1,677 @@
+//! The pipelined (lazy) executor.
+//!
+//! Section 4 of the paper: "each (x, y) pair in the result can be assembled
+//! by retrieving a single element x from DB and single element from the set
+//! S(x). Where possible, the Kleisli optimizer will lazily retrieve elements
+//! from DB and lazily evaluate the function S in order to generate initial
+//! output quickly, and minimize storage of intermediate results."
+//!
+//! `eval_stream` compiles a collection-valued NRC expression into a
+//! pull-based iterator: generators (`Ext`), unions, conditionals, remote
+//! scans and joins all stream; anything else falls back to the eager
+//! evaluator. A stream yields elements *without* final collection
+//! canonicalization (set deduplication happens only when the stream is
+//! collected), which is what makes `first_n` cheap — the intended use, as
+//! in the paper, is fast first response on queries whose laziness the
+//! optimizer has identified as profitable.
+
+use std::sync::Arc;
+
+use kleisli_core::{CollKind, KError, KResult, Value};
+use nrc::{Expr, JoinStrategy, Name};
+
+use crate::context::{request_from_value, Context};
+use crate::env::{Env, Rt};
+use crate::eval::{eval, eval_parallel};
+
+/// A pull-based stream of collection elements.
+pub type RowStream = Box<dyn Iterator<Item = KResult<Value>> + Send>;
+
+/// Stream the elements of a collection-valued expression.
+pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream> {
+    match e {
+        Expr::Empty(_) => Ok(Box::new(std::iter::empty())),
+        Expr::Single(_, inner) => {
+            let v = eval(inner, env, ctx)?;
+            Ok(Box::new(std::iter::once(Ok(v))))
+        }
+        Expr::Union(_, a, b) => {
+            let sa = eval_stream(a, env, ctx)?;
+            // The right operand is compiled lazily so that a consumer that
+            // stops inside the left operand never evaluates the right one.
+            let b = (**b).clone();
+            let env2 = env.clone();
+            let ctx2 = Arc::clone(ctx);
+            let sb = LazyStream::new(move || eval_stream(&b, &env2, &ctx2));
+            Ok(Box::new(sa.chain(sb)))
+        }
+        Expr::Ext {
+            var, body, source, ..
+        } => {
+            let src = eval_stream(source, env, ctx)?;
+            Ok(Box::new(ExtStream {
+                source: src,
+                current: None,
+                var: Arc::clone(var),
+                body: (**body).clone(),
+                env: env.clone(),
+                ctx: Arc::clone(ctx),
+                failed: false,
+            }))
+        }
+        Expr::If(c, t, f) => match eval(c, env, ctx)? {
+            Value::Bool(true) => eval_stream(t, env, ctx),
+            Value::Bool(false) => eval_stream(f, env, ctx),
+            other => Err(KError::eval(format!(
+                "if condition must be bool, got {}",
+                other.kind_name()
+            ))),
+        },
+        Expr::Let { var, def, body } => {
+            let d = crate::eval::eval_rt(def, env, ctx)?;
+            eval_stream(body, &env.bind(Arc::clone(var), d), ctx)
+        }
+        Expr::Remote { driver, request } => {
+            let d = ctx.driver(driver)?;
+            d.execute(request)
+        }
+        Expr::RemoteApp { driver, arg } => {
+            let argv = eval(arg, env, ctx)?;
+            let req = request_from_value(&argv)?;
+            let d = ctx.driver(driver)?;
+            d.execute(&req)
+        }
+        Expr::Join {
+            strategy,
+            left,
+            right,
+            lvar,
+            rvar,
+            left_key,
+            right_key,
+            cond,
+            body,
+            ..
+        } => {
+            // Materialize the inner (right) relation, stream the outer.
+            let rv: Vec<Value> = eval_stream(right, env, ctx)?.collect::<KResult<_>>()?;
+            let lstream = eval_stream(left, env, ctx)?;
+            match strategy {
+                JoinStrategy::IndexedNl => {
+                    let (Some(lk), Some(rk)) = (left_key, right_key) else {
+                        return Err(KError::eval("indexed join without keys"));
+                    };
+                    let mut index: std::collections::HashMap<Value, Vec<Value>> =
+                        std::collections::HashMap::new();
+                    for r in rv {
+                        let env2 = env.bind(Arc::clone(rvar), Rt::Val(r.clone()));
+                        let key = eval(rk, &env2, ctx)?;
+                        index.entry(key).or_default().push(r);
+                    }
+                    Ok(Box::new(IndexedJoinStream {
+                        left: lstream,
+                        index,
+                        pending: Vec::new(),
+                        lvar: Arc::clone(lvar),
+                        rvar: Arc::clone(rvar),
+                        left_key: (**lk).clone(),
+                        cond: (**cond).clone(),
+                        body: (**body).clone(),
+                        env: env.clone(),
+                        ctx: Arc::clone(ctx),
+                        failed: false,
+                    }))
+                }
+                JoinStrategy::BlockedNl { .. } => {
+                    let cond = match (left_key, right_key) {
+                        (Some(lk), Some(rk)) => Expr::and(
+                            Expr::eq((**lk).clone(), (**rk).clone()),
+                            (**cond).clone(),
+                        ),
+                        _ => (**cond).clone(),
+                    };
+                    Ok(Box::new(NlJoinStream {
+                        left: lstream,
+                        right: rv,
+                        pending: Vec::new(),
+                        lvar: Arc::clone(lvar),
+                        rvar: Arc::clone(rvar),
+                        cond,
+                        body: (**body).clone(),
+                        env: env.clone(),
+                        ctx: Arc::clone(ctx),
+                        failed: false,
+                    }))
+                }
+            }
+        }
+        Expr::ParExt {
+            var,
+            body,
+            source,
+            max_in_flight,
+            ..
+        } => {
+            let src = eval_stream(source, env, ctx)?;
+            Ok(Box::new(ParChunkStream {
+                source: src,
+                buffer: Vec::new(),
+                var: Arc::clone(var),
+                body: (**body).clone(),
+                env: env.clone(),
+                ctx: Arc::clone(ctx),
+                width: (*max_in_flight).max(1),
+                failed: false,
+            }))
+        }
+        // Everything else: evaluate eagerly and iterate.
+        other => {
+            let v = eval(other, env, ctx)?;
+            match v.elements() {
+                Some(es) => Ok(Box::new(es.to_vec().into_iter().map(Ok))),
+                None => Err(KError::eval(format!(
+                    "cannot stream a non-collection ({})",
+                    v.kind_name()
+                ))),
+            }
+        }
+    }
+}
+
+/// Pull at most `n` elements from the stream of `e` — the "fast response"
+/// path. Returns the elements in arrival order.
+pub fn first_n(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KResult<Vec<Value>> {
+    let mut out = Vec::with_capacity(n);
+    for item in eval_stream(e, env, ctx)? {
+        out.push(item?);
+        if out.len() >= n {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Collect a stream into a canonical collection of the given kind.
+pub fn collect_stream(stream: RowStream, kind: CollKind) -> KResult<Value> {
+    let elems: Vec<Value> = stream.collect::<KResult<_>>()?;
+    Ok(Value::collection(kind, elems))
+}
+
+/// A stream constructed on first pull (for the right side of unions).
+struct LazyStream<F: FnOnce() -> KResult<RowStream>> {
+    make: Option<F>,
+    inner: Option<RowStream>,
+    failed: bool,
+}
+
+impl<F: FnOnce() -> KResult<RowStream>> LazyStream<F> {
+    fn new(make: F) -> Self {
+        LazyStream {
+            make: Some(make),
+            inner: None,
+            failed: false,
+        }
+    }
+}
+
+impl<F: FnOnce() -> KResult<RowStream>> Iterator for LazyStream<F> {
+    type Item = KResult<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if self.inner.is_none() {
+            match (self.make.take()?)() {
+                Ok(s) => self.inner = Some(s),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        self.inner.as_mut()?.next()
+    }
+}
+
+/// Streaming `Ext`: flat-maps the body stream over the source stream.
+struct ExtStream {
+    source: RowStream,
+    current: Option<RowStream>,
+    var: Name,
+    body: Expr,
+    env: Env,
+    ctx: Arc<Context>,
+    failed: bool,
+}
+
+impl Iterator for ExtStream {
+    type Item = KResult<Value>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(cur) = &mut self.current {
+                match cur.next() {
+                    Some(item) => return Some(item),
+                    None => self.current = None,
+                }
+            }
+            match self.source.next()? {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Ok(el) => {
+                    let env2 = self.env.bind(Arc::clone(&self.var), Rt::Val(el));
+                    match eval_stream(&self.body, &env2, &self.ctx) {
+                        Ok(s) => self.current = Some(s),
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming nested-loop join: outer side streams, inner side materialized.
+struct NlJoinStream {
+    left: RowStream,
+    right: Vec<Value>,
+    pending: Vec<Value>,
+    lvar: Name,
+    rvar: Name,
+    cond: Expr,
+    body: Expr,
+    env: Env,
+    ctx: Arc<Context>,
+    failed: bool,
+}
+
+impl NlJoinStream {
+    fn emit_for(&mut self, l: Value) -> KResult<()> {
+        for r in &self.right {
+            let env2 = self
+                .env
+                .bind(Arc::clone(&self.lvar), Rt::Val(l.clone()))
+                .bind(Arc::clone(&self.rvar), Rt::Val(r.clone()));
+            if let Value::Bool(true) = eval(&self.cond, &env2, &self.ctx)? {
+                let piece = eval(&self.body, &env2, &self.ctx)?;
+                let es = piece
+                    .elements()
+                    .ok_or_else(|| KError::eval("join body must yield a collection"))?;
+                self.pending.extend_from_slice(es);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for NlJoinStream {
+    type Item = KResult<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if !self.pending.is_empty() {
+                return Some(Ok(self.pending.remove(0)));
+            }
+            match self.left.next()? {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Ok(l) => {
+                    if let Err(e) = self.emit_for(l) {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming indexed join: probes a prebuilt hash index per outer element.
+struct IndexedJoinStream {
+    left: RowStream,
+    index: std::collections::HashMap<Value, Vec<Value>>,
+    pending: Vec<Value>,
+    lvar: Name,
+    rvar: Name,
+    left_key: Expr,
+    cond: Expr,
+    body: Expr,
+    env: Env,
+    ctx: Arc<Context>,
+    failed: bool,
+}
+
+impl IndexedJoinStream {
+    fn emit_for(&mut self, l: Value) -> KResult<()> {
+        let lenv = self.env.bind(Arc::clone(&self.lvar), Rt::Val(l.clone()));
+        let key = eval(&self.left_key, &lenv, &self.ctx)?;
+        let Some(matches) = self.index.get(&key) else {
+            return Ok(());
+        };
+        for r in matches.clone() {
+            let env2 = lenv.bind(Arc::clone(&self.rvar), Rt::Val(r));
+            if let Value::Bool(true) = eval(&self.cond, &env2, &self.ctx)? {
+                let piece = eval(&self.body, &env2, &self.ctx)?;
+                let es = piece
+                    .elements()
+                    .ok_or_else(|| KError::eval("join body must yield a collection"))?;
+                self.pending.extend_from_slice(es);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for IndexedJoinStream {
+    type Item = KResult<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if !self.pending.is_empty() {
+                return Some(Ok(self.pending.remove(0)));
+            }
+            match self.left.next()? {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Ok(l) => {
+                    if let Err(e) = self.emit_for(l) {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming bounded-parallel `Ext`: pulls a chunk of `width` source
+/// elements, evaluates their bodies concurrently, yields the union, then
+/// pulls the next chunk. Concurrency never exceeds `width`.
+struct ParChunkStream {
+    source: RowStream,
+    buffer: Vec<Value>,
+    var: Name,
+    body: Expr,
+    env: Env,
+    ctx: Arc<Context>,
+    width: usize,
+    failed: bool,
+}
+
+impl Iterator for ParChunkStream {
+    type Item = KResult<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if !self.buffer.is_empty() {
+                return Some(Ok(self.buffer.remove(0)));
+            }
+            let mut chunk = Vec::with_capacity(self.width);
+            for item in self.source.by_ref() {
+                match item {
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    Ok(v) => {
+                        chunk.push(v);
+                        if chunk.len() >= self.width {
+                            break;
+                        }
+                    }
+                }
+            }
+            if chunk.is_empty() {
+                return None;
+            }
+            match eval_parallel(&chunk, &self.var, &self.body, &self.env, &self.ctx, self.width)
+            {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Ok(pieces) => {
+                    for piece in pieces {
+                        match piece.elements() {
+                            Some(es) => self.buffer.extend_from_slice(es),
+                            None => {
+                                self.failed = true;
+                                return Some(Err(KError::eval(
+                                    "parallel body must yield a collection",
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kleisli_core::{Capabilities, Driver, DriverRequest, MetricsSnapshot, ValueStream};
+    use nrc::name;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A driver that yields `rows` integers and counts how many were
+    /// actually pulled — the laziness probe.
+    struct CountingDriver {
+        rows: i64,
+        pulled: Arc<AtomicU64>,
+    }
+
+    impl Driver for CountingDriver {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::default()
+        }
+        fn execute(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+            let pulled = Arc::clone(&self.pulled);
+            let rows = self.rows;
+            Ok(Box::new((0..rows).map(move |i| {
+                pulled.fetch_add(1, Ordering::Relaxed);
+                Ok(Value::record_from(vec![("n", Value::Int(i))]))
+            })))
+        }
+        fn metrics(&self) -> MetricsSnapshot {
+            MetricsSnapshot::default()
+        }
+    }
+
+    fn counting_ctx(rows: i64) -> (Arc<Context>, Arc<AtomicU64>) {
+        let pulled = Arc::new(AtomicU64::new(0));
+        let mut ctx = Context::new();
+        ctx.register_driver(Arc::new(CountingDriver {
+            rows,
+            pulled: Arc::clone(&pulled),
+        }));
+        (Arc::new(ctx), pulled)
+    }
+
+    fn remote_scan() -> Expr {
+        Expr::Remote {
+            driver: name("counting"),
+            request: DriverRequest::TableScan {
+                table: "t".into(),
+                columns: None,
+            },
+        }
+    }
+
+    #[test]
+    fn first_n_pulls_only_what_it_needs() {
+        let (ctx, pulled) = counting_ctx(100_000);
+        // U{ {x.n} | \x <- REMOTE }
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::single(CollKind::Set, Expr::proj(Expr::var("x"), "n")),
+            remote_scan(),
+        );
+        let got = first_n(&e, 5, &Env::empty(), &ctx).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(
+            pulled.load(Ordering::Relaxed) <= 6,
+            "pulled {} rows for 5 results",
+            pulled.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn stream_agrees_with_eager_eval_on_sets() {
+        let (ctx, _) = counting_ctx(50);
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::if_(
+                Expr::eq(
+                    Expr::Prim(
+                        nrc::Prim::Mod,
+                        vec![Expr::proj(Expr::var("x"), "n"), Expr::int(2)],
+                    ),
+                    Expr::int(0),
+                ),
+                Expr::single(CollKind::Set, Expr::proj(Expr::var("x"), "n")),
+                Expr::Empty(CollKind::Set),
+            ),
+            remote_scan(),
+        );
+        let eager = eval(&e, &Env::empty(), &ctx).unwrap();
+        let streamed =
+            collect_stream(eval_stream(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set).unwrap();
+        assert_eq!(eager, streamed);
+        assert_eq!(eager.len(), Some(25));
+    }
+
+    #[test]
+    fn union_right_side_is_lazy() {
+        let (ctx, pulled) = counting_ctx(1000);
+        let e = Expr::union(
+            CollKind::Set,
+            Expr::single(CollKind::Set, Expr::int(-1)),
+            Expr::ext(
+                CollKind::Set,
+                "x",
+                Expr::single(CollKind::Set, Expr::proj(Expr::var("x"), "n")),
+                remote_scan(),
+            ),
+        );
+        let got = first_n(&e, 1, &Env::empty(), &ctx).unwrap();
+        assert_eq!(got, vec![Value::Int(-1)]);
+        assert_eq!(pulled.load(Ordering::Relaxed), 0, "remote must not run");
+    }
+
+    #[test]
+    fn streaming_joins_agree_with_eager() {
+        let left = Expr::Const(Value::set(
+            (0..20)
+                .map(|i| Value::record_from(vec![("k", Value::Int(i % 4)), ("a", Value::Int(i))]))
+                .collect(),
+        ));
+        let right = Expr::Const(Value::set(
+            (0..15)
+                .map(|i| Value::record_from(vec![("k", Value::Int(i % 3)), ("b", Value::Int(i))]))
+                .collect(),
+        ));
+        let body = Expr::single(
+            CollKind::Set,
+            Expr::record(vec![
+                ("a", Expr::proj(Expr::var("l"), "a")),
+                ("b", Expr::proj(Expr::var("r"), "b")),
+            ]),
+        );
+        for strategy in [
+            JoinStrategy::BlockedNl { block_size: 8 },
+            JoinStrategy::IndexedNl,
+        ] {
+            let e = Expr::Join {
+                kind: CollKind::Set,
+                strategy,
+                left: Box::new(left.clone()),
+                right: Box::new(right.clone()),
+                lvar: name("l"),
+                rvar: name("r"),
+                left_key: Some(Box::new(Expr::proj(Expr::var("l"), "k"))),
+                right_key: Some(Box::new(Expr::proj(Expr::var("r"), "k"))),
+                cond: Box::new(Expr::eq(
+                    Expr::proj(Expr::var("l"), "k"),
+                    Expr::proj(Expr::var("r"), "k"),
+                )),
+                body: Box::new(body.clone()),
+            };
+            let ctx = Arc::new(Context::new());
+            let eager = eval(&e, &Env::empty(), &ctx).unwrap();
+            let streamed =
+                collect_stream(eval_stream(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set)
+                    .unwrap();
+            assert_eq!(eager, streamed);
+        }
+    }
+
+    #[test]
+    fn par_chunk_stream_matches_sequential() {
+        let src = Expr::Const(Value::set((0..30).map(Value::Int).collect()));
+        let body = Expr::single(
+            CollKind::Set,
+            Expr::Prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(100)]),
+        );
+        let par = Expr::ParExt {
+            kind: CollKind::Set,
+            var: name("x"),
+            body: Box::new(body.clone()),
+            source: Box::new(src.clone()),
+            max_in_flight: 4,
+        };
+        let seq = Expr::Ext {
+            kind: CollKind::Set,
+            var: name("x"),
+            body: Box::new(body),
+            source: Box::new(src),
+        };
+        let ctx = Arc::new(Context::new());
+        let a = collect_stream(eval_stream(&par, &Env::empty(), &ctx).unwrap(), CollKind::Set)
+            .unwrap();
+        let b = eval(&seq, &Env::empty(), &ctx).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_propagate_through_streams() {
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::single(
+                CollKind::Set,
+                Expr::Prim(nrc::Prim::Div, vec![Expr::int(1), Expr::var("x")]),
+            ),
+            Expr::Const(Value::set(vec![Value::Int(0)])),
+        );
+        let ctx = Arc::new(Context::new());
+        let items: Vec<_> = eval_stream(&e, &Env::empty(), &ctx)
+            .unwrap()
+            .collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! FASTA: `>id description` header lines followed by wrapped sequence.
+//!
+//! A FASTA file maps to a CPL list of records
+//! `[id: string, description: string, sequence: string]` (a list, because
+//! file order is meaningful to the analysis packages that consume it).
+
+use std::fmt::Write as _;
+
+use kleisli_core::{KError, KResult, Value};
+
+/// Parse FASTA text into a list of sequence records.
+pub fn parse_fasta(text: &str) -> KResult<Value> {
+    let mut records = Vec::new();
+    let mut header: Option<(String, String)> = None;
+    let mut seq = String::new();
+    let mut flush = |header: &mut Option<(String, String)>, seq: &mut String| {
+        if let Some((id, desc)) = header.take() {
+            records.push(Value::record_from(vec![
+                ("id", Value::str(id)),
+                ("description", Value::str(desc)),
+                ("sequence", Value::str(std::mem::take(seq))),
+            ]));
+        }
+    };
+    for (lno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if let Some(h) = line.strip_prefix('>') {
+            flush(&mut header, &mut seq);
+            let (id, desc) = match h.split_once(char::is_whitespace) {
+                Some((i, d)) => (i.to_string(), d.trim().to_string()),
+                None => (h.to_string(), String::new()),
+            };
+            if id.is_empty() {
+                return Err(KError::format(
+                    "fasta",
+                    format!("empty sequence id on line {}", lno + 1),
+                ));
+            }
+            header = Some((id, desc));
+        } else if !line.is_empty() {
+            if header.is_none() {
+                return Err(KError::format(
+                    "fasta",
+                    format!("sequence data before any '>' header on line {}", lno + 1),
+                ));
+            }
+            for c in line.chars() {
+                if c.is_ascii_alphabetic() || c == '*' || c == '-' {
+                    seq.push(c.to_ascii_uppercase());
+                } else if !c.is_whitespace() {
+                    return Err(KError::format(
+                        "fasta",
+                        format!("invalid sequence character '{c}' on line {}", lno + 1),
+                    ));
+                }
+            }
+        }
+    }
+    flush(&mut header, &mut seq);
+    Ok(Value::list(records))
+}
+
+/// Print a list (or set) of sequence records as FASTA, wrapping at 60
+/// columns.
+pub fn print_fasta(v: &Value) -> KResult<String> {
+    let records = v
+        .elements()
+        .ok_or_else(|| KError::format("fasta", "expected a collection of records"))?;
+    let mut out = String::new();
+    for r in records {
+        let get = |f: &str| -> KResult<String> {
+            match r.project(f) {
+                Some(Value::Str(s)) => Ok(s.to_string()),
+                Some(other) => Err(KError::format(
+                    "fasta",
+                    format!("field '{f}' must be a string, got {}", other.kind_name()),
+                )),
+                None => Err(KError::format("fasta", format!("record lacks field '{f}'"))),
+            }
+        };
+        let id = get("id")?;
+        let desc = get("description").unwrap_or_default();
+        let seq = get("sequence")?;
+        if desc.is_empty() {
+            let _ = writeln!(out, ">{id}");
+        } else {
+            let _ = writeln!(out, ">{id} {desc}");
+        }
+        for chunk in seq.as_bytes().chunks(60) {
+            let _ = writeln!(out, "{}", std::str::from_utf8(chunk).expect("ascii"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = ">M81409 Human perforin (PRF1) gene\nACGTACGTAC\nGTACGT\n>X52127\nTTTT\n";
+
+    #[test]
+    fn parse_two_records() {
+        let v = parse_fasta(SAMPLE).unwrap();
+        assert_eq!(v.len(), Some(2));
+        let first = &v.elements().unwrap()[0];
+        assert_eq!(first.project("id"), Some(&Value::str("M81409")));
+        assert_eq!(
+            first.project("description"),
+            Some(&Value::str("Human perforin (PRF1) gene"))
+        );
+        assert_eq!(
+            first.project("sequence"),
+            Some(&Value::str("ACGTACGTACGTACGT"))
+        );
+        let second = &v.elements().unwrap()[1];
+        assert_eq!(second.project("description"), Some(&Value::str("")));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = parse_fasta(SAMPLE).unwrap();
+        let text = print_fasta(&v).unwrap();
+        assert_eq!(parse_fasta(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn long_sequences_wrap_at_60() {
+        let long: String = "A".repeat(130);
+        let v = Value::list(vec![Value::record_from(vec![
+            ("id", Value::str("x")),
+            ("description", Value::str("")),
+            ("sequence", Value::str(&long)),
+        ])]);
+        let text = print_fasta(&v).unwrap();
+        assert_eq!(text.lines().count(), 1 + 3);
+        assert_eq!(parse_fasta(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn lowercase_normalized_and_errors_reported() {
+        let v = parse_fasta(">x\nacgt\n").unwrap();
+        assert_eq!(
+            v.elements().unwrap()[0].project("sequence"),
+            Some(&Value::str("ACGT"))
+        );
+        assert!(parse_fasta("ACGT\n").is_err());
+        assert!(parse_fasta(">x\nAC1GT\n").is_err());
+        assert!(parse_fasta(">\nACGT\n").is_err());
+    }
+}

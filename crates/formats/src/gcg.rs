@@ -1,0 +1,163 @@
+//! GCG (Wisconsin package) single-sequence format:
+//!
+//! ```text
+//! M81409  Length: 16  Type: N  Check: 1234  ..
+//! ACGTACGTAC GTACGT
+//! ```
+//!
+//! The header line carries the id, declared length and a checksum; the
+//! `..` marks where the sequence begins. Maps to a single record
+//! `[id, length: int, check: int, sequence]`.
+
+use std::fmt::Write as _;
+
+use kleisli_core::{KError, KResult, Value};
+
+/// GCG checksum: position-weighted sum of uppercase characters mod 10000.
+pub fn gcg_checksum(seq: &str) -> i64 {
+    let mut check: i64 = 0;
+    for (i, c) in seq.chars().enumerate() {
+        check += ((i % 57 + 1) as i64) * (c.to_ascii_uppercase() as i64);
+    }
+    check % 10_000
+}
+
+/// Parse a GCG file into a sequence record; validates length and checksum.
+pub fn parse_gcg(text: &str) -> KResult<Value> {
+    let mut lines = text.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Err(KError::format("gcg", "missing header line with '..'")),
+            Some(l) if l.contains("..") => break l,
+            Some(_) => continue, // leading comment/description lines
+        }
+    };
+    let head = header.split("..").next().unwrap_or_default();
+    let mut id = String::new();
+    let mut length: Option<i64> = None;
+    let mut check: Option<i64> = None;
+    let mut words = head.split_whitespace().peekable();
+    if let Some(first) = words.peek() {
+        if !first.ends_with(':') {
+            id = words.next().unwrap_or_default().to_string();
+        }
+    }
+    while let Some(w) = words.next() {
+        match w.trim_end_matches(':') {
+            "Length" => {
+                length = words.next().and_then(|v| v.parse().ok());
+            }
+            "Check" => {
+                check = words.next().and_then(|v| v.parse().ok());
+            }
+            _ => {}
+        }
+    }
+    if id.is_empty() {
+        return Err(KError::format("gcg", "missing sequence id in header"));
+    }
+    let mut seq = String::new();
+    for line in lines {
+        for c in line.chars() {
+            if c.is_ascii_alphabetic() {
+                seq.push(c.to_ascii_uppercase());
+            } else if !c.is_whitespace() && !c.is_ascii_digit() {
+                return Err(KError::format(
+                    "gcg",
+                    format!("invalid sequence character '{c}'"),
+                ));
+            }
+        }
+    }
+    if let Some(n) = length {
+        if n != seq.len() as i64 {
+            return Err(KError::format(
+                "gcg",
+                format!("declared length {n} but sequence has {} chars", seq.len()),
+            ));
+        }
+    }
+    if let Some(c) = check {
+        let actual = gcg_checksum(&seq);
+        if c != actual {
+            return Err(KError::format(
+                "gcg",
+                format!("checksum mismatch: header {c}, computed {actual}"),
+            ));
+        }
+    }
+    Ok(Value::record_from(vec![
+        ("id", Value::str(id)),
+        ("length", Value::Int(seq.len() as i64)),
+        ("check", Value::Int(gcg_checksum(&seq))),
+        ("sequence", Value::str(seq)),
+    ]))
+}
+
+/// Print a sequence record in GCG format.
+pub fn print_gcg(v: &Value) -> KResult<String> {
+    let get_str = |f: &str| match v.project(f) {
+        Some(Value::Str(s)) => Ok(s.to_string()),
+        _ => Err(KError::format("gcg", format!("missing string field '{f}'"))),
+    };
+    let id = get_str("id")?;
+    let seq = get_str("sequence")?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{id}  Length: {}  Type: N  Check: {}  ..",
+        seq.len(),
+        gcg_checksum(&seq)
+    );
+    for (i, chunk) in seq.as_bytes().chunks(50).enumerate() {
+        let _ = write!(out, "{:>8} ", i * 50 + 1);
+        for group in chunk.chunks(10) {
+            let _ = write!(out, "{} ", std::str::from_utf8(group).expect("ascii"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = Value::record_from(vec![
+            ("id", Value::str("M81409")),
+            ("length", Value::Int(16)),
+            ("check", Value::Int(gcg_checksum("ACGTACGTACGTACGT"))),
+            ("sequence", Value::str("ACGTACGTACGTACGT")),
+        ]);
+        let text = print_gcg(&v).unwrap();
+        let back = parse_gcg(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn length_and_checksum_validated() {
+        let bad_len = "X  Length: 99  Check: 0  ..\nACGT\n";
+        assert!(parse_gcg(bad_len).is_err());
+        let ok = format!("X  Length: 4  Check: {}  ..\nACGT\n", gcg_checksum("ACGT"));
+        assert!(parse_gcg(&ok).is_ok());
+        let bad_check = "X  Length: 4  Check: 1  ..\nACGT\n";
+        assert!(parse_gcg(bad_check).is_err());
+    }
+
+    #[test]
+    fn leading_description_lines_skipped() {
+        let text = format!(
+            "Human perforin, from GenBank\n\nX  Length: 4  Check: {}  ..\n 1 ACGT\n",
+            gcg_checksum("ACGT")
+        );
+        let v = parse_gcg(&text).unwrap();
+        assert_eq!(v.project("id"), Some(&Value::str("X")));
+    }
+
+    #[test]
+    fn missing_header_errors() {
+        assert!(parse_gcg("ACGT\n").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! # bio-formats
+//!
+//! Flat-file sequence formats the paper's techniques "work equally well
+//! with": FASTA, EMBL, and GCG/RSF-style single-sequence files. Each
+//! module maps between the native text and the CPL complex-object model,
+//! so CPL queries can transform among them (e.g. GenBank ASN.1 → FASTA for
+//! a homology-search package like BLAST).
+
+pub mod embl;
+pub mod fasta;
+pub mod gcg;
+
+pub use embl::{parse_embl, print_embl};
+pub use fasta::{parse_fasta, print_fasta};
+pub use gcg::{parse_gcg, print_gcg};

@@ -1,0 +1,239 @@
+//! The Kleisli session: the CPL → NRC → optimizer → executor pipeline of
+//! Figure 2, plus driver registration and explain output.
+
+use std::sync::Arc;
+
+use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
+use kleisli_core::{Capabilities, DriverRef, KResult, MetricsSnapshot, TableStats, Type, Value};
+use kleisli_exec::{eval, first_n, Context, Env, ObjectStore};
+use kleisli_opt::{optimize, OptConfig, SourceCatalog, TraceEntry};
+use nrc::{Expr, TypeEnv};
+
+/// The result of running one top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtResult {
+    /// A `define` extended the session's definitions.
+    Defined(String),
+    /// A query produced a value.
+    Value(Value),
+}
+
+/// A compiled query, before execution (for inspection and benchmarks).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// NRC straight out of the desugarer.
+    pub raw: Expr,
+    /// NRC after the optimizer pipeline.
+    pub optimized: Expr,
+    /// Rules fired, in order.
+    pub trace: Vec<TraceEntry>,
+    /// Inferred (gradual) result type.
+    pub ty: Type,
+}
+
+/// A CPL/Kleisli session. Drivers are registered once; `define`s
+/// accumulate; queries compile and run against the registered sources.
+pub struct Session {
+    ctx: Arc<Context>,
+    defs: Definitions,
+    config: OptConfig,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+struct CtxCatalog<'a>(&'a Context);
+
+impl SourceCatalog for CtxCatalog<'_> {
+    fn capabilities(&self, driver: &str) -> Option<Capabilities> {
+        self.0.driver(driver).ok().map(|d| d.capabilities())
+    }
+
+    fn table_stats(&self, driver: &str, table: &str) -> Option<TableStats> {
+        self.0.driver(driver).ok().and_then(|d| d.table_stats(table))
+    }
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session {
+            ctx: Arc::new(Context::new()),
+            defs: Definitions::new(),
+            config: OptConfig::default(),
+        }
+    }
+
+    /// Tune the optimizer (e.g. to ablate one optimization in a bench).
+    pub fn set_opt_config(&mut self, config: OptConfig) {
+        self.config = config;
+    }
+
+    pub fn opt_config(&self) -> &OptConfig {
+        &self.config
+    }
+
+    fn ctx_mut(&mut self) -> &mut Context {
+        Arc::get_mut(&mut self.ctx)
+            .expect("session context is uniquely owned between queries")
+    }
+
+    /// Register a data-source driver. The driver's name becomes a CPL
+    /// function (`GDB(req)`); SQL-capable drivers also get the paper's
+    /// `<name>-Tab(table)` template.
+    pub fn register_driver(&mut self, driver: DriverRef) {
+        let name: nrc::Name = Arc::from(driver.name());
+        let sql = driver.capabilities().sql;
+        self.ctx_mut().register_driver(driver);
+        let req = nrc::fresh("req");
+        self.defs.insert(
+            Arc::clone(&name),
+            Expr::Lambda {
+                var: Arc::clone(&req),
+                body: Box::new(Expr::RemoteApp {
+                    driver: Arc::clone(&name),
+                    arg: Box::new(Expr::Var(req)),
+                }),
+            },
+        );
+        if sql {
+            let t = nrc::fresh("table");
+            self.defs.insert(
+                Arc::from(format!("{name}-Tab")),
+                Expr::Lambda {
+                    var: Arc::clone(&t),
+                    body: Box::new(Expr::RemoteApp {
+                        driver: name,
+                        arg: Box::new(Expr::Record(vec![(
+                            Arc::from("table"),
+                            Expr::Var(t),
+                        )])),
+                    }),
+                },
+            );
+        }
+    }
+
+    /// Register an object store consulted by `deref`.
+    pub fn register_object_store(&mut self, store: Arc<dyn ObjectStore>) {
+        self.ctx_mut().register_object_store(store);
+    }
+
+    /// Bind a name to a data value (a local "database").
+    pub fn bind_value(&mut self, name: impl AsRef<str>, v: Value) {
+        self.defs.insert_value(name, v);
+    }
+
+    /// Compile a single CPL expression: desugar, typecheck, optimize.
+    pub fn compile(&self, src: &str) -> KResult<Compiled> {
+        let ast = parse_expr(src)?;
+        let raw = cpl::desugar(&ast, &self.defs)?;
+        let ty = nrc::infer(&raw, &TypeEnv::new())?;
+        let (optimized, trace) = optimize(raw.clone(), &CtxCatalog(&self.ctx), &self.config);
+        Ok(Compiled {
+            raw,
+            optimized,
+            trace,
+            ty,
+        })
+    }
+
+    /// Compile and evaluate one CPL expression.
+    pub fn query(&mut self, src: &str) -> KResult<Value> {
+        let compiled = self.compile(src)?;
+        self.run_compiled(&compiled)
+    }
+
+    /// Evaluate an already-compiled query.
+    pub fn run_compiled(&self, compiled: &Compiled) -> KResult<Value> {
+        self.ctx.cache_clear();
+        eval(&compiled.optimized, &Env::empty(), &self.ctx)
+    }
+
+    /// Evaluate lazily, returning only the first `n` elements — the
+    /// paper's fast-first-response path.
+    pub fn query_first_n(&mut self, src: &str, n: usize) -> KResult<Vec<Value>> {
+        let compiled = self.compile(src)?;
+        self.ctx.cache_clear();
+        first_n(&compiled.optimized, n, &Env::empty(), &self.ctx)
+    }
+
+    /// Run a whole program (defines and queries).
+    pub fn run(&mut self, src: &str) -> KResult<Vec<StmtResult>> {
+        let stmts = parse_program(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            match stmt {
+                Stmt::Define(name, _) => {
+                    desugar_stmt(stmt, &mut self.defs)?;
+                    out.push(StmtResult::Defined(name.to_string()));
+                }
+                Stmt::Query(_) => {
+                    let Some(raw) = desugar_stmt(stmt, &mut self.defs)? else {
+                        continue;
+                    };
+                    nrc::infer(&raw, &TypeEnv::new())?;
+                    let (optimized, _trace) =
+                        optimize(raw, &CtxCatalog(&self.ctx), &self.config);
+                    self.ctx.cache_clear();
+                    out.push(StmtResult::Value(eval(
+                        &optimized,
+                        &Env::empty(),
+                        &self.ctx,
+                    )?));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Human-readable compilation report: NRC before/after, fired rules,
+    /// and the inferred type.
+    pub fn explain(&self, src: &str) -> KResult<String> {
+        use std::fmt::Write as _;
+        let c = self.compile(src)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "== type ==\n{}", c.ty);
+        let _ = writeln!(out, "\n== NRC (desugared, {} nodes) ==\n{}", c.raw.size(), c.raw);
+        let _ = writeln!(
+            out,
+            "\n== optimized ({} nodes) ==\n{}",
+            c.optimized.size(),
+            c.optimized
+        );
+        let _ = writeln!(out, "\n== rules fired ({}) ==", c.trace.len());
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for t in &c.trace {
+            let key = format!("{}/{}", t.rule_set, t.rule);
+            match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((key, 1)),
+            }
+        }
+        for (k, n) in counts {
+            let _ = writeln!(out, "{n:>4} x {k}");
+        }
+        Ok(out)
+    }
+
+    /// Traffic counters of a registered driver.
+    pub fn driver_metrics(&self, name: &str) -> KResult<MetricsSnapshot> {
+        Ok(self.ctx.driver(name)?.metrics())
+    }
+
+    /// Reset every driver's traffic counters.
+    pub fn reset_metrics(&self) {
+        for d in self.ctx.drivers() {
+            d.reset_metrics();
+        }
+    }
+
+    /// The execution context (for advanced embedding). Register all
+    /// drivers *before* taking clones of the context: registration needs
+    /// unique ownership.
+    pub fn context(&self) -> Arc<Context> {
+        Arc::clone(&self.ctx)
+    }
+}

@@ -1,0 +1,21 @@
+//! # nrc — the Nested Relational Calculus
+//!
+//! The intermediate language of the Kleisli reproduction. CPL queries are
+//! desugared into NRC (see the `cpl` crate), the optimizer rewrites NRC
+//! terms (see `kleisli-opt`), and the executors interpret them (see
+//! `kleisli-exec`).
+//!
+//! * [`expr`] — the term language, including the physical operators
+//!   introduced by optimization, plus substitution and traversals.
+//! * [`prim`] — primitive functions (arithmetic, strings, aggregates).
+//! * [`typing`] — gradual static typing over the CPL type system.
+//! * [`pretty`] — the `U{ e | \x <- e' }` notation used in explain output.
+
+pub mod expr;
+pub mod pretty;
+pub mod prim;
+pub mod typing;
+
+pub use expr::{fresh, name, CaseArm, Expr, JoinStrategy, Name};
+pub use prim::Prim;
+pub use typing::{infer, TypeEnv};

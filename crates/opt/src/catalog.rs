@@ -1,0 +1,103 @@
+//! What the optimizer knows about registered data sources.
+
+use kleisli_core::{Capabilities, TableStats};
+
+/// Capabilities and statistics of registered sources, as visible to the
+/// optimizer. The session implements this over its driver registry; tests
+/// use [`NullCatalog`] or [`StaticCatalog`].
+pub trait SourceCatalog {
+    /// Capabilities of the named driver, if registered.
+    fn capabilities(&self, driver: &str) -> Option<Capabilities>;
+
+    /// Statistics (including the schema) of a table served by `driver`.
+    /// The paper notes such statistics are often unavailable for remote
+    /// sources; rules that need them must cope with `None`.
+    fn table_stats(&self, driver: &str, table: &str) -> Option<TableStats>;
+}
+
+/// A catalog that knows nothing; statistics-gated rules will not fire.
+pub struct NullCatalog;
+
+impl SourceCatalog for NullCatalog {
+    fn capabilities(&self, _driver: &str) -> Option<Capabilities> {
+        None
+    }
+    fn table_stats(&self, _driver: &str, _table: &str) -> Option<TableStats> {
+        None
+    }
+}
+
+/// A catalog built from fixed entries — the "statically stored statistics
+/// from commonly used data sources" the paper says they were adding.
+#[derive(Default)]
+pub struct StaticCatalog {
+    drivers: Vec<(String, Capabilities)>,
+    tables: Vec<(String, String, TableStats)>,
+}
+
+impl StaticCatalog {
+    pub fn new() -> StaticCatalog {
+        StaticCatalog::default()
+    }
+
+    pub fn add_driver(&mut self, name: impl Into<String>, caps: Capabilities) -> &mut Self {
+        self.drivers.push((name.into(), caps));
+        self
+    }
+
+    pub fn add_table(
+        &mut self,
+        driver: impl Into<String>,
+        table: impl Into<String>,
+        stats: TableStats,
+    ) -> &mut Self {
+        self.tables.push((driver.into(), table.into(), stats));
+        self
+    }
+}
+
+impl SourceCatalog for StaticCatalog {
+    fn capabilities(&self, driver: &str) -> Option<Capabilities> {
+        self.drivers
+            .iter()
+            .find(|(n, _)| n == driver)
+            .map(|(_, c)| c.clone())
+    }
+
+    fn table_stats(&self, driver: &str, table: &str) -> Option<TableStats> {
+        self.tables
+            .iter()
+            .find(|(d, t, _)| d == driver && t == table)
+            .map(|(_, _, s)| s.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_catalog_lookups() {
+        let mut c = StaticCatalog::new();
+        c.add_driver(
+            "GDB",
+            Capabilities {
+                sql: true,
+                ..Default::default()
+            },
+        );
+        c.add_table(
+            "GDB",
+            "locus",
+            TableStats {
+                rows: 100,
+                columns: vec!["locus_id".into(), "locus_symbol".into()],
+                ..Default::default()
+            },
+        );
+        assert!(c.capabilities("GDB").unwrap().sql);
+        assert!(c.capabilities("nope").is_none());
+        assert_eq!(c.table_stats("GDB", "locus").unwrap().rows, 100);
+        assert!(c.table_stats("GDB", "other").is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! The rewrite-rule engine.
+//!
+//! "Optimization of queries is done entirely at compile time using rewrite
+//! rules. ... new rules can be specified by the designer of the system and
+//! grouped into rule sets along with an indication of how they are to be
+//! applied, e.g. bottom-up or top-down with respect to the tree of
+//! subexpressions and how many iterations of a rule set should be applied"
+//! (Section 4).
+
+use nrc::Expr;
+
+use crate::catalog::SourceCatalog;
+
+/// How a rule set walks the expression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Children are rewritten before their parent.
+    BottomUp,
+    /// The parent is rewritten before its children.
+    TopDown,
+}
+
+/// A single named rewrite rule. Returns `Some(new)` when it fires.
+pub struct Rule {
+    pub name: &'static str,
+    pub apply: fn(&Expr, &RuleCtx<'_>) -> Option<Expr>,
+}
+
+/// Context available to rules: source capabilities/statistics and tuning
+/// knobs.
+pub struct RuleCtx<'a> {
+    pub catalog: &'a dyn SourceCatalog,
+    pub config: &'a OptConfig,
+}
+
+/// Optimizer configuration. The `enable_*` switches exist so benchmarks can
+/// ablate individual optimizations.
+#[derive(Debug, Clone)]
+pub struct OptConfig {
+    pub enable_monadic: bool,
+    pub enable_pushdown: bool,
+    pub enable_joins: bool,
+    pub enable_cache: bool,
+    pub enable_parallel: bool,
+    /// Block size for blocked nested-loop joins.
+    pub join_block_size: usize,
+    /// Concurrency used when a server does not declare a limit.
+    pub default_concurrency: usize,
+    /// Upper bound on passes per rule set (safety net; the monad rules are
+    /// strongly normalizing so the bound is rarely reached).
+    pub max_passes: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            enable_monadic: true,
+            enable_pushdown: true,
+            enable_joins: true,
+            enable_cache: true,
+            enable_parallel: true,
+            join_block_size: 256,
+            default_concurrency: 5,
+            max_passes: 20,
+        }
+    }
+}
+
+impl OptConfig {
+    /// Everything off — the unoptimized baseline for experiments.
+    pub fn none() -> OptConfig {
+        OptConfig {
+            enable_monadic: false,
+            enable_pushdown: false,
+            enable_joins: false,
+            enable_cache: false,
+            enable_parallel: false,
+            ..OptConfig::default()
+        }
+    }
+}
+
+/// One fired rule, recorded for `explain` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    pub rule_set: &'static str,
+    pub rule: &'static str,
+    pub pass: usize,
+}
+
+/// A named group of rules applied with a strategy until fixpoint (bounded
+/// by `max_passes`).
+pub struct RuleSet {
+    pub name: &'static str,
+    pub strategy: Strategy,
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Run the rule set to fixpoint. Appends fired rules to `trace`.
+    pub fn run(&self, mut e: Expr, ctx: &RuleCtx<'_>, trace: &mut Vec<TraceEntry>) -> Expr {
+        for pass in 0..ctx.config.max_passes {
+            let mut changed = false;
+            e = self.one_pass(e, ctx, trace, pass, &mut changed);
+            if !changed {
+                break;
+            }
+        }
+        e
+    }
+
+    fn one_pass(
+        &self,
+        e: Expr,
+        ctx: &RuleCtx<'_>,
+        trace: &mut Vec<TraceEntry>,
+        pass: usize,
+        changed: &mut bool,
+    ) -> Expr {
+        match self.strategy {
+            Strategy::BottomUp => {
+                let e = e.map_children(&mut |c| self.one_pass(c, ctx, trace, pass, changed));
+                self.apply_here(e, ctx, trace, pass, changed)
+            }
+            Strategy::TopDown => {
+                let e = self.apply_here(e, ctx, trace, pass, changed);
+                e.map_children(&mut |c| self.one_pass(c, ctx, trace, pass, changed))
+            }
+        }
+    }
+
+    fn apply_here(
+        &self,
+        mut e: Expr,
+        ctx: &RuleCtx<'_>,
+        trace: &mut Vec<TraceEntry>,
+        pass: usize,
+        changed: &mut bool,
+    ) -> Expr {
+        // Keep applying rules at this node until none fires (bounded).
+        'outer: for _ in 0..ctx.config.max_passes {
+            for rule in &self.rules {
+                if let Some(new) = (rule.apply)(&e, ctx) {
+                    debug_assert_ne!(
+                        new, e,
+                        "rule '{}' returned an unchanged expression",
+                        rule.name
+                    );
+                    trace.push(TraceEntry {
+                        rule_set: self.name,
+                        rule: rule.name,
+                        pass,
+                    });
+                    *changed = true;
+                    e = new;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::NullCatalog;
+    use nrc::Prim;
+
+    fn fold_if(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
+        if let Expr::If(c, t, f) = e {
+            if let Expr::Const(kleisli_core::Value::Bool(b)) = &**c {
+                return Some(if *b { (**t).clone() } else { (**f).clone() });
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn bottom_up_reaches_fixpoint_and_traces() {
+        let set = RuleSet {
+            name: "test",
+            strategy: Strategy::BottomUp,
+            rules: vec![Rule {
+                name: "if-const",
+                apply: fold_if,
+            }],
+        };
+        // if true then (if false then 1 else 2) else 3  ==>  2
+        let e = Expr::if_(
+            Expr::bool(true),
+            Expr::if_(Expr::bool(false), Expr::int(1), Expr::int(2)),
+            Expr::int(3),
+        );
+        let config = OptConfig::default();
+        let ctx = RuleCtx {
+            catalog: &NullCatalog,
+            config: &config,
+        };
+        let mut trace = Vec::new();
+        let out = set.run(e, &ctx, &mut trace);
+        assert_eq!(out, Expr::int(2));
+        assert_eq!(trace.len(), 2);
+        assert!(trace.iter().all(|t| t.rule == "if-const"));
+    }
+
+    #[test]
+    fn non_matching_rules_leave_expression_alone() {
+        let set = RuleSet {
+            name: "test",
+            strategy: Strategy::TopDown,
+            rules: vec![Rule {
+                name: "if-const",
+                apply: fold_if,
+            }],
+        };
+        let e = Expr::Prim(Prim::Add, vec![Expr::int(1), Expr::int(2)]);
+        let config = OptConfig::default();
+        let ctx = RuleCtx {
+            catalog: &NullCatalog,
+            config: &config,
+        };
+        let mut trace = Vec::new();
+        let out = set.run(e.clone(), &ctx, &mut trace);
+        assert_eq!(out, e);
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Subquery caching (Section 4): "As the system is fully compositional,
+//! the inner relation in a join can sometimes be a subquery. To avoid
+//! recomputation, we have therefore introduced an operator to cache the
+//! result of a subquery ... Rules to recognize when the result of an inner
+//! subquery can be cached check that the subquery doesn't depend on the
+//! outer relation."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nrc::Expr;
+
+use crate::engine::{Rule, RuleCtx, RuleSet, Strategy};
+
+/// Build the cache rule set.
+pub fn rule_set() -> RuleSet {
+    RuleSet {
+        name: "cache",
+        strategy: Strategy::TopDown,
+        rules: vec![Rule {
+            name: "cache-inner-subquery",
+            apply: cache_inner,
+        }],
+    }
+}
+
+fn next_cache_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Is this node a collection-producing subquery worth caching?
+fn cacheable(e: &Expr) -> bool {
+    match e {
+        Expr::Ext { .. } | Expr::Remote { .. } | Expr::Join { .. } | Expr::Union(..) => {
+            e.touches_remote() && e.free_vars().is_empty()
+        }
+        _ => false,
+    }
+}
+
+/// Inside the body of a loop (or the right side of a join), wrap the
+/// outermost closed remote subqueries in `Cached` so they are evaluated
+/// once instead of once per outer element.
+fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
+    if !ctx.config.enable_cache {
+        return None;
+    }
+    match e {
+        Expr::Ext {
+            kind,
+            var,
+            body,
+            source,
+        } => {
+            let new_body = wrap_outermost(body)?;
+            Some(Expr::Ext {
+                kind: *kind,
+                var: var.clone(),
+                body: Box::new(new_body),
+                source: source.clone(),
+            })
+        }
+        Expr::ParExt {
+            kind,
+            var,
+            body,
+            source,
+            max_in_flight,
+        } => {
+            let new_body = wrap_outermost(body)?;
+            Some(Expr::ParExt {
+                kind: *kind,
+                var: var.clone(),
+                body: Box::new(new_body),
+                source: source.clone(),
+                max_in_flight: *max_in_flight,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Wrap the outermost cacheable subexpressions of `e`; `None` if nothing
+/// was wrapped. Never descends into already-cached subtrees.
+fn wrap_outermost(e: &Expr) -> Option<Expr> {
+    if matches!(e, Expr::Cached { .. }) {
+        return None;
+    }
+    if cacheable(e) {
+        return Some(Expr::Cached {
+            id: next_cache_id(),
+            expr: Box::new(e.clone()),
+        });
+    }
+    // otherwise try children (shallow: first level where something fires)
+    let mut changed = false;
+    let new = e.clone().map_children(&mut |c| {
+        if changed {
+            return c; // one wrap per rule firing keeps the trace readable
+        }
+        match wrap_outermost(&c) {
+            Some(w) => {
+                changed = true;
+                w
+            }
+            None => c,
+        }
+    });
+    changed.then_some(new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::NullCatalog;
+    use crate::engine::OptConfig;
+    use kleisli_core::{CollKind, DriverRequest};
+
+    fn run(e: Expr) -> Expr {
+        let config = OptConfig::default();
+        let ctx = RuleCtx {
+            catalog: &NullCatalog,
+            config: &config,
+        };
+        let mut trace = Vec::new();
+        rule_set().run(e, &ctx, &mut trace)
+    }
+
+    fn remote() -> Expr {
+        Expr::Remote {
+            driver: nrc::name("GDB"),
+            request: DriverRequest::TableScan {
+                table: "locus".into(),
+                columns: None,
+            },
+        }
+    }
+
+    #[test]
+    fn closed_remote_subquery_in_loop_body_is_cached() {
+        // U{ U{ {[a=x, b=y]} | \y <- REMOTE } | \x <- S }
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::ext(
+                CollKind::Set,
+                "y",
+                Expr::single(
+                    CollKind::Set,
+                    Expr::record(vec![("a", Expr::var("x")), ("b", Expr::var("y"))]),
+                ),
+                remote(),
+            ),
+            Expr::var("S"),
+        );
+        let out = run(e);
+        let mut cached = 0;
+        out.visit(&mut |n| {
+            if matches!(n, Expr::Cached { .. }) {
+                cached += 1;
+            }
+        });
+        assert_eq!(cached, 1, "{out}");
+    }
+
+    #[test]
+    fn dependent_subquery_is_not_cached() {
+        // inner remote request depends on x via RemoteApp(x): free var
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::RemoteApp {
+                driver: nrc::name("GenBank"),
+                arg: Box::new(Expr::var("x")),
+            },
+            Expr::var("S"),
+        );
+        let out = run(e.clone());
+        assert_eq!(out, e);
+    }
+
+    #[test]
+    fn cache_is_not_wrapped_twice() {
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::ext(
+                CollKind::Set,
+                "y",
+                Expr::single(CollKind::Set, Expr::var("y")),
+                remote(),
+            ),
+            Expr::var("S"),
+        );
+        let once = run(e);
+        let twice = run(once.clone());
+        let count = |e: &Expr| {
+            let mut n = 0;
+            e.visit(&mut |x| {
+                if matches!(x, Expr::Cached { .. }) {
+                    n += 1;
+                }
+            });
+            n
+        };
+        assert_eq!(count(&once), 1);
+        assert_eq!(count(&twice), 1, "{twice}");
+    }
+
+    #[test]
+    fn local_subqueries_are_not_cached() {
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::ext(
+                CollKind::Set,
+                "y",
+                Expr::single(CollKind::Set, Expr::var("y")),
+                Expr::var("T"),
+            ),
+            Expr::var("S"),
+        );
+        assert_eq!(run(e.clone()), e, "no remote access, nothing to cache");
+    }
+}

@@ -1,0 +1,9 @@
+//! Rule sets, grouped as in the paper: the monadic core plus the
+//! non-monadic sets (pushdown, joins, caching, concurrency).
+
+pub mod cache;
+pub mod joins;
+pub mod monadic;
+pub mod parallel;
+pub mod pushdown;
+pub mod resolve;

@@ -1,0 +1,186 @@
+//! Bounded-concurrency rules (Section 4, "Laziness, Latency, and
+//! Concurrency"): "rules are introduced to recognize when a function
+//! accessing a remote database appears in an inner loop", replacing the
+//! sequential loop with "a primitive that retrieves elements from a
+//! collection in parallel and returns the union of the results". The
+//! degree of parallelism respects the server's tolerated number of
+//! simultaneous requests ("say five").
+
+use nrc::Expr;
+
+use crate::engine::{Rule, RuleCtx, RuleSet, Strategy};
+
+/// Build the parallel rule set.
+pub fn rule_set() -> RuleSet {
+    RuleSet {
+        name: "parallel",
+        strategy: Strategy::TopDown,
+        rules: vec![Rule {
+            name: "parallel-remote-inner-loop",
+            apply: parallelize,
+        }],
+    }
+}
+
+/// Does `e` reach a driver outside of any `Cached` subtree? (A cached
+/// subquery runs once; parallelizing its surrounding loop buys nothing.)
+fn touches_remote_uncached(e: &Expr) -> bool {
+    match e {
+        Expr::Cached { .. } => false,
+        Expr::Remote { .. } | Expr::RemoteApp { .. } => true,
+        other => {
+            let mut found = false;
+            other.clone().map_children(&mut |c| {
+                if !found {
+                    found = touches_remote_uncached(&c);
+                }
+                c
+            });
+            found
+        }
+    }
+}
+
+/// The first driver named by an uncached remote node in `e`.
+fn first_driver(e: &Expr) -> Option<nrc::Name> {
+    match e {
+        Expr::Cached { .. } => None,
+        Expr::Remote { driver, .. } | Expr::RemoteApp { driver, .. } => Some(driver.clone()),
+        other => {
+            let mut found = None;
+            other.clone().map_children(&mut |c| {
+                if found.is_none() {
+                    found = first_driver(&c);
+                }
+                c
+            });
+            found
+        }
+    }
+}
+
+fn parallelize(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
+    if !ctx.config.enable_parallel {
+        return None;
+    }
+    let Expr::Ext {
+        kind,
+        var,
+        body,
+        source,
+    } = e
+    else {
+        return None;
+    };
+    // Only loops whose body issues per-element remote requests benefit;
+    // a body independent of the loop variable is the caching case.
+    if !touches_remote_uncached(body) || !body.occurs_free(var) {
+        return None;
+    }
+    let driver = first_driver(body);
+    let cap = driver
+        .and_then(|d| ctx.catalog.capabilities(&d))
+        .map(|c| c.max_concurrent_requests)
+        .filter(|&n| n > 0)
+        .unwrap_or(ctx.config.default_concurrency);
+    Some(Expr::ParExt {
+        kind: *kind,
+        var: var.clone(),
+        body: body.clone(),
+        source: source.clone(),
+        max_in_flight: cap.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{NullCatalog, StaticCatalog};
+    use crate::engine::OptConfig;
+    use kleisli_core::{Capabilities, CollKind};
+
+    fn run(e: Expr, catalog: &dyn crate::catalog::SourceCatalog) -> Expr {
+        let config = OptConfig::default();
+        let ctx = RuleCtx {
+            catalog,
+            config: &config,
+        };
+        let mut trace = Vec::new();
+        rule_set().run(e, &ctx, &mut trace)
+    }
+
+    fn dependent_remote_loop() -> Expr {
+        // U{ REMOTE-APP[GenBank]([db=..., link=x]) | \x <- S }
+        Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::RemoteApp {
+                driver: nrc::name("GenBank"),
+                arg: Box::new(Expr::record(vec![
+                    ("db", Expr::str("na")),
+                    ("link", Expr::var("x")),
+                ])),
+            },
+            Expr::var("S"),
+        )
+    }
+
+    #[test]
+    fn remote_inner_loop_becomes_parallel_with_server_cap() {
+        let mut catalog = StaticCatalog::new();
+        catalog.add_driver(
+            "GenBank",
+            Capabilities {
+                max_concurrent_requests: 5,
+                ..Default::default()
+            },
+        );
+        let out = run(dependent_remote_loop(), &catalog);
+        match out {
+            Expr::ParExt { max_in_flight, .. } => assert_eq!(max_in_flight, 5),
+            other => panic!("not parallelized: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_server_uses_default_concurrency() {
+        let out = run(dependent_remote_loop(), &NullCatalog);
+        match out {
+            Expr::ParExt { max_in_flight, .. } => {
+                assert_eq!(max_in_flight, OptConfig::default().default_concurrency)
+            }
+            other => panic!("not parallelized: {other}"),
+        }
+    }
+
+    #[test]
+    fn local_loops_stay_sequential() {
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::single(CollKind::Set, Expr::var("x")),
+            Expr::var("S"),
+        );
+        assert_eq!(run(e.clone(), &NullCatalog), e);
+    }
+
+    #[test]
+    fn cached_bodies_are_not_parallelized() {
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::Cached {
+                id: 7,
+                expr: Box::new(Expr::Remote {
+                    driver: nrc::name("GDB"),
+                    request: kleisli_core::DriverRequest::TableScan {
+                        table: "t".into(),
+                        columns: None,
+                    },
+                }),
+            },
+            Expr::var("S"),
+        );
+        assert_eq!(run(e.clone(), &NullCatalog), e);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: create a session, bind a publication database, and run the
+//! queries from Section 2 of the paper.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kleisli::Session;
+use kleisli_core::print::{to_html, to_table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new();
+
+    // A small publication database with the paper's Publication type.
+    session.bind_value("DB", bio_data::publications(12, 1995));
+
+    // 1. Simple projection: titles and years.
+    let flat = session.query(r"{[title = p.title, year = p.year] | \p <- DB}")?;
+    println!("— titles and years —\n{}", to_table(&flat));
+
+    // 2. Pattern matching with ellipsis and a literal year.
+    let in_1989 = session.query(r"{t | [title = \t, year = 1989, ...] <- DB}")?;
+    println!("— published in 1989 —\n{}", to_table(&in_1989));
+
+    // 3. Variant pattern: names of "uncontrolled" journals.
+    let uncontrolled = session.query(
+        r"{[name = n, title = t] |
+           [title = \t, journal = <uncontrolled = \n>, ...] <- DB}",
+    )?;
+    println!("— uncontrolled journals —\n{}", to_table(&uncontrolled));
+
+    // 4. A function with pattern alternatives (the paper's jname).
+    session.run(
+        r"define jname ==
+              <uncontrolled = \s> => s
+            | <controlled = <medline-jta = \s>> => s
+            | <controlled = <iso-jta = \s>> => s
+            | <controlled = <journal-title = \s>> => s
+            | <controlled = <issn = \s>> => s;",
+    )?;
+    let names = session.query(
+        r"{[title = t, name = jname(v)] | [title = \t, journal = \v, ...] <- DB}",
+    )?;
+    println!("— journal ids via jname —\n{}", to_table(&names));
+
+    // 5. Aggregates and HTML output for the Mosaic-era web view.
+    let per_year = session.query(
+        r"{[year = y, n = count({p | \p <- DB, p.year = y})] | \p2 <- DB, \y2 <- {p2.year}, \y <- {y2}}",
+    )?;
+    println!("— publications per year —\n{}", to_table(&per_year));
+    let html = to_html(&in_1989);
+    println!("— the 1989 titles as HTML —\n{html}\n");
+
+    // 6. Explain a query: the desugared NRC, the optimized plan, and the
+    //    rewrite rules that fired.
+    println!(
+        "{}",
+        session.explain(r"{t | [title = \t, year = 1989, ...] <- DB}")?
+    );
+    Ok(())
+}

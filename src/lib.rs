@@ -1,0 +1,17 @@
+//! Umbrella crate for the Kleisli/CPL reproduction.
+//!
+//! This crate re-exports the workspace members so that the top-level
+//! `examples/` and `tests/` can exercise the whole system through one
+//! dependency. See `kleisli::Session` for the main entry point.
+
+pub use ace_sim as ace;
+pub use bio_data as biodata;
+pub use bio_formats as formats;
+pub use cpl;
+pub use entrez_sim as entrez;
+pub use kleisli;
+pub use kleisli_core as core;
+pub use kleisli_exec as exec;
+pub use kleisli_opt as opt;
+pub use nrc;
+pub use sybase_sim as sybase;

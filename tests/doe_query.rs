@@ -1,0 +1,200 @@
+//! End-to-end reproduction of the paper's "impossible" DOE query
+//! (experiment E1 in DESIGN.md): chromosome-22 loci from the relational
+//! GDB source joined through Entrez sequence ids to non-human homology
+//! links, validated exactly against the generator's ground truth.
+
+use std::collections::BTreeMap;
+
+use bio_data::{GdbConfig, GenBankConfig};
+use kleisli::{bio_federation, Session};
+use kleisli_core::{DriverRequest, LatencyModel, Value};
+use nrc::Expr;
+
+fn federation() -> (Session, kleisli::BioFederation) {
+    let fed = bio_federation(
+        &GdbConfig {
+            loci: 400,
+            seed: 11,
+            ..Default::default()
+        },
+        &GenBankConfig {
+            extra_entries: 120,
+            links_per_entry: 3,
+            seed: 11,
+            ..Default::default()
+        },
+        LatencyModel::instant(),
+        LatencyModel::instant(),
+    )
+    .expect("federation");
+    let mut session = Session::new();
+    session.register_driver(fed.gdb.clone());
+    session.register_driver(fed.genbank.clone());
+    session
+        .run(
+            r#"
+            define Loci22 == {[locus_symbol = x, genbank_ref = y] |
+                [locus_symbol = \x, locus_id = \a, ...] <- GDB-Tab("locus"),
+                [genbank_ref = \y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+                [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...] <- GDB-Tab("locus_cyto_location")};
+            define ASN-IDs == \accession =>
+                flatten(GenBank([db = "na",
+                                 select = "accession " ^ accession,
+                                 path = "Seq-entry.seq.id..giim"]));
+            define NA-Links == \uid => GenBank([db = "na", link = uid]);
+        "#,
+        )
+        .expect("defines");
+    (session, fed)
+}
+
+const DOE: &str = r#"{[locus = locus, homologs =
+        {l | \l <- NA-Links(uid), not (l.organism = "Homo sapiens")}] |
+    \locus <- Loci22, \uid <- ASN-IDs(locus.genbank_ref)}"#;
+
+#[test]
+fn doe_query_matches_ground_truth_exactly() {
+    let (mut session, fed) = federation();
+    let result = session.query(DOE).expect("query");
+
+    // ground truth from the generators
+    let mut expected: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    for (symbol, acc) in fed.gdb_data.expected_loci("22") {
+        let uid = fed
+            .genbank_data
+            .entry_by_accession(acc)
+            .expect("entry")
+            .uid;
+        let mut homologs = fed.genbank_data.expected_non_human_links(uid);
+        homologs.sort();
+        homologs.dedup();
+        expected.insert(symbol.to_string(), homologs);
+    }
+    assert!(!expected.is_empty(), "seed must put loci on chromosome 22");
+    assert!(
+        expected.values().any(|h| !h.is_empty()),
+        "seed must produce some non-human homologs"
+    );
+
+    let rows = result.elements().expect("set result");
+    assert_eq!(rows.len(), expected.len(), "one row per chr-22 locus");
+    for row in rows {
+        let locus = row.project("locus").expect("locus");
+        let symbol = match locus.project("locus_symbol") {
+            Some(Value::Str(s)) => s.to_string(),
+            other => panic!("bad locus_symbol {other:?}"),
+        };
+        let want = expected.get(&symbol).expect("known locus");
+        let homologs = row.project("homologs").expect("homologs");
+        let mut got: Vec<i64> = homologs
+            .elements()
+            .expect("set")
+            .iter()
+            .map(|l| match l.project("uid") {
+                Some(Value::Int(u)) => *u,
+                other => panic!("bad link uid {other:?}"),
+            })
+            .collect();
+        got.sort();
+        got.dedup();
+        assert_eq!(&got, want, "homologs of {symbol}");
+        // every returned homolog is non-human
+        for l in homologs.elements().unwrap() {
+            assert_ne!(
+                l.project("organism"),
+                Some(&Value::str("Homo sapiens")),
+                "human homolog leaked through the filter"
+            );
+        }
+    }
+}
+
+#[test]
+fn doe_plan_uses_every_optimization_of_section_4() {
+    let (session, _fed) = federation();
+    let compiled = session.compile(DOE).expect("compile");
+    let mut sql = 0;
+    let mut paths = 0;
+    let mut pars = 0;
+    compiled.optimized.visit(&mut |e| match e {
+        Expr::Remote { request, .. } => match request {
+            DriverRequest::Sql { query } => {
+                sql += 1;
+                assert!(
+                    query.contains("locus_cyto_location"),
+                    "three-way join shipped: {query}"
+                );
+            }
+            DriverRequest::EntrezFetch { path, .. } => {
+                if path.is_some() {
+                    paths += 1;
+                }
+            }
+            _ => {}
+        },
+        Expr::ParExt { max_in_flight, .. } => {
+            pars += 1;
+            assert!(
+                *max_in_flight <= 5,
+                "server tolerates at most 5 concurrent requests"
+            );
+        }
+        _ => {}
+    });
+    assert_eq!(sql, 1, "relational part must ship as one SQL query");
+    assert_eq!(pars, 2, "both remote inner loops run with bounded concurrency");
+    // the authored path expression is preserved through optimization
+    let mut remote_apps_with_path = 0;
+    compiled.optimized.visit(&mut |e| {
+        if let Expr::RemoteApp { arg, .. } = e {
+            if format!("{arg}").contains("path") {
+                remote_apps_with_path += 1;
+            }
+        }
+    });
+    assert!(
+        paths + remote_apps_with_path >= 1,
+        "path extraction must reach the driver"
+    );
+}
+
+#[test]
+fn doe_query_ships_one_relational_request() {
+    let (mut session, _fed) = federation();
+    session.reset_metrics();
+    let _ = session.query(DOE).expect("query");
+    let gdb = session.driver_metrics("GDB").expect("gdb metrics");
+    assert_eq!(gdb.requests, 1, "Loci22 must be a single shipped SQL query");
+    let gb = session.driver_metrics("GenBank").expect("genbank metrics");
+    assert!(gb.requests >= 2, "per-locus Entrez requests happen");
+}
+
+#[test]
+fn doe_without_optimizations_gives_the_same_answer() {
+    let (mut session, _fed) = federation();
+    let optimized = session.query(DOE).expect("optimized");
+    session.set_opt_config(kleisli_opt::OptConfig::none());
+    let naive = session.query(DOE).expect("naive");
+    assert_eq!(optimized, naive);
+}
+
+#[test]
+fn parameterized_view_other_chromosome() {
+    // the Figure-1 form generalizes the query over chromosomes
+    let (mut session, fed) = federation();
+    let query21 = DOE.replace("Loci22", "Loci21");
+    session
+        .run(
+            r#"define Loci21 == {[locus_symbol = x, genbank_ref = y] |
+            [locus_symbol = \x, locus_id = \a, ...] <- GDB-Tab("locus"),
+            [genbank_ref = \y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+            [loc_cyto_chrom_num = "21", locus_cyto_location_id = a, ...] <- GDB-Tab("locus_cyto_location")};"#,
+        )
+        .expect("define");
+    let result = session.query(&query21).expect("query");
+    assert_eq!(
+        result.len(),
+        Some(fed.gdb_data.expected_loci("21").len()),
+        "chromosome parameter respected"
+    );
+}

@@ -1,0 +1,178 @@
+//! Failure injection: errors from drivers, malformed native data, bad
+//! queries, and mid-stream failures must surface as clean `KError`s, never
+//! panics or wrong answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kleisli::Session;
+use kleisli_core::{
+    Capabilities, Driver, DriverRequest, KError, KResult, Value, ValueStream,
+};
+
+/// A driver that fails in configurable ways.
+struct FlakyDriver {
+    name: String,
+    /// fail the whole request
+    refuse: bool,
+    /// yield this many rows, then fail mid-stream
+    fail_after: Option<usize>,
+    calls: AtomicU64,
+}
+
+impl Driver for FlakyDriver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default()
+    }
+    fn execute(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.refuse {
+            return Err(KError::driver(&self.name, "connection refused"));
+        }
+        let fail_after = self.fail_after;
+        let name = self.name.clone();
+        Ok(Box::new((0..10).map(move |i| {
+            if let Some(n) = fail_after {
+                if i >= n as i64 {
+                    return Err(KError::driver(&name, "stream interrupted"));
+                }
+            }
+            Ok(Value::record_from(vec![("n", Value::Int(i))]))
+        })))
+    }
+}
+
+fn session_with(driver: FlakyDriver) -> Session {
+    let mut s = Session::new();
+    s.register_driver(Arc::new(driver));
+    s
+}
+
+#[test]
+fn refused_connection_is_a_driver_error() {
+    let mut s = session_with(FlakyDriver {
+        name: "DOWN".into(),
+        refuse: true,
+        fail_after: None,
+        calls: AtomicU64::new(0),
+    });
+    let err = s
+        .query(r#"{x.n | \x <- DOWN([class = "anything"])}"#)
+        .unwrap_err();
+    assert!(
+        matches!(err, KError::Driver { ref driver, .. } if driver == "DOWN"),
+        "{err}"
+    );
+}
+
+#[test]
+fn mid_stream_failure_propagates() {
+    let mut s = session_with(FlakyDriver {
+        name: "FLAKY".into(),
+        refuse: false,
+        fail_after: Some(4),
+        calls: AtomicU64::new(0),
+    });
+    let err = s
+        .query(r#"{x.n | \x <- FLAKY([class = "c"])}"#)
+        .unwrap_err();
+    assert!(matches!(err, KError::Driver { .. }), "{err}");
+    // but a lazy consumer that stops before row 4 succeeds
+    let ok = s
+        .query_first_n(r#"{x.n | \x <- FLAKY([class = "c"])}"#, 3)
+        .expect("lazy prefix");
+    assert_eq!(ok.len(), 3);
+}
+
+#[test]
+fn bad_sql_is_reported_not_panicked() {
+    let mut db = sybase_sim::Database::new();
+    db.create_table("t", &["a"]).unwrap();
+    let server = Arc::new(sybase_sim::SybaseServer::new(
+        "GDB",
+        db,
+        kleisli_core::LatencyModel::instant(),
+    ));
+    let mut s = Session::new();
+    s.register_driver(server);
+    // ship raw SQL with a syntax error
+    let err = s
+        .query(r#"GDB([query = "selekt a from t"])"#)
+        .unwrap_err();
+    assert!(matches!(err, KError::Format { ref format, .. } if format == "sql"), "{err}");
+    // unknown table
+    let err = s
+        .query(r#"GDB([query = "select a from missing"])"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("missing"), "{err}");
+}
+
+#[test]
+fn malformed_driver_requests_are_eval_errors() {
+    let mut s = session_with(FlakyDriver {
+        name: "D".into(),
+        refuse: false,
+        fail_after: None,
+        calls: AtomicU64::new(0),
+    });
+    // not a record
+    assert!(s.query(r#"D(42)"#).is_err());
+    // unrecognized request shape
+    assert!(s.query(r#"D([nonsense = 1])"#).is_err());
+}
+
+#[test]
+fn inexhaustive_pattern_alternatives_fail_at_runtime_with_message() {
+    let mut s = Session::new();
+    s.bind_value(
+        "V",
+        Value::set(vec![Value::variant("unexpected-tag", Value::Int(1))]),
+    );
+    s.run(r"define get == <known = \x> => x;").unwrap();
+    let err = s.query(r"{get(v) | \v <- V}").unwrap_err();
+    assert!(
+        err.to_string().contains("no pattern alternative"),
+        "{err}"
+    );
+}
+
+#[test]
+fn division_by_zero_inside_comprehension() {
+    let mut s = Session::new();
+    s.bind_value("S", Value::set(vec![Value::Int(0), Value::Int(1)]));
+    let err = s.query(r"{10 / x | \x <- S}").unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
+
+#[test]
+fn dangling_ace_reference_errors_cleanly() {
+    let mut s = Session::new();
+    s.bind_value(
+        "R",
+        Value::set(vec![Value::Ref(kleisli_core::Oid {
+            class: Arc::from("Clone"),
+            id: 404,
+        })]),
+    );
+    let err = s.query(r"{deref(r) | \r <- R}").unwrap_err();
+    assert!(err.to_string().contains("dangling"), "{err}");
+}
+
+#[test]
+fn malformed_formats_error_with_format_name() {
+    assert!(matches!(
+        bio_formats::parse_fasta("no header"),
+        Err(KError::Format { format, .. }) if format == "fasta"
+    ));
+    assert!(matches!(
+        entrez_sim::asn1::parse_value("{ broken"),
+        Err(KError::Format { format, .. }) if format == "asn1"
+    ));
+    assert!(matches!(
+        ace_sim::parse_ace("NotAHeader\nTag 1\n"),
+        Err(KError::Format { format, .. }) if format == "ace"
+    ));
+}
