@@ -4,33 +4,13 @@
 
 use std::time::Duration;
 
-use bench_harness::{bind_uids, latency_federation, CONCURRENCY};
+use bench_harness::{bind_uids, latency_federation, set_par_width, CONCURRENCY};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kleisli_opt::OptConfig;
 use nrc::Expr;
 
 fn with_width(e: &Expr, width: usize) -> Expr {
-    // rewrite every ParExt to the requested width (1 = sequential)
-    fn go(e: Expr, width: usize) -> Expr {
-        let e = e.map_children(&mut |c| go(c, width));
-        match e {
-            Expr::ParExt {
-                kind,
-                var,
-                body,
-                source,
-                ..
-            } => Expr::ParExt {
-                kind,
-                var,
-                body,
-                source,
-                max_in_flight: width,
-            },
-            other => other,
-        }
-    }
-    go(e.clone(), width)
+    set_par_width(e, width)
 }
 
 fn bench(c: &mut Criterion) {

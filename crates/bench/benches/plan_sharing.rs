@@ -1,0 +1,72 @@
+//! E9: what structural sharing buys on plan-shaped workloads.
+//!
+//! * `fixpoint/*` — running the resolve + monadic rule sets to fixpoint
+//!   over a deep nested comprehension, with the sharing engine
+//!   (`Arc::ptr_eq` fixpoint, untouched subtrees returned pointer-equal)
+//!   versus the pre-sharing baseline (every pass rebuilds every node,
+//!   structural change tracking) — same rules, same strategy, same bound.
+//! * `noop-fixpoint/*` — the same comparison on an already-normalized
+//!   plan, isolating pure fixpoint-detection overhead.
+//! * `stream-construct/*` — building the streaming executor's pull chain
+//!   and producing the first element: Arc bumps versus the deep body
+//!   clones the old `(**body).clone()` representation required.
+
+use std::sync::Arc;
+
+use bench_harness::{
+    deep_comprehension, legacy_fixpoint, legacy_stream_clone_cost, shared_fixpoint,
+    stream_first,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kleisli_opt::OptConfig;
+
+fn bench(c: &mut Criterion) {
+    let config = OptConfig::default();
+    let mut g = c.benchmark_group("plan_sharing");
+    g.sample_size(20);
+    for depth in [6usize, 10] {
+        let plan = Arc::new(deep_comprehension(depth, 4));
+        g.bench_with_input(BenchmarkId::new("fixpoint/shared", depth), &depth, |b, _| {
+            b.iter(|| black_box(shared_fixpoint(Arc::clone(&plan), &config)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("fixpoint/deep-rebuild", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(legacy_fixpoint(Arc::clone(&plan), &config))),
+        );
+
+        let normalized = shared_fixpoint(Arc::clone(&plan), &config);
+        g.bench_with_input(
+            BenchmarkId::new("noop-fixpoint/shared", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(shared_fixpoint(Arc::clone(&normalized), &config))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("noop-fixpoint/deep-rebuild", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(legacy_fixpoint(Arc::clone(&normalized), &config))),
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("stream-construct/shared", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(stream_first(&plan))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stream-construct/deep-clone", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    // the clones the old executor performed, plus the
+                    // (shared) stream construction both versions do
+                    black_box(legacy_stream_clone_cost(&plan));
+                    black_box(stream_first(&plan))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Measure the structural-sharing win and record it in
+//! `BENCH_plan_sharing.json` at the repo root:
+//!
+//! ```sh
+//! cargo run -p bench-harness --bin plan_sharing_report --release
+//! ```
+//!
+//! Two numbers per phase: the sharing engine (`Arc<Expr>` plans,
+//! pointer-equal no-op passes, `Arc::ptr_eq` fixpoint) and the
+//! pre-refactor baseline (rebuild every node every pass / deep-clone
+//! bodies at stream construction), produced by the same rule sets over
+//! the same plan.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench_harness::{
+    deep_comprehension, legacy_fixpoint, legacy_stream_clone_cost, shared_fixpoint,
+    stream_first,
+};
+use kleisli_opt::OptConfig;
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / reps as u32
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let depth = 10usize;
+    let width = 4i64;
+    let config = OptConfig::default();
+    let plan = Arc::new(deep_comprehension(depth, width));
+    let nodes = plan.size();
+
+    let reps = 50;
+    let fix_shared = time(reps, || shared_fixpoint(Arc::clone(&plan), &config));
+    let fix_legacy = time(reps, || legacy_fixpoint(Arc::clone(&plan), &config));
+
+    let normalized = shared_fixpoint(Arc::clone(&plan), &config);
+    let noop_shared = time(reps, || shared_fixpoint(Arc::clone(&normalized), &config));
+    let noop_legacy = time(reps, || legacy_fixpoint(Arc::clone(&normalized), &config));
+
+    let stream_shared = time(reps, || stream_first(&plan));
+    let stream_legacy = time(reps, || {
+        std::hint::black_box(legacy_stream_clone_cost(&plan));
+        stream_first(&plan)
+    });
+
+    let json = format!(
+        r#"{{
+  "bench": "plan_sharing",
+  "description": "Structural-sharing plan representation (Arc<Expr>) vs the pre-refactor deep-copy baseline; same rule sets, same plan. Baseline reproduces the old engine's rebuild-every-node-per-pass and the old executor's per-level deep body clones.",
+  "command": "cargo run -p bench-harness --bin plan_sharing_report --release",
+  "plan": {{ "depth": {depth}, "width": {width}, "nodes": {nodes} }},
+  "optimizer_fixpoint": {{
+    "baseline_deep_rebuild_us": {fl:.2},
+    "shared_us": {fs:.2},
+    "speedup": {fsp:.2}
+  }},
+  "noop_fixpoint": {{
+    "baseline_deep_rebuild_us": {nl:.2},
+    "shared_us": {ns:.2},
+    "speedup": {nsp:.2}
+  }},
+  "stream_construction_first_row": {{
+    "baseline_deep_clone_us": {sl:.2},
+    "shared_us": {ss:.2},
+    "speedup": {ssp:.2}
+  }}
+}}
+"#,
+        fl = us(fix_legacy),
+        fs = us(fix_shared),
+        fsp = us(fix_legacy) / us(fix_shared),
+        nl = us(noop_legacy),
+        ns = us(noop_shared),
+        nsp = us(noop_legacy) / us(noop_shared),
+        sl = us(stream_legacy),
+        ss = us(stream_shared),
+        ssp = us(stream_legacy) / us(stream_shared),
+    );
+    print!("{json}");
+    std::fs::write("BENCH_plan_sharing.json", &json).expect("write BENCH_plan_sharing.json");
+    eprintln!("wrote BENCH_plan_sharing.json");
+}

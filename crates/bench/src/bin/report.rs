@@ -248,24 +248,5 @@ fn e11_concurrency() {
 }
 
 fn set_width(e: &Expr, width: usize) -> Expr {
-    fn go(e: Expr, width: usize) -> Expr {
-        let e = e.map_children(&mut |c| go(c, width));
-        match e {
-            Expr::ParExt {
-                kind,
-                var,
-                body,
-                source,
-                ..
-            } => Expr::ParExt {
-                kind,
-                var,
-                body,
-                source,
-                max_in_flight: width,
-            },
-            other => other,
-        }
-    }
-    go(e.clone(), width)
+    set_par_width(e, width)
 }

@@ -11,6 +11,7 @@ use std::time::Duration;
 use bio_data::{GdbConfig, GenBankConfig};
 use kleisli::{bio_federation, BioFederation, Session};
 use kleisli_core::{CollKind, LatencyModel, RemyRecord, Value};
+use kleisli_exec::{Context, Env};
 use kleisli_opt::OptConfig;
 use nrc::{Expr, JoinStrategy, Prim};
 
@@ -71,7 +72,7 @@ pub fn vertical_pipeline(n: i64) -> Expr {
         "y",
         Expr::single(
             CollKind::Set,
-            Expr::Prim(Prim::Mul, vec![Expr::var("y"), Expr::int(2)]),
+            Expr::prim(Prim::Mul, vec![Expr::var("y"), Expr::int(2)]),
         ),
         int_set(n),
     );
@@ -80,7 +81,7 @@ pub fn vertical_pipeline(n: i64) -> Expr {
         "x",
         Expr::single(
             CollKind::Set,
-            Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
+            Expr::prim(Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
         ),
         inner,
     )
@@ -94,7 +95,7 @@ pub fn horizontal_pipeline(n: i64) -> Expr {
             "x",
             Expr::single(
                 CollKind::Set,
-                Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::int(off)]),
+                Expr::prim(Prim::Add, vec![Expr::var("x"), Expr::int(off)]),
             ),
             int_set(n),
         )
@@ -126,12 +127,7 @@ pub fn join_inputs(n: i64, modulus: i64) -> (Expr, Expr) {
     let table = |rows: i64, m: i64, tag: &str| {
         Expr::Const(Value::set(
             (0..rows)
-                .map(|i| {
-                    Value::record_from(vec![
-                        ("k", Value::Int(i % m)),
-                        (tag, Value::Int(i)),
-                    ])
-                })
+                .map(|i| Value::record_from(vec![("k", Value::Int(i % m)), (tag, Value::Int(i))]))
                 .collect(),
         ))
     };
@@ -167,14 +163,14 @@ pub fn join_query(left: Expr, right: Expr, strategy: Option<JoinStrategy>) -> Ex
         Some(strategy) => Expr::Join {
             kind: CollKind::Set,
             strategy,
-            left: Box::new(left),
-            right: Box::new(right),
+            left: Arc::new(left),
+            right: Arc::new(right),
             lvar: nrc::name("l"),
             rvar: nrc::name("r"),
-            left_key: Some(Box::new(Expr::proj(Expr::var("l"), "k"))),
-            right_key: Some(Box::new(Expr::proj(Expr::var("r"), "k"))),
-            cond: Box::new(Expr::bool(true)),
-            body: Box::new(body),
+            left_key: Some(Arc::new(Expr::proj(Expr::var("l"), "k"))),
+            right_key: Some(Arc::new(Expr::proj(Expr::var("r"), "k"))),
+            cond: Arc::new(Expr::bool(true)),
+            body: Arc::new(body),
         },
     }
 }
@@ -273,6 +269,197 @@ pub fn bind_uids(session: &mut Session, fed: &BioFederation, n: usize) {
     session.bind_value("UIDS", Value::set(uids));
 }
 
+/// Rewrite every `ParExt` in the plan to the requested width (1 =
+/// sequential), sharing untouched subtrees.
+pub fn set_par_width(e: &Expr, width: usize) -> Expr {
+    fn go(e: &Arc<Expr>, width: usize) -> Arc<Expr> {
+        let e = Expr::map_children_shared(e, &mut |c| go(c, width));
+        match &*e {
+            Expr::ParExt {
+                kind,
+                var,
+                body,
+                source,
+                ..
+            } => Arc::new(Expr::ParExt {
+                kind: *kind,
+                var: var.clone(),
+                body: body.clone(),
+                source: source.clone(),
+                max_in_flight: width,
+            }),
+            _ => e,
+        }
+    }
+    (*go(&Arc::new(e.clone()), width)).clone()
+}
+
+// ------------------------------------------------------------------------
+// E9: structural sharing of plans (the `plan_sharing` bench).
+// ------------------------------------------------------------------------
+
+/// A deep nested comprehension: `depth` levels of
+/// `U{ if xi < B then {[a = xi + 1, b = xi * 2, s = {inner}]} else {} | \xi <- inner }`
+/// over a small constant set — wide enough per level that the plan has a
+/// few hundred nodes, and shaped so the monadic rules genuinely rewrite
+/// parts of it on the first optimizer pass.
+pub fn deep_comprehension(depth: usize, width: i64) -> Expr {
+    let mut e = int_set(width);
+    for i in 0..depth {
+        let v = format!("x{i}");
+        let xi = || Expr::var(&v);
+        // a wide record of nested arithmetic per level keeps the plan at
+        // realistic size (tens of nodes per comprehension level)
+        let field = |mul: i64, add: i64| {
+            Expr::prim(
+                Prim::Add,
+                vec![
+                    Expr::prim(
+                        Prim::Mul,
+                        vec![xi(), Expr::prim(Prim::Add, vec![xi(), Expr::int(mul)])],
+                    ),
+                    Expr::prim(Prim::Mod, vec![xi(), Expr::int(add)]),
+                ],
+            )
+        };
+        let body = Expr::if_(
+            Expr::prim(Prim::Lt, vec![xi(), Expr::int(width * 2)]),
+            Expr::single(
+                CollKind::Set,
+                Expr::record(vec![
+                    ("a", field(1, 7)),
+                    ("b", field(2, 11)),
+                    ("c", field(3, 13)),
+                    ("d", field(5, 17)),
+                    ("e", field(8, 19)),
+                    ("f", field(13, 23)),
+                ]),
+            ),
+            Expr::Empty(CollKind::Set),
+        );
+        // keep the next level iterating ints, not records
+        let proj = Expr::ext(
+            CollKind::Set,
+            "r",
+            Expr::single(CollKind::Set, Expr::proj(Expr::var("r"), "a")),
+            Expr::ext(CollKind::Set, &v, body, e),
+        );
+        e = proj;
+    }
+    e
+}
+
+/// Run one rule set to fixpoint the way the pre-sharing engine did:
+/// every pass rebuilds **every** node of the plan (one fresh allocation
+/// per node, exactly like the old `Box<Expr>` `map_children`), and the
+/// fixpoint test is the structural `changed` flag. This is the honest
+/// baseline for the `plan_sharing` bench — same rules, same strategy,
+/// same fixpoint bound, different plan representation discipline.
+pub fn legacy_run_rule_set(
+    rs: &kleisli_opt::RuleSet,
+    e: Arc<Expr>,
+    ctx: &kleisli_opt::RuleCtx<'_>,
+) -> Arc<Expr> {
+    fn rebuild_all(
+        rs: &kleisli_opt::RuleSet,
+        e: &Arc<Expr>,
+        ctx: &kleisli_opt::RuleCtx<'_>,
+        changed: &mut bool,
+        top_down: bool,
+    ) -> Arc<Expr> {
+        let apply_here = |mut cur: Arc<Expr>, changed: &mut bool| -> Arc<Expr> {
+            'outer: for _ in 0..ctx.config.max_passes {
+                for rule in &rs.rules {
+                    if let Some(new) = (rule.apply)(&cur, ctx) {
+                        *changed = true;
+                        cur = Arc::new(new);
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            cur
+        };
+        let go_children = |e: &Arc<Expr>, changed: &mut bool| -> Arc<Expr> {
+            let rebuilt =
+                Expr::map_children_shared(e, &mut |c| rebuild_all(rs, c, ctx, changed, top_down));
+            // Force the old representation's cost model: one fresh node
+            // allocation per plan node per pass, even when unchanged.
+            if Arc::ptr_eq(&rebuilt, e) {
+                Arc::new((**e).clone())
+            } else {
+                rebuilt
+            }
+        };
+        if top_down {
+            let e2 = apply_here(Arc::clone(e), changed);
+            go_children(&e2, changed)
+        } else {
+            let e2 = go_children(e, changed);
+            apply_here(e2, changed)
+        }
+    }
+    let top_down = matches!(rs.strategy, kleisli_opt::Strategy::TopDown);
+    let mut e = e;
+    for _ in 0..ctx.config.max_passes {
+        let mut changed = false;
+        e = rebuild_all(rs, &e, ctx, &mut changed, top_down);
+        if !changed {
+            break;
+        }
+    }
+    e
+}
+
+/// Fixpoint over the resolve + monadic sets with the sharing engine.
+pub fn shared_fixpoint(e: Arc<Expr>, config: &OptConfig) -> Arc<Expr> {
+    let ctx = kleisli_opt::RuleCtx {
+        catalog: &kleisli_opt::NullCatalog,
+        config,
+    };
+    let mut trace = Vec::new();
+    let e = kleisli_opt::rules::resolve::rule_set().run(e, &ctx, &mut trace);
+    kleisli_opt::rules::monadic::rule_set().run(e, &ctx, &mut trace)
+}
+
+/// Fixpoint over the same sets with the legacy rebuild-every-pass engine.
+pub fn legacy_fixpoint(e: Arc<Expr>, config: &OptConfig) -> Arc<Expr> {
+    let ctx = kleisli_opt::RuleCtx {
+        catalog: &kleisli_opt::NullCatalog,
+        config,
+    };
+    let e = legacy_run_rule_set(&kleisli_opt::rules::resolve::rule_set(), e, &ctx);
+    legacy_run_rule_set(&kleisli_opt::rules::monadic::rule_set(), e, &ctx)
+}
+
+/// The deep clones the pre-sharing streaming executor performed while
+/// assembling the `ExtStream` chain for the first output element: one
+/// full copy of the remaining body at every comprehension level. The
+/// returned node count keeps the optimizer from eliding the work.
+pub fn legacy_stream_clone_cost(e: &Expr) -> usize {
+    match e {
+        Expr::Ext { body, source, .. } => {
+            let cloned = body.deep_clone();
+            cloned.size() + legacy_stream_clone_cost(source)
+        }
+        Expr::Union(_, a, b) => {
+            // the lazy right side was cloned up front
+            let cloned = b.deep_clone();
+            cloned.size() + legacy_stream_clone_cost(a)
+        }
+        _ => 0,
+    }
+}
+
+/// Build the stream for `e` and pull the first element (the paper's
+/// fast-first-response path); returns how many rows came out.
+pub fn stream_first(e: &Expr) -> usize {
+    let ctx = Arc::new(Context::new());
+    kleisli_exec::first_n(e, 1, &Env::empty(), &ctx)
+        .expect("stream")
+        .len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,12 +487,7 @@ mod tests {
     fn join_workloads_agree_across_strategies() {
         let (l, r) = join_inputs(200, 10);
         let ctx = Context::new();
-        let naive = eval(
-            &join_query(l.clone(), r.clone(), None),
-            &Env::empty(),
-            &ctx,
-        )
-        .unwrap();
+        let naive = eval(&join_query(l.clone(), r.clone(), None), &Env::empty(), &ctx).unwrap();
         for s in [
             JoinStrategy::BlockedNl { block_size: 64 },
             JoinStrategy::IndexedNl,

@@ -92,15 +92,28 @@ impl Value {
     }
 
     /// Build a canonical set from arbitrary elements (sorts and dedups).
+    ///
+    /// Already-ordered input (common for range-generated data and for
+    /// elements coming out of another canonical set) skips the sort
+    /// entirely; otherwise an unstable sort is used — equal elements are
+    /// indistinguishable under the total order, so stability buys nothing,
+    /// and `sort_unstable` avoids the stable sort's allocation.
     pub fn set(mut elems: Vec<Value>) -> Value {
-        elems.sort();
+        if !elems.is_sorted() {
+            elems.sort_unstable();
+        }
         elems.dedup();
         Value::Set(Arc::new(elems))
     }
 
     /// Build a canonical bag from arbitrary elements (sorts, keeps dups).
+    /// Same fast path as [`Value::set`]: skip the sort when ordered, and
+    /// sort unstably otherwise (duplicates compare equal, so the result
+    /// is identical).
     pub fn bag(mut elems: Vec<Value>) -> Value {
-        elems.sort();
+        if !elems.is_sorted() {
+            elems.sort_unstable();
+        }
         Value::Bag(Arc::new(elems))
     }
 
@@ -351,6 +364,17 @@ mod tests {
         let b = Value::set(vec![v(1), v(2), v(3)]);
         assert_eq!(a, b);
         assert_eq!(a.len(), Some(3));
+    }
+
+    #[test]
+    fn presorted_input_takes_the_no_sort_path() {
+        // Same canonical result whether the input was sorted or not.
+        let sorted = Value::set((0..100).map(v).collect());
+        let shuffled = Value::set((0..100).rev().map(v).collect());
+        assert_eq!(sorted, shuffled);
+        let sorted = Value::bag(vec![v(1), v(1), v(2)]);
+        let shuffled = Value::bag(vec![v(2), v(1), v(1)]);
+        assert_eq!(sorted, shuffled);
     }
 
     #[test]

@@ -81,13 +81,13 @@ fn desugar_in(e: &CExpr, defs: &Definitions, scope: &mut Vec<Name>) -> KResult<E
         CExpr::Record(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (n, fe) in fields {
-                out.push((Arc::clone(n), desugar_in(fe, defs, scope)?));
+                out.push((Arc::clone(n), Arc::new(desugar_in(fe, defs, scope)?)));
             }
             Ok(Expr::Record(out))
         }
         CExpr::Variant(tag, inner) => Ok(Expr::Inject(
             Arc::clone(tag),
-            Box::new(desugar_in(inner, defs, scope)?),
+            Arc::new(desugar_in(inner, defs, scope)?),
         )),
         CExpr::Coll(kind, elems) => {
             let mut acc = Expr::Empty(*kind);
@@ -102,7 +102,7 @@ fn desugar_in(e: &CExpr, defs: &Definitions, scope: &mut Vec<Name>) -> KResult<E
         }
         CExpr::Comp { kind, head, quals } => desugar_comp(*kind, head, quals, defs, scope),
         CExpr::Proj(inner, field) => Ok(Expr::Proj(
-            Box::new(desugar_in(inner, defs, scope)?),
+            Arc::new(desugar_in(inner, defs, scope)?),
             Arc::clone(field),
         )),
         CExpr::App(f, args) => desugar_app(f, args, defs, scope),
@@ -111,30 +111,23 @@ fn desugar_in(e: &CExpr, defs: &Definitions, scope: &mut Vec<Name>) -> KResult<E
             desugar_in(t, defs, scope)?,
             desugar_in(el, defs, scope)?,
         )),
-        CExpr::BinOp(p, a, b) => Ok(Expr::Prim(
+        CExpr::BinOp(p, a, b) => Ok(Expr::prim(
             *p,
             vec![desugar_in(a, defs, scope)?, desugar_in(b, defs, scope)?],
         )),
-        CExpr::UnOp(p, a) => Ok(Expr::Prim(*p, vec![desugar_in(a, defs, scope)?])),
+        CExpr::UnOp(p, a) => Ok(Expr::prim(*p, vec![desugar_in(a, defs, scope)?])),
         CExpr::Lambda(alts) => {
             let arg = fresh("arg");
-            let mut acc = Expr::Prim(
+            let mut acc = Expr::prim(
                 Prim::Fail,
                 vec![Expr::str("no pattern alternative matched the argument")],
             );
             for (pat, body) in alts.iter().rev() {
-                acc = compile_match(
-                    pat,
-                    &Expr::Var(Arc::clone(&arg)),
-                    body,
-                    acc,
-                    defs,
-                    scope,
-                )?;
+                acc = compile_match(pat, &Expr::Var(Arc::clone(&arg)), body, acc, defs, scope)?;
             }
             Ok(Expr::Lambda {
                 var: arg,
-                body: Box::new(acc),
+                body: Arc::new(acc),
             })
         }
         CExpr::LetIn { pat, def, body } => {
@@ -146,28 +139,19 @@ fn desugar_in(e: &CExpr, defs: &Definitions, scope: &mut Vec<Name>) -> KResult<E
                     scope.pop();
                     Ok(Expr::Let {
                         var: Arc::clone(x),
-                        def: Box::new(def_e),
-                        body: Box::new(body_e?),
+                        def: Arc::new(def_e),
+                        body: Arc::new(body_e?),
                     })
                 }
                 _ => {
                     let tmp = fresh("let");
-                    let fail = Expr::Prim(
-                        Prim::Fail,
-                        vec![Expr::str("let pattern did not match")],
-                    );
-                    let matched = compile_match(
-                        pat,
-                        &Expr::Var(Arc::clone(&tmp)),
-                        body,
-                        fail,
-                        defs,
-                        scope,
-                    )?;
+                    let fail = Expr::prim(Prim::Fail, vec![Expr::str("let pattern did not match")]);
+                    let matched =
+                        compile_match(pat, &Expr::Var(Arc::clone(&tmp)), body, fail, defs, scope)?;
                     Ok(Expr::Let {
                         var: tmp,
-                        def: Box::new(def_e),
-                        body: Box::new(matched),
+                        def: Arc::new(def_e),
+                        body: Arc::new(matched),
                     })
                 }
             }
@@ -176,8 +160,12 @@ fn desugar_in(e: &CExpr, defs: &Definitions, scope: &mut Vec<Name>) -> KResult<E
 }
 
 fn resolve_var(n: &Name, defs: &Definitions, scope: &[Name]) -> KResult<Expr> {
-    if scope.iter().any(|s| s == n) {
-        return Ok(Expr::Var(Arc::clone(n)));
+    // Clone the *binder's* allocation (innermost match), not the use
+    // site's: the parser allots a fresh `Arc<str>` per occurrence, and
+    // sharing the binder's is what makes `Env::lookup`'s `Arc::ptr_eq`
+    // fast path hit at run time.
+    if let Some(binder) = scope.iter().rev().find(|s| *s == n) {
+        return Ok(Expr::Var(Arc::clone(binder)));
     }
     if let Some(def) = defs.get(n) {
         return Ok(def.clone());
@@ -187,11 +175,13 @@ fn resolve_var(n: &Name, defs: &Definitions, scope: &[Name]) -> KResult<Expr> {
         let vars: Vec<Name> = (0..p.arity()).map(|_| fresh("eta")).collect();
         let call = Expr::Prim(
             p,
-            vars.iter().map(|v| Expr::Var(Arc::clone(v))).collect(),
+            vars.iter()
+                .map(|v| Arc::new(Expr::Var(Arc::clone(v))))
+                .collect(),
         );
         return Ok(vars.into_iter().rev().fold(call, |body, var| Expr::Lambda {
             var,
-            body: Box::new(body),
+            body: Arc::new(body),
         }));
     }
     Err(KError::Unbound(n.to_string()))
@@ -232,8 +222,8 @@ fn desugar_comp(
             Ok(Expr::Ext {
                 kind,
                 var,
-                body: Box::new(body),
-                source: Box::new(src_e),
+                body: Arc::new(body),
+                source: Arc::new(src_e),
             })
         }
     }
@@ -264,7 +254,7 @@ fn desugar_app(
                 for a in args {
                     out.push(desugar_in(a, defs, scope)?);
                 }
-                return Ok(Expr::Prim(p, out));
+                return Ok(Expr::prim(p, out));
             }
         }
     }
@@ -312,9 +302,9 @@ fn desugar_open(_kind: &'static str, opener: &Name, args: &[CExpr]) -> KResult<E
     let req = fresh("req");
     Ok(Expr::Lambda {
         var: Arc::clone(&req),
-        body: Box::new(Expr::RemoteApp {
+        body: Arc::new(Expr::RemoteApp {
             driver: server,
-            arg: Box::new(Expr::Var(req)),
+            arg: Arc::new(Expr::Var(req)),
         }),
     })
 }
@@ -352,8 +342,8 @@ fn compile_pattern(
         Pattern::Wild => Ok(success),
         Pattern::Bind(x) => Ok(Expr::Let {
             var: Arc::clone(x),
-            def: Box::new(scrut.clone()),
-            body: Box::new(success),
+            def: Arc::new(scrut.clone()),
+            body: Arc::new(success),
         }),
         Pattern::Lit(v) => Ok(Expr::if_(
             Expr::eq(scrut.clone(), Expr::Const(v.clone())),
@@ -362,11 +352,7 @@ fn compile_pattern(
         )),
         Pattern::EqVar(x) => {
             let reference = resolve_var(x, defs, scope)?;
-            Ok(Expr::if_(
-                Expr::eq(scrut.clone(), reference),
-                success,
-                fail,
-            ))
+            Ok(Expr::if_(Expr::eq(scrut.clone(), reference), success, fail))
         }
         Pattern::Variant(tag, inner) => {
             let v = fresh("v");
@@ -379,13 +365,13 @@ fn compile_pattern(
                 scope,
             )?;
             Ok(Expr::Case {
-                scrutinee: Box::new(scrut.clone()),
+                scrutinee: Arc::new(scrut.clone()),
                 arms: vec![CaseArm {
                     tag: Arc::clone(tag),
                     var: v,
-                    body: arm_body,
+                    body: Arc::new(arm_body),
                 }],
-                default: Some(Box::new(fail)),
+                default: Some(Arc::new(fail)),
             })
         }
         Pattern::Record(fields, open) => {
@@ -402,7 +388,7 @@ fn compile_pattern(
             // patterns.
             let mut acc = success;
             for (fname, fpat) in fields.iter().rev() {
-                let proj = Expr::Proj(Box::new(scrut_var.clone()), Arc::clone(fname));
+                let proj = Expr::Proj(Arc::new(scrut_var.clone()), Arc::clone(fname));
                 // extend scope with variables bound by *earlier* fields
                 let mut earlier: Vec<Name> = Vec::new();
                 for (en, ep) in fields {
@@ -413,14 +399,10 @@ fn compile_pattern(
                 }
                 let depth = scope.len();
                 scope.extend(earlier);
-                let compiled =
-                    compile_pattern(fpat, &proj, acc, fail.clone(), defs, scope);
+                let compiled = compile_pattern(fpat, &proj, acc, fail.clone(), defs, scope);
                 scope.truncate(depth);
                 acc = Expr::if_(
-                    Expr::Prim(
-                        Prim::HasField,
-                        vec![scrut_var.clone(), Expr::str(&**fname)],
-                    ),
+                    Expr::prim(Prim::HasField, vec![scrut_var.clone(), Expr::str(&**fname)]),
                     compiled?,
                     fail.clone(),
                 );
@@ -428,7 +410,7 @@ fn compile_pattern(
             if !*open {
                 acc = Expr::if_(
                     Expr::eq(
-                        Expr::Prim(Prim::RecordWidth, vec![scrut_var.clone()]),
+                        Expr::prim(Prim::RecordWidth, vec![scrut_var.clone()]),
                         Expr::int(fields.len() as i64),
                     ),
                     acc,
@@ -438,8 +420,8 @@ fn compile_pattern(
             Ok(match wrap {
                 Some(tmp) => Expr::Let {
                     var: tmp,
-                    def: Box::new(scrut.clone()),
-                    body: Box::new(acc),
+                    def: Arc::new(scrut.clone()),
+                    body: Arc::new(acc),
                 },
                 None => acc,
             })
@@ -493,6 +475,26 @@ mod tests {
             }
             other => panic!("unexpected {other}"),
         }
+    }
+
+    #[test]
+    fn use_sites_share_the_binders_allocation() {
+        // `Env::lookup`'s Arc::ptr_eq fast path relies on desugaring
+        // cloning the binder's Name, not the parser's per-occurrence one.
+        let e = ds(r"{x | \x <- DB}");
+        let mut shared = false;
+        e.visit(&mut |n| {
+            if let Expr::Let { var, body, .. } = n {
+                if let Expr::Single(_, inner) = &**body {
+                    if let Expr::Var(v) = &**inner {
+                        if Arc::ptr_eq(var, v) {
+                            shared = true;
+                        }
+                    }
+                }
+            }
+        });
+        assert!(shared, "use site must share the binder's allocation: {e}");
     }
 
     #[test]

@@ -63,10 +63,15 @@ impl Env {
         })))
     }
 
-    pub fn lookup(&self, name: &str) -> Option<&Rt> {
+    /// Resolve a variable. After desugaring, a binder and its use sites
+    /// share one `Name` allocation (`Arc<str>`), so the common case is the
+    /// `Arc::ptr_eq` hit — one pointer comparison per frame, no character
+    /// scan. The string comparison remains as the correctness fallback for
+    /// names built independently (e.g. hand-assembled plans in tests).
+    pub fn lookup(&self, name: &Name) -> Option<&Rt> {
         let mut cur = self;
         while let Some(node) = &cur.0 {
-            if &*node.name == name {
+            if Arc::ptr_eq(&node.name, name) || node.name == *name {
                 return Some(&node.value);
             }
             cur = &node.next;
@@ -81,17 +86,32 @@ mod tests {
 
     #[test]
     fn bind_and_shadow() {
+        let x: Name = Arc::from("x");
         let e = Env::empty();
-        assert!(e.lookup("x").is_none());
-        let e1 = e.bind(Arc::from("x"), Rt::Val(Value::Int(1)));
-        let e2 = e1.bind(Arc::from("x"), Rt::Val(Value::Int(2)));
-        match e2.lookup("x") {
+        assert!(e.lookup(&x).is_none());
+        let e1 = e.bind(Arc::clone(&x), Rt::Val(Value::Int(1)));
+        let e2 = e1.bind(Arc::clone(&x), Rt::Val(Value::Int(2)));
+        match e2.lookup(&x) {
             Some(Rt::Val(Value::Int(2))) => {}
             other => panic!("unexpected {other:?}"),
         }
         // the original env is unchanged
-        match e1.lookup("x") {
+        match e1.lookup(&x) {
             Some(Rt::Val(Value::Int(1))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_matches_by_content_even_without_shared_allocation() {
+        // Two distinct `Arc<str>` allocations with equal contents must
+        // still resolve — the ptr_eq fast path is an optimization only.
+        let binder: Name = Arc::from("variable");
+        let use_site: Name = Arc::from("variable");
+        assert!(!Arc::ptr_eq(&binder, &use_site));
+        let env = Env::empty().bind(binder, Rt::Val(Value::Int(7)));
+        match env.lookup(&use_site) {
+            Some(Rt::Val(Value::Int(7))) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

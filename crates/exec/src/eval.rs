@@ -35,7 +35,7 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
         }
         Expr::Lambda { var, body } => Ok(Rt::Closure {
             var: Arc::clone(var),
-            body: Arc::new((**body).clone()),
+            body: Arc::clone(body),
             env: env.clone(),
         }),
         Expr::Apply(f, a) => {
@@ -63,9 +63,11 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
         Expr::Proj(inner, field) => {
             let v = eval(inner, env, ctx)?;
             match &v {
-                Value::Record(r) => r.get(field).cloned().map(Rt::Val).ok_or_else(|| {
-                    KError::eval(format!("record has no field '{field}': {v}"))
-                }),
+                Value::Record(r) => r
+                    .get(field)
+                    .cloned()
+                    .map(Rt::Val)
+                    .ok_or_else(|| KError::eval(format!("record has no field '{field}': {v}"))),
                 other => Err(KError::eval(format!(
                     "projection '.{field}' on non-record {}",
                     other.kind_name()
@@ -96,15 +98,14 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
             }
             match default {
                 Some(d) => eval_rt(d, env, ctx),
-                None => Err(KError::eval(format!(
-                    "no case arm for variant tag '{tag}'"
-                ))),
+                None => Err(KError::eval(format!("no case arm for variant tag '{tag}'"))),
             }
         }
         Expr::Empty(kind) => Ok(Rt::Val(Value::empty(*kind))),
-        Expr::Single(kind, inner) => {
-            Ok(Rt::Val(Value::collection(*kind, vec![eval(inner, env, ctx)?])))
-        }
+        Expr::Single(kind, inner) => Ok(Rt::Val(Value::collection(
+            *kind,
+            vec![eval(inner, env, ctx)?],
+        ))),
         Expr::Union(kind, a, b) => {
             let va = eval(a, env, ctx)?;
             let vb = eval(b, env, ctx)?;
@@ -188,9 +189,9 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
                     // result is identical to a nested loop). Equi-keys, if
                     // present, are folded into the condition.
                     let cond = match (left_key, right_key) {
-                        (Some(lk), Some(rk)) => Expr::and(
-                            Expr::eq((**lk).clone(), (**rk).clone()),
-                            (**cond).clone(),
+                        (Some(lk), Some(rk)) => Expr::and_arc(
+                            Arc::new(Expr::eq_arc(Arc::clone(lk), Arc::clone(rk))),
+                            Arc::clone(cond),
                         ),
                         _ => (**cond).clone(),
                     };
@@ -214,12 +215,12 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
                 }
                 JoinStrategy::IndexedNl => {
                     // Build an index on the fly over the inner relation.
-                    let rk = right_key.as_ref().ok_or_else(|| {
-                        KError::eval("indexed join without a right key")
-                    })?;
-                    let lk = left_key.as_ref().ok_or_else(|| {
-                        KError::eval("indexed join without a left key")
-                    })?;
+                    let rk = right_key
+                        .as_ref()
+                        .ok_or_else(|| KError::eval("indexed join without a right key"))?;
+                    let lk = left_key
+                        .as_ref()
+                        .ok_or_else(|| KError::eval("indexed join without a left key"))?;
                     let mut index: HashMap<Value, Vec<&Value>> = HashMap::new();
                     for r in relems {
                         let env2 = env.bind(Arc::clone(rvar), Rt::Val(r.clone()));
@@ -433,7 +434,10 @@ mod tests {
                     ),
                 ),
                 ("journal", journal),
-                ("keywd", Value::set(kw.into_iter().map(Value::str).collect())),
+                (
+                    "keywd",
+                    Value::set(kw.into_iter().map(Value::str).collect()),
+                ),
             ])
         };
         Value::set(vec![
@@ -641,11 +645,8 @@ mod tests {
         let mut defs = Definitions::new();
         defs.insert_value("L", left.clone());
         defs.insert_value("R", right.clone());
-        let reference = run_with(
-            r"{[a = l.v, b = r.v] | \l <- L, \r <- R, l.k = r.k}",
-            &defs,
-        )
-        .unwrap();
+        let reference =
+            run_with(r"{[a = l.v, b = r.v] | \l <- L, \r <- R, l.k = r.k}", &defs).unwrap();
 
         let body = Expr::single(
             CollKind::Set,
@@ -661,17 +662,17 @@ mod tests {
             let e = Expr::Join {
                 kind: CollKind::Set,
                 strategy: strategy.clone(),
-                left: Box::new(Expr::Const(left.clone())),
-                right: Box::new(Expr::Const(right.clone())),
+                left: Arc::new(Expr::Const(left.clone())),
+                right: Arc::new(Expr::Const(right.clone())),
                 lvar: name("l"),
                 rvar: name("r"),
-                left_key: Some(Box::new(Expr::proj(Expr::var("l"), "k"))),
-                right_key: Some(Box::new(Expr::proj(Expr::var("r"), "k"))),
-                cond: Box::new(Expr::eq(
+                left_key: Some(Arc::new(Expr::proj(Expr::var("l"), "k"))),
+                right_key: Some(Arc::new(Expr::proj(Expr::var("r"), "k"))),
+                cond: Arc::new(Expr::eq(
                     Expr::proj(Expr::var("l"), "k"),
                     Expr::proj(Expr::var("r"), "k"),
                 )),
-                body: Box::new(body.clone()),
+                body: Arc::new(body.clone()),
             };
             let got = eval(&e, &Env::empty(), &Context::new()).unwrap();
             assert_eq!(got, reference, "strategy {strategy:?}");
@@ -684,7 +685,7 @@ mod tests {
         let inner = Expr::single(CollKind::Set, Expr::int(1));
         let e = Expr::Cached {
             id: 99,
-            expr: Box::new(inner),
+            expr: Arc::new(inner),
         };
         let v1 = eval(&e, &Env::empty(), &ctx).unwrap();
         ctx.cache_put(99, Value::set(vec![Value::Int(42)])); // prove it reads the cache
@@ -699,19 +700,19 @@ mod tests {
         let src = Value::set((0..50).map(Value::Int).collect());
         let body = Expr::single(
             CollKind::Set,
-            Expr::Prim(Prim::Mul, vec![Expr::var("x"), Expr::int(3)]),
+            Expr::prim(Prim::Mul, vec![Expr::var("x"), Expr::int(3)]),
         );
         let seq = Expr::Ext {
             kind: CollKind::Set,
             var: name("x"),
-            body: Box::new(body.clone()),
-            source: Box::new(Expr::Const(src.clone())),
+            body: Arc::new(body.clone()),
+            source: Arc::new(Expr::Const(src.clone())),
         };
         let par = Expr::ParExt {
             kind: CollKind::Set,
             var: name("x"),
-            body: Box::new(body),
-            source: Box::new(Expr::Const(src)),
+            body: Arc::new(body),
+            source: Arc::new(Expr::Const(src)),
             max_in_flight: 8,
         };
         let ctx = Context::new();
@@ -729,8 +730,8 @@ mod tests {
         let par = Expr::ParExt {
             kind: CollKind::List,
             var: name("x"),
-            body: Box::new(body),
-            source: Box::new(Expr::Const(src.clone())),
+            body: Arc::new(body),
+            source: Arc::new(Expr::Const(src.clone())),
             max_in_flight: 4,
         };
         let got = eval(&par, &Env::empty(), &Context::new()).unwrap();

@@ -39,7 +39,8 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             let sa = eval_stream(a, env, ctx)?;
             // The right operand is compiled lazily so that a consumer that
             // stops inside the left operand never evaluates the right one.
-            let b = (**b).clone();
+            // Cloning the Arc is O(1) regardless of plan size.
+            let b = Arc::clone(b);
             let env2 = env.clone();
             let ctx2 = Arc::clone(ctx);
             let sb = LazyStream::new(move || eval_stream(&b, &env2, &ctx2));
@@ -53,7 +54,7 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                 source: src,
                 current: None,
                 var: Arc::clone(var),
-                body: (**body).clone(),
+                body: Arc::clone(body),
                 env: env.clone(),
                 ctx: Arc::clone(ctx),
                 failed: false,
@@ -114,21 +115,24 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                         pending: Vec::new(),
                         lvar: Arc::clone(lvar),
                         rvar: Arc::clone(rvar),
-                        left_key: (**lk).clone(),
-                        cond: (**cond).clone(),
-                        body: (**body).clone(),
+                        left_key: Arc::clone(lk),
+                        cond: Arc::clone(cond),
+                        body: Arc::clone(body),
                         env: env.clone(),
                         ctx: Arc::clone(ctx),
                         failed: false,
                     }))
                 }
                 JoinStrategy::BlockedNl { .. } => {
+                    // Fold equi-keys into the condition; the two fresh
+                    // nodes reference the existing key/cond subplans by
+                    // Arc, so this is O(1) in plan size.
                     let cond = match (left_key, right_key) {
-                        (Some(lk), Some(rk)) => Expr::and(
-                            Expr::eq((**lk).clone(), (**rk).clone()),
-                            (**cond).clone(),
-                        ),
-                        _ => (**cond).clone(),
+                        (Some(lk), Some(rk)) => Arc::new(Expr::and_arc(
+                            Arc::new(Expr::eq_arc(Arc::clone(lk), Arc::clone(rk))),
+                            Arc::clone(cond),
+                        )),
+                        _ => Arc::clone(cond),
                     };
                     Ok(Box::new(NlJoinStream {
                         left: lstream,
@@ -137,7 +141,7 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                         lvar: Arc::clone(lvar),
                         rvar: Arc::clone(rvar),
                         cond,
-                        body: (**body).clone(),
+                        body: Arc::clone(body),
                         env: env.clone(),
                         ctx: Arc::clone(ctx),
                         failed: false,
@@ -157,7 +161,7 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                 source: src,
                 buffer: Vec::new(),
                 var: Arc::clone(var),
-                body: (**body).clone(),
+                body: Arc::clone(body),
                 env: env.clone(),
                 ctx: Arc::clone(ctx),
                 width: (*max_in_flight).max(1),
@@ -238,7 +242,7 @@ struct ExtStream {
     source: RowStream,
     current: Option<RowStream>,
     var: Name,
-    body: Expr,
+    body: Arc<Expr>,
     env: Env,
     ctx: Arc<Context>,
     failed: bool,
@@ -285,8 +289,8 @@ struct NlJoinStream {
     pending: Vec<Value>,
     lvar: Name,
     rvar: Name,
-    cond: Expr,
-    body: Expr,
+    cond: Arc<Expr>,
+    body: Arc<Expr>,
     env: Env,
     ctx: Arc<Context>,
     failed: bool,
@@ -344,9 +348,9 @@ struct IndexedJoinStream {
     pending: Vec<Value>,
     lvar: Name,
     rvar: Name,
-    left_key: Expr,
-    cond: Expr,
-    body: Expr,
+    left_key: Arc<Expr>,
+    cond: Arc<Expr>,
+    body: Arc<Expr>,
     env: Env,
     ctx: Arc<Context>,
     failed: bool,
@@ -406,7 +410,7 @@ struct ParChunkStream {
     source: RowStream,
     buffer: Vec<Value>,
     var: Name,
-    body: Expr,
+    body: Arc<Expr>,
     env: Env,
     ctx: Arc<Context>,
     width: usize,
@@ -441,8 +445,9 @@ impl Iterator for ParChunkStream {
             if chunk.is_empty() {
                 return None;
             }
-            match eval_parallel(&chunk, &self.var, &self.body, &self.env, &self.ctx, self.width)
-            {
+            match eval_parallel(
+                &chunk, &self.var, &self.body, &self.env, &self.ctx, self.width,
+            ) {
                 Err(e) => {
                     self.failed = true;
                     return Some(Err(e));
@@ -546,7 +551,7 @@ mod tests {
             "x",
             Expr::if_(
                 Expr::eq(
-                    Expr::Prim(
+                    Expr::prim(
                         nrc::Prim::Mod,
                         vec![Expr::proj(Expr::var("x"), "n"), Expr::int(2)],
                     ),
@@ -608,17 +613,17 @@ mod tests {
             let e = Expr::Join {
                 kind: CollKind::Set,
                 strategy,
-                left: Box::new(left.clone()),
-                right: Box::new(right.clone()),
+                left: Arc::new(left.clone()),
+                right: Arc::new(right.clone()),
                 lvar: name("l"),
                 rvar: name("r"),
-                left_key: Some(Box::new(Expr::proj(Expr::var("l"), "k"))),
-                right_key: Some(Box::new(Expr::proj(Expr::var("r"), "k"))),
-                cond: Box::new(Expr::eq(
+                left_key: Some(Arc::new(Expr::proj(Expr::var("l"), "k"))),
+                right_key: Some(Arc::new(Expr::proj(Expr::var("r"), "k"))),
+                cond: Arc::new(Expr::eq(
                     Expr::proj(Expr::var("l"), "k"),
                     Expr::proj(Expr::var("r"), "k"),
                 )),
-                body: Box::new(body.clone()),
+                body: Arc::new(body.clone()),
             };
             let ctx = Arc::new(Context::new());
             let eager = eval(&e, &Env::empty(), &ctx).unwrap();
@@ -634,24 +639,27 @@ mod tests {
         let src = Expr::Const(Value::set((0..30).map(Value::Int).collect()));
         let body = Expr::single(
             CollKind::Set,
-            Expr::Prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(100)]),
+            Expr::prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(100)]),
         );
         let par = Expr::ParExt {
             kind: CollKind::Set,
             var: name("x"),
-            body: Box::new(body.clone()),
-            source: Box::new(src.clone()),
+            body: Arc::new(body.clone()),
+            source: Arc::new(src.clone()),
             max_in_flight: 4,
         };
         let seq = Expr::Ext {
             kind: CollKind::Set,
             var: name("x"),
-            body: Box::new(body),
-            source: Box::new(src),
+            body: Arc::new(body),
+            source: Arc::new(src),
         };
         let ctx = Arc::new(Context::new());
-        let a = collect_stream(eval_stream(&par, &Env::empty(), &ctx).unwrap(), CollKind::Set)
-            .unwrap();
+        let a = collect_stream(
+            eval_stream(&par, &Env::empty(), &ctx).unwrap(),
+            CollKind::Set,
+        )
+        .unwrap();
         let b = eval(&seq, &Env::empty(), &ctx).unwrap();
         assert_eq!(a, b);
     }
@@ -663,14 +671,12 @@ mod tests {
             "x",
             Expr::single(
                 CollKind::Set,
-                Expr::Prim(nrc::Prim::Div, vec![Expr::int(1), Expr::var("x")]),
+                Expr::prim(nrc::Prim::Div, vec![Expr::int(1), Expr::var("x")]),
             ),
             Expr::Const(Value::set(vec![Value::Int(0)])),
         );
         let ctx = Arc::new(Context::new());
-        let items: Vec<_> = eval_stream(&e, &Env::empty(), &ctx)
-            .unwrap()
-            .collect();
+        let items: Vec<_> = eval_stream(&e, &Env::empty(), &ctx).unwrap().collect();
         assert_eq!(items.len(), 1);
         assert!(items[0].is_err());
     }

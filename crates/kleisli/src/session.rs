@@ -92,9 +92,9 @@ impl Session {
             Arc::clone(&name),
             Expr::Lambda {
                 var: Arc::clone(&req),
-                body: Box::new(Expr::RemoteApp {
+                body: Arc::new(Expr::RemoteApp {
                     driver: Arc::clone(&name),
-                    arg: Box::new(Expr::Var(req)),
+                    arg: Arc::new(Expr::Var(req)),
                 }),
             },
         );
@@ -104,11 +104,11 @@ impl Session {
                 Arc::from(format!("{name}-Tab")),
                 Expr::Lambda {
                     var: Arc::clone(&t),
-                    body: Box::new(Expr::RemoteApp {
+                    body: Arc::new(Expr::RemoteApp {
                         driver: name,
-                        arg: Box::new(Expr::Record(vec![(
+                        arg: Arc::new(Expr::Record(vec![(
                             Arc::from("table"),
-                            Expr::Var(t),
+                            Arc::new(Expr::Var(t)),
                         )])),
                     }),
                 },

@@ -13,6 +13,33 @@
 //! shipped to a driver), [`Expr::Join`] (blocked / indexed nested-loop
 //! joins), [`Expr::Cached`] (memoized subquery), and [`Expr::ParExt`]
 //! (bounded-concurrency retrieval).
+//!
+//! # Structural sharing
+//!
+//! Every child slot is an [`Arc<Expr>`], which makes a plan a *persistent*
+//! (purely functional) DAG rather than an owned tree:
+//!
+//! * **Cloning is O(1).** `Expr::clone` copies one node and bumps the
+//!   reference counts of its children. Handing a plan (or any subplan) to
+//!   the streaming executor, a closure, or a cache never deep-copies it.
+//! * **Rewrites are persistent-style.** A transformation must never mutate
+//!   a node in place (other plans may share it); it builds new nodes along
+//!   the changed spine and re-links the unchanged children by `Arc::clone`.
+//!   [`Expr::map_children_shared`] and [`Expr::subst_shared`] implement
+//!   this discipline and *return the input `Arc` itself* (pointer-equal)
+//!   when nothing changed underneath.
+//! * **Pointer equality witnesses "no change".** Because every traversal
+//!   in the optimizer is sharing-preserving, the rewrite engine detects a
+//!   fixpoint with `Arc::ptr_eq` on the root instead of a structural
+//!   `PartialEq` walk, and a pass over an already-normalized subtree
+//!   allocates nothing at all.
+//!
+//! Anything that violates the discipline — returning a freshly rebuilt but
+//! structurally identical tree from a "no-op" — silently degrades the
+//! optimizer back to O(plan-size) per pass, so new rules should be written
+//! against the `*_shared` helpers. [`Expr::deep_clone`] exists only to
+//! deliberately *un*-share a plan (benchmarks measuring the cost of the
+//! old copying representation).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,10 +82,11 @@ pub enum JoinStrategy {
 pub struct CaseArm {
     pub tag: Name,
     pub var: Name,
-    pub body: Expr,
+    pub body: Arc<Expr>,
 }
 
-/// An NRC expression.
+/// An NRC expression. See the module docs for the structural-sharing
+/// invariants every producer and consumer relies on.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// A literal value.
@@ -66,49 +94,52 @@ pub enum Expr {
     Var(Name),
     Let {
         var: Name,
-        def: Box<Expr>,
-        body: Box<Expr>,
+        def: Arc<Expr>,
+        body: Arc<Expr>,
     },
     Lambda {
         var: Name,
-        body: Box<Expr>,
+        body: Arc<Expr>,
     },
-    Apply(Box<Expr>, Box<Expr>),
+    Apply(Arc<Expr>, Arc<Expr>),
     /// Record construction `[l1 = e1, ..., ln = en]`.
-    Record(Vec<(Name, Expr)>),
+    Record(Vec<(Name, Arc<Expr>)>),
     /// Field projection `e.l`.
-    Proj(Box<Expr>, Name),
+    Proj(Arc<Expr>, Name),
     /// Variant construction `<tag = e>`.
-    Inject(Name, Box<Expr>),
+    Inject(Name, Arc<Expr>),
     /// Variant elimination. `default` (if present) binds nothing and
     /// handles unlisted tags; without it an unlisted tag is a runtime error.
     Case {
-        scrutinee: Box<Expr>,
+        scrutinee: Arc<Expr>,
         arms: Vec<CaseArm>,
-        default: Option<Box<Expr>>,
+        default: Option<Arc<Expr>>,
     },
     /// The empty collection of the given kind.
     Empty(CollKind),
     /// The singleton collection `{e}` / `{|e|}` / `[|e|]`.
-    Single(CollKind, Box<Expr>),
+    Single(CollKind, Arc<Expr>),
     /// Collection union: set union, bag additive union, list append.
-    Union(CollKind, Box<Expr>, Box<Expr>),
+    Union(CollKind, Arc<Expr>, Arc<Expr>),
     /// The monad extension `U{ body | \var <- source }`.
     Ext {
         kind: CollKind,
         var: Name,
-        body: Box<Expr>,
-        source: Box<Expr>,
+        body: Arc<Expr>,
+        source: Arc<Expr>,
     },
-    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Primitive application.
-    Prim(Prim, Vec<Expr>),
+    Prim(Prim, Vec<Arc<Expr>>),
 
     /// A driver call whose request is computed at run time, e.g.
     /// `NA-Links(uid)` where `uid` is bound by an enclosing comprehension.
     /// When the argument is constant the optimizer lowers this to
     /// [`Expr::Remote`] so that pushdown rules can inspect the request.
-    RemoteApp { driver: Name, arg: Box<Expr> },
+    RemoteApp {
+        driver: Name,
+        arg: Arc<Expr>,
+    },
 
     // ---- physical nodes (introduced by the optimizer) ----
     /// A request shipped to a registered driver; evaluates to the set of
@@ -124,30 +155,33 @@ pub enum Expr {
     Join {
         kind: CollKind,
         strategy: JoinStrategy,
-        left: Box<Expr>,
-        right: Box<Expr>,
+        left: Arc<Expr>,
+        right: Arc<Expr>,
         lvar: Name,
         rvar: Name,
         /// Equi-join keys (over `lvar` / `rvar`), used by `IndexedNl`;
         /// `BlockedNl` folds them into `cond`.
-        left_key: Option<Box<Expr>>,
-        right_key: Option<Box<Expr>>,
+        left_key: Option<Arc<Expr>>,
+        right_key: Option<Arc<Expr>>,
         /// Residual join predicate (may be `Const(true)`).
-        cond: Box<Expr>,
+        cond: Arc<Expr>,
         /// Collection-valued output expression for each matching pair.
-        body: Box<Expr>,
+        body: Arc<Expr>,
     },
     /// Memoize the result of an outer-independent subquery (the paper's
     /// disk cache for inner relations; in-memory here).
-    Cached { id: u64, expr: Box<Expr> },
+    Cached {
+        id: u64,
+        expr: Arc<Expr>,
+    },
     /// `Ext` whose body issues remote requests: evaluate bodies for up to
     /// `max_in_flight` source elements concurrently and take the union of
     /// the results.
     ParExt {
         kind: CollKind,
         var: Name,
-        body: Box<Expr>,
-        source: Box<Expr>,
+        body: Arc<Expr>,
+        source: Arc<Expr>,
         max_in_flight: usize,
     },
 }
@@ -170,24 +204,24 @@ impl Expr {
     }
 
     pub fn proj(e: Expr, field: impl AsRef<str>) -> Expr {
-        Expr::Proj(Box::new(e), name(field))
+        Expr::Proj(Arc::new(e), name(field))
     }
 
     pub fn ext(kind: CollKind, var: impl AsRef<str>, body: Expr, source: Expr) -> Expr {
         Expr::Ext {
             kind,
             var: name(var),
-            body: Box::new(body),
-            source: Box::new(source),
+            body: Arc::new(body),
+            source: Arc::new(source),
         }
     }
 
     pub fn single(kind: CollKind, e: Expr) -> Expr {
-        Expr::Single(kind, Box::new(e))
+        Expr::Single(kind, Arc::new(e))
     }
 
     pub fn union(kind: CollKind, a: Expr, b: Expr) -> Expr {
-        Expr::Union(kind, Box::new(a), Box::new(b))
+        Expr::Union(kind, Arc::new(a), Arc::new(b))
     }
 
     pub fn record<I, S>(fields: I) -> Expr
@@ -198,99 +232,123 @@ impl Expr {
         Expr::Record(
             fields
                 .into_iter()
-                .map(|(n, e)| (name(n), e))
+                .map(|(n, e)| (name(n), Arc::new(e)))
                 .collect(),
         )
     }
 
     pub fn if_(c: Expr, t: Expr, f: Expr) -> Expr {
-        Expr::If(Box::new(c), Box::new(t), Box::new(f))
+        Expr::If(Arc::new(c), Arc::new(t), Arc::new(f))
     }
 
     pub fn eq(a: Expr, b: Expr) -> Expr {
-        Expr::Prim(Prim::Eq, vec![a, b])
+        Expr::Prim(Prim::Eq, vec![Arc::new(a), Arc::new(b)])
     }
 
     pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::Prim(Prim::And, vec![Arc::new(a), Arc::new(b)])
+    }
+
+    /// `eq` over already-shared operands — links the subplans by `Arc`.
+    pub fn eq_arc(a: Arc<Expr>, b: Arc<Expr>) -> Expr {
+        Expr::Prim(Prim::Eq, vec![a, b])
+    }
+
+    /// `and` over already-shared operands — links the subplans by `Arc`.
+    pub fn and_arc(a: Arc<Expr>, b: Arc<Expr>) -> Expr {
         Expr::Prim(Prim::And, vec![a, b])
     }
 
+    /// Primitive application over owned arguments (wraps each in an `Arc`).
+    pub fn prim(p: Prim, args: Vec<Expr>) -> Expr {
+        Expr::Prim(p, args.into_iter().map(Arc::new).collect())
+    }
+
     pub fn apply(f: Expr, a: Expr) -> Expr {
-        Expr::Apply(Box::new(f), Box::new(a))
+        Expr::Apply(Arc::new(f), Arc::new(a))
     }
 
     pub fn lambda(var: impl AsRef<str>, body: Expr) -> Expr {
         Expr::Lambda {
             var: name(var),
-            body: Box::new(body),
+            body: Arc::new(body),
         }
     }
 
     pub fn let_(var: impl AsRef<str>, def: Expr, body: Expr) -> Expr {
         Expr::Let {
             var: name(var),
-            def: Box::new(def),
-            body: Box::new(body),
+            def: Arc::new(def),
+            body: Arc::new(body),
         }
     }
 
+    /// Wrap in a shared handle (sugar for `Arc::new`).
+    pub fn arc(self) -> Arc<Expr> {
+        Arc::new(self)
+    }
+
     /// Number of AST nodes; used to bound rewriting and report in explain.
+    /// Shared subtrees are counted once per occurrence (tree size of the
+    /// unfolding), matching the pre-sharing semantics.
     pub fn size(&self) -> usize {
         let mut n = 0;
         self.visit(&mut |_| n += 1);
         n
     }
 
-    /// Visit every node (pre-order).
+    /// Visit every node (pre-order, through sharing).
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         f(self);
+        let mut go = |c: &'a Arc<Expr>| c.visit(f);
+        self.for_each_child(&mut go);
+    }
+
+    /// Apply `f` to each direct child handle, in evaluation order.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a Arc<Expr>)) {
         match self {
             Expr::Const(_) | Expr::Var(_) | Expr::Empty(_) | Expr::Remote { .. } => {}
             Expr::Let { def, body, .. } => {
-                def.visit(f);
-                body.visit(f);
+                f(def);
+                f(body);
             }
-            Expr::Lambda { body, .. } => body.visit(f),
-            Expr::Apply(a, b) => {
-                a.visit(f);
-                b.visit(f);
+            Expr::Lambda { body, .. } => f(body),
+            Expr::Apply(a, b) | Expr::Union(_, a, b) => {
+                f(a);
+                f(b);
             }
             Expr::Record(fields) => {
                 for (_, e) in fields {
-                    e.visit(f);
+                    f(e);
                 }
             }
-            Expr::Proj(e, _) | Expr::Inject(_, e) | Expr::Single(_, e) => e.visit(f),
-            Expr::RemoteApp { arg, .. } => arg.visit(f),
+            Expr::Proj(e, _) | Expr::Inject(_, e) | Expr::Single(_, e) => f(e),
+            Expr::RemoteApp { arg, .. } => f(arg),
             Expr::Case {
                 scrutinee,
                 arms,
                 default,
             } => {
-                scrutinee.visit(f);
+                f(scrutinee);
                 for arm in arms {
-                    arm.body.visit(f);
+                    f(&arm.body);
                 }
                 if let Some(d) = default {
-                    d.visit(f);
+                    f(d);
                 }
             }
-            Expr::Union(_, a, b) => {
-                a.visit(f);
-                b.visit(f);
-            }
             Expr::Ext { body, source, .. } | Expr::ParExt { body, source, .. } => {
-                body.visit(f);
-                source.visit(f);
+                f(body);
+                f(source);
             }
             Expr::If(c, t, e) => {
-                c.visit(f);
-                t.visit(f);
-                e.visit(f);
+                f(c);
+                f(t);
+                f(e);
             }
             Expr::Prim(_, args) => {
                 for a in args {
-                    a.visit(f);
+                    f(a);
                 }
             }
             Expr::Join {
@@ -302,75 +360,170 @@ impl Expr {
                 body,
                 ..
             } => {
-                left.visit(f);
-                right.visit(f);
+                f(left);
+                f(right);
                 if let Some(k) = left_key {
-                    k.visit(f);
+                    f(k);
                 }
                 if let Some(k) = right_key {
-                    k.visit(f);
+                    f(k);
                 }
-                cond.visit(f);
-                body.visit(f);
+                f(cond);
+                f(body);
             }
-            Expr::Cached { expr, .. } => expr.visit(f),
+            Expr::Cached { expr, .. } => f(expr),
         }
     }
 
-    /// Rebuild this node with children transformed by `f` (shallow map).
-    pub fn map_children(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
-        match self {
-            e @ (Expr::Const(_) | Expr::Var(_) | Expr::Empty(_) | Expr::Remote { .. }) => e,
+    /// Rebuild this node with each child handle transformed by `f`,
+    /// preserving sharing: when every child comes back pointer-equal, the
+    /// input handle itself is returned and nothing is allocated. This is
+    /// the traversal primitive of the rewrite engine — see the module docs.
+    pub fn map_children_shared(
+        e: &Arc<Expr>,
+        f: &mut impl FnMut(&Arc<Expr>) -> Arc<Expr>,
+    ) -> Arc<Expr> {
+        // `step` applies f and records whether any child changed.
+        fn step<F: FnMut(&Arc<Expr>) -> Arc<Expr>>(
+            c: &Arc<Expr>,
+            f: &mut F,
+            changed: &mut bool,
+        ) -> Arc<Expr> {
+            let out = f(c);
+            if !Arc::ptr_eq(&out, c) {
+                *changed = true;
+            }
+            out
+        }
+        let mut changed = false;
+        let rebuilt = match &**e {
+            Expr::Const(_) | Expr::Var(_) | Expr::Empty(_) | Expr::Remote { .. } => {
+                return Arc::clone(e)
+            }
             Expr::Let { var, def, body } => Expr::Let {
-                var,
-                def: Box::new(f(*def)),
-                body: Box::new(f(*body)),
+                var: Arc::clone(var),
+                def: step(def, f, &mut changed),
+                body: step(body, f, &mut changed),
             },
             Expr::Lambda { var, body } => Expr::Lambda {
-                var,
-                body: Box::new(f(*body)),
+                var: Arc::clone(var),
+                body: step(body, f, &mut changed),
             },
-            Expr::Apply(a, b) => Expr::Apply(Box::new(f(*a)), Box::new(f(*b))),
+            Expr::Apply(a, b) => Expr::Apply(step(a, f, &mut changed), step(b, f, &mut changed)),
             Expr::Record(fields) => {
-                Expr::Record(fields.into_iter().map(|(n, e)| (n, f(e))).collect())
+                // Rebuild the field vector lazily: an unchanged record
+                // must not allocate (the whole point of the sharing pass).
+                let mut new_fields: Option<Vec<(Name, Arc<Expr>)>> = None;
+                for (i, (n, fe)) in fields.iter().enumerate() {
+                    let out = f(fe);
+                    if new_fields.is_none() && !Arc::ptr_eq(&out, fe) {
+                        let mut v = Vec::with_capacity(fields.len());
+                        v.extend(
+                            fields[..i]
+                                .iter()
+                                .map(|(pn, pe)| (Arc::clone(pn), Arc::clone(pe))),
+                        );
+                        new_fields = Some(v);
+                    }
+                    if let Some(v) = &mut new_fields {
+                        v.push((Arc::clone(n), out));
+                    }
+                }
+                match new_fields {
+                    Some(v) => {
+                        changed = true;
+                        Expr::Record(v)
+                    }
+                    None => return Arc::clone(e),
+                }
             }
-            Expr::Proj(e, n) => Expr::Proj(Box::new(f(*e)), n),
+            Expr::Proj(inner, n) => Expr::Proj(step(inner, f, &mut changed), Arc::clone(n)),
+            Expr::Inject(n, inner) => Expr::Inject(Arc::clone(n), step(inner, f, &mut changed)),
             Expr::RemoteApp { driver, arg } => Expr::RemoteApp {
-                driver,
-                arg: Box::new(f(*arg)),
+                driver: Arc::clone(driver),
+                arg: step(arg, f, &mut changed),
             },
-            Expr::Inject(n, e) => Expr::Inject(n, Box::new(f(*e))),
             Expr::Case {
                 scrutinee,
                 arms,
                 default,
-            } => Expr::Case {
-                scrutinee: Box::new(f(*scrutinee)),
-                arms: arms
-                    .into_iter()
-                    .map(|arm| CaseArm {
-                        tag: arm.tag,
-                        var: arm.var,
-                        body: f(arm.body),
-                    })
-                    .collect(),
-                default: default.map(|d| Box::new(f(*d))),
-            },
-            Expr::Single(k, e) => Expr::Single(k, Box::new(f(*e))),
-            Expr::Union(k, a, b) => Expr::Union(k, Box::new(f(*a)), Box::new(f(*b))),
+            } => {
+                let scrutinee2 = step(scrutinee, f, &mut changed);
+                let mut new_arms: Option<Vec<CaseArm>> = None;
+                for (i, arm) in arms.iter().enumerate() {
+                    let out = f(&arm.body);
+                    if new_arms.is_none() && !Arc::ptr_eq(&out, &arm.body) {
+                        let mut v = Vec::with_capacity(arms.len());
+                        v.extend(arms[..i].iter().cloned());
+                        new_arms = Some(v);
+                    }
+                    if let Some(v) = &mut new_arms {
+                        v.push(CaseArm {
+                            tag: Arc::clone(&arm.tag),
+                            var: Arc::clone(&arm.var),
+                            body: out,
+                        });
+                    }
+                }
+                let default2 = default.as_ref().map(|d| step(d, f, &mut changed));
+                match new_arms {
+                    Some(v) => {
+                        changed = true;
+                        Expr::Case {
+                            scrutinee: scrutinee2,
+                            arms: v,
+                            default: default2,
+                        }
+                    }
+                    None if changed => Expr::Case {
+                        scrutinee: scrutinee2,
+                        arms: arms.clone(),
+                        default: default2,
+                    },
+                    None => return Arc::clone(e),
+                }
+            }
+            Expr::Single(k, inner) => Expr::Single(*k, step(inner, f, &mut changed)),
+            Expr::Union(k, a, b) => {
+                Expr::Union(*k, step(a, f, &mut changed), step(b, f, &mut changed))
+            }
             Expr::Ext {
                 kind,
                 var,
                 body,
                 source,
             } => Expr::Ext {
-                kind,
-                var,
-                body: Box::new(f(*body)),
-                source: Box::new(f(*source)),
+                kind: *kind,
+                var: Arc::clone(var),
+                body: step(body, f, &mut changed),
+                source: step(source, f, &mut changed),
             },
-            Expr::If(c, t, e) => Expr::If(Box::new(f(*c)), Box::new(f(*t)), Box::new(f(*e))),
-            Expr::Prim(p, args) => Expr::Prim(p, args.into_iter().map(f).collect()),
+            Expr::If(c, t, el) => Expr::If(
+                step(c, f, &mut changed),
+                step(t, f, &mut changed),
+                step(el, f, &mut changed),
+            ),
+            Expr::Prim(p, args) => {
+                let mut new_args: Option<Vec<Arc<Expr>>> = None;
+                for (i, a) in args.iter().enumerate() {
+                    let out = f(a);
+                    if new_args.is_none() && !Arc::ptr_eq(&out, a) {
+                        let mut v = Vec::with_capacity(args.len());
+                        v.extend(args[..i].iter().map(Arc::clone));
+                        new_args = Some(v);
+                    }
+                    if let Some(v) = &mut new_args {
+                        v.push(out);
+                    }
+                }
+                match new_args {
+                    Some(v) => {
+                        changed = true;
+                        Expr::Prim(*p, v)
+                    }
+                    None => return Arc::clone(e),
+                }
+            }
             Expr::Join {
                 kind,
                 strategy,
@@ -383,20 +536,20 @@ impl Expr {
                 cond,
                 body,
             } => Expr::Join {
-                kind,
-                strategy,
-                left: Box::new(f(*left)),
-                right: Box::new(f(*right)),
-                lvar,
-                rvar,
-                left_key: left_key.map(|k| Box::new(f(*k))),
-                right_key: right_key.map(|k| Box::new(f(*k))),
-                cond: Box::new(f(*cond)),
-                body: Box::new(f(*body)),
+                kind: *kind,
+                strategy: strategy.clone(),
+                left: step(left, f, &mut changed),
+                right: step(right, f, &mut changed),
+                lvar: Arc::clone(lvar),
+                rvar: Arc::clone(rvar),
+                left_key: left_key.as_ref().map(|k| step(k, f, &mut changed)),
+                right_key: right_key.as_ref().map(|k| step(k, f, &mut changed)),
+                cond: step(cond, f, &mut changed),
+                body: step(body, f, &mut changed),
             },
             Expr::Cached { id, expr } => Expr::Cached {
-                id,
-                expr: Box::new(f(*expr)),
+                id: *id,
+                expr: step(expr, f, &mut changed),
             },
             Expr::ParExt {
                 kind,
@@ -405,11 +558,118 @@ impl Expr {
                 source,
                 max_in_flight,
             } => Expr::ParExt {
+                kind: *kind,
+                var: Arc::clone(var),
+                body: step(body, f, &mut changed),
+                source: step(source, f, &mut changed),
+                max_in_flight: *max_in_flight,
+            },
+        };
+        if changed {
+            Arc::new(rebuilt)
+        } else {
+            Arc::clone(e)
+        }
+    }
+
+    /// Fully un-share: rebuild the expression as a tree of fresh nodes.
+    /// Only useful for measuring what plans cost *without* structural
+    /// sharing (see the `plan_sharing` bench); never needed in the engine.
+    pub fn deep_clone(&self) -> Expr {
+        fn dc(c: &Arc<Expr>) -> Arc<Expr> {
+            Arc::new(c.deep_clone())
+        }
+        match self {
+            e @ (Expr::Const(_) | Expr::Var(_) | Expr::Empty(_) | Expr::Remote { .. }) => e.clone(),
+            Expr::Let { var, def, body } => Expr::Let {
+                var: Arc::clone(var),
+                def: dc(def),
+                body: dc(body),
+            },
+            Expr::Lambda { var, body } => Expr::Lambda {
+                var: Arc::clone(var),
+                body: dc(body),
+            },
+            Expr::Apply(a, b) => Expr::Apply(dc(a), dc(b)),
+            Expr::Record(fields) => {
+                Expr::Record(fields.iter().map(|(n, e)| (Arc::clone(n), dc(e))).collect())
+            }
+            Expr::Proj(e, n) => Expr::Proj(dc(e), Arc::clone(n)),
+            Expr::Inject(n, e) => Expr::Inject(Arc::clone(n), dc(e)),
+            Expr::RemoteApp { driver, arg } => Expr::RemoteApp {
+                driver: Arc::clone(driver),
+                arg: dc(arg),
+            },
+            Expr::Case {
+                scrutinee,
+                arms,
+                default,
+            } => Expr::Case {
+                scrutinee: dc(scrutinee),
+                arms: arms
+                    .iter()
+                    .map(|arm| CaseArm {
+                        tag: Arc::clone(&arm.tag),
+                        var: Arc::clone(&arm.var),
+                        body: dc(&arm.body),
+                    })
+                    .collect(),
+                default: default.as_ref().map(dc),
+            },
+            Expr::Single(k, e) => Expr::Single(*k, dc(e)),
+            Expr::Union(k, a, b) => Expr::Union(*k, dc(a), dc(b)),
+            Expr::Ext {
                 kind,
                 var,
-                body: Box::new(f(*body)),
-                source: Box::new(f(*source)),
+                body,
+                source,
+            } => Expr::Ext {
+                kind: *kind,
+                var: Arc::clone(var),
+                body: dc(body),
+                source: dc(source),
+            },
+            Expr::If(c, t, f) => Expr::If(dc(c), dc(t), dc(f)),
+            Expr::Prim(p, args) => Expr::Prim(*p, args.iter().map(dc).collect()),
+            Expr::Join {
+                kind,
+                strategy,
+                left,
+                right,
+                lvar,
+                rvar,
+                left_key,
+                right_key,
+                cond,
+                body,
+            } => Expr::Join {
+                kind: *kind,
+                strategy: strategy.clone(),
+                left: dc(left),
+                right: dc(right),
+                lvar: Arc::clone(lvar),
+                rvar: Arc::clone(rvar),
+                left_key: left_key.as_ref().map(dc),
+                right_key: right_key.as_ref().map(dc),
+                cond: dc(cond),
+                body: dc(body),
+            },
+            Expr::Cached { id, expr } => Expr::Cached {
+                id: *id,
+                expr: dc(expr),
+            },
+            Expr::ParExt {
+                kind,
+                var,
+                body,
+                source,
                 max_in_flight,
+            } => Expr::ParExt {
+                kind: *kind,
+                var: Arc::clone(var),
+                body: dc(body),
+                source: dc(source),
+                max_in_flight: *max_in_flight,
             },
         }
     }
@@ -423,9 +683,71 @@ impl Expr {
         acc
     }
 
-    /// Does `var` occur free in the expression?
+    /// Does `var` occur free in the expression? Allocation-free early-exit
+    /// walk — this is the hottest predicate in the rule sets.
     pub fn occurs_free(&self, var: &str) -> bool {
-        self.free_vars().iter().any(|n| &**n == var)
+        fn go(e: &Expr, var: &str) -> bool {
+            match e {
+                Expr::Var(n) => &**n == var,
+                Expr::Let { var: v, def, body } => go(def, var) || (&**v != var && go(body, var)),
+                Expr::Lambda { var: v, body } => &**v != var && go(body, var),
+                Expr::Ext {
+                    var: v,
+                    body,
+                    source,
+                    ..
+                }
+                | Expr::ParExt {
+                    var: v,
+                    body,
+                    source,
+                    ..
+                } => go(source, var) || (&**v != var && go(body, var)),
+                Expr::Case {
+                    scrutinee,
+                    arms,
+                    default,
+                } => {
+                    go(scrutinee, var)
+                        || arms
+                            .iter()
+                            .any(|arm| &*arm.var != var && go(&arm.body, var))
+                        || default.as_deref().is_some_and(|d| go(d, var))
+                }
+                Expr::Join {
+                    left,
+                    right,
+                    lvar,
+                    rvar,
+                    left_key,
+                    right_key,
+                    cond,
+                    body,
+                    ..
+                } => {
+                    // Mirror collect_free's scoping exactly: left_key is
+                    // under lvar only; right_key/cond/body under both.
+                    go(left, var)
+                        || go(right, var)
+                        || (&**lvar != var
+                            && (left_key.as_deref().is_some_and(|k| go(k, var))
+                                || (&**rvar != var
+                                    && (right_key.as_deref().is_some_and(|k| go(k, var))
+                                        || go(cond, var)
+                                        || go(body, var)))))
+                }
+                other => {
+                    let mut found = false;
+                    other.for_each_child(&mut |c| {
+                        if !found {
+                            found = go(c, var);
+                        }
+                    });
+                    found
+                }
+            }
+        }
+        go(self, var)
     }
 
     fn collect_free(&self, bound: &mut Vec<Name>, acc: &mut Vec<Name>) {
@@ -500,191 +822,221 @@ impl Expr {
                 bound.pop();
             }
             other => {
-                // All remaining constructs bind nothing; recurse generically.
-                let mut children: Vec<&Expr> = Vec::new();
-                match other {
-                    Expr::Apply(a, b) | Expr::Union(_, a, b) => {
-                        children.push(a);
-                        children.push(b);
-                    }
-                    Expr::Record(fs) => children.extend(fs.iter().map(|(_, e)| e)),
-                    Expr::Proj(e, _) | Expr::Inject(_, e) | Expr::Single(_, e) => {
-                        children.push(e)
-                    }
-                    Expr::RemoteApp { arg, .. } => children.push(arg),
-                    Expr::If(c, t, e) => {
-                        children.push(c);
-                        children.push(t);
-                        children.push(e);
-                    }
-                    Expr::Prim(_, args) => children.extend(args.iter()),
-                    Expr::Cached { expr, .. } => children.push(expr),
-                    _ => {}
-                }
-                for c in children {
-                    c.collect_free(bound, acc);
-                }
+                // All remaining constructs bind nothing.
+                other.for_each_child(&mut |c| c.collect_free(bound, acc));
             }
         }
     }
 
-    /// Capture-avoiding substitution of `replacement` for free `var`.
+    /// Capture-avoiding substitution of `replacement` for free `var`
+    /// (owned-value convenience over [`Expr::subst_shared`]).
     pub fn subst(self, var: &str, replacement: &Expr) -> Expr {
-        let free_in_repl = replacement.free_vars();
-        self.subst_inner(var, replacement, &free_in_repl)
+        let out = Expr::subst_shared(&Arc::new(self), var, &Arc::new(replacement.clone()));
+        (*out).clone()
     }
 
-    fn subst_inner(self, var: &str, replacement: &Expr, free_in_repl: &[Name]) -> Expr {
-        match self {
+    /// Capture-avoiding substitution over shared handles. Subtrees in
+    /// which `var` does not occur free come back pointer-equal — in
+    /// particular, `subst_shared(e, x, r)` returns `e` itself when `x` is
+    /// not free in `e` at all.
+    pub fn subst_shared(e: &Arc<Expr>, var: &str, replacement: &Arc<Expr>) -> Arc<Expr> {
+        let free_in_repl = replacement.free_vars();
+        Expr::subst_rec(e, var, replacement, &free_in_repl)
+    }
+
+    fn subst_rec(e: &Arc<Expr>, var: &str, repl: &Arc<Expr>, free_in_repl: &[Name]) -> Arc<Expr> {
+        // Rebinding of a shadowed binder only matters below a binder whose
+        // name collides with a free variable of the replacement; the
+        // generic path handles everything that binds nothing.
+        match &**e {
             Expr::Var(n) => {
-                if &*n == var {
-                    replacement.clone()
+                if &**n == var {
+                    Arc::clone(repl)
                 } else {
-                    Expr::Var(n)
+                    Arc::clone(e)
                 }
             }
-            Expr::Let {
-                var: v,
-                def,
-                body,
-            } => {
-                let def = Box::new(def.subst_inner(var, replacement, free_in_repl));
-                if &*v == var {
-                    Expr::Let { var: v, def, body }
-                } else if free_in_repl.iter().any(|n| *n == v) {
-                    let fresh_v = fresh(&v);
-                    let renamed = body.subst(&v, &Expr::Var(Arc::clone(&fresh_v)));
-                    Expr::Let {
-                        var: fresh_v,
-                        def,
-                        body: Box::new(renamed.subst_inner(var, replacement, free_in_repl)),
+            Expr::Let { var: v, def, body } => {
+                let def2 = Expr::subst_rec(def, var, repl, free_in_repl);
+                if &**v == var {
+                    if Arc::ptr_eq(&def2, def) {
+                        Arc::clone(e)
+                    } else {
+                        Arc::new(Expr::Let {
+                            var: Arc::clone(v),
+                            def: def2,
+                            body: Arc::clone(body),
+                        })
                     }
+                } else if free_in_repl.iter().any(|n| n == v) {
+                    let fresh_v = fresh(v);
+                    let renamed =
+                        Expr::subst_shared(body, v, &Arc::new(Expr::Var(Arc::clone(&fresh_v))));
+                    Arc::new(Expr::Let {
+                        var: fresh_v,
+                        def: def2,
+                        body: Expr::subst_rec(&renamed, var, repl, free_in_repl),
+                    })
                 } else {
-                    Expr::Let {
-                        var: v,
-                        def,
-                        body: Box::new(body.subst_inner(var, replacement, free_in_repl)),
+                    let body2 = Expr::subst_rec(body, var, repl, free_in_repl);
+                    if Arc::ptr_eq(&def2, def) && Arc::ptr_eq(&body2, body) {
+                        Arc::clone(e)
+                    } else {
+                        Arc::new(Expr::Let {
+                            var: Arc::clone(v),
+                            def: def2,
+                            body: body2,
+                        })
                     }
                 }
             }
             Expr::Lambda { var: v, body } => {
-                if &*v == var {
-                    Expr::Lambda { var: v, body }
-                } else if free_in_repl.iter().any(|n| *n == v) {
-                    let fresh_v = fresh(&v);
-                    let renamed = body.subst(&v, &Expr::Var(Arc::clone(&fresh_v)));
-                    Expr::Lambda {
+                if &**v == var {
+                    Arc::clone(e)
+                } else if free_in_repl.iter().any(|n| n == v) {
+                    let fresh_v = fresh(v);
+                    let renamed =
+                        Expr::subst_shared(body, v, &Arc::new(Expr::Var(Arc::clone(&fresh_v))));
+                    Arc::new(Expr::Lambda {
                         var: fresh_v,
-                        body: Box::new(renamed.subst_inner(var, replacement, free_in_repl)),
-                    }
+                        body: Expr::subst_rec(&renamed, var, repl, free_in_repl),
+                    })
                 } else {
-                    Expr::Lambda {
-                        var: v,
-                        body: Box::new(body.subst_inner(var, replacement, free_in_repl)),
+                    let body2 = Expr::subst_rec(body, var, repl, free_in_repl);
+                    if Arc::ptr_eq(&body2, body) {
+                        Arc::clone(e)
+                    } else {
+                        Arc::new(Expr::Lambda {
+                            var: Arc::clone(v),
+                            body: body2,
+                        })
                     }
                 }
             }
-            Expr::Ext {
-                kind,
-                var: v,
-                body,
-                source,
-            } => {
-                let source = Box::new(source.subst_inner(var, replacement, free_in_repl));
-                if &*v == var {
-                    Expr::Ext {
-                        kind,
-                        var: v,
-                        body,
-                        source,
-                    }
-                } else if free_in_repl.iter().any(|n| *n == v) {
-                    let fresh_v = fresh(&v);
-                    let renamed = body.subst(&v, &Expr::Var(Arc::clone(&fresh_v)));
-                    Expr::Ext {
-                        kind,
-                        var: fresh_v,
-                        body: Box::new(renamed.subst_inner(var, replacement, free_in_repl)),
-                        source,
-                    }
-                } else {
-                    Expr::Ext {
-                        kind,
-                        var: v,
-                        body: Box::new(body.subst_inner(var, replacement, free_in_repl)),
-                        source,
-                    }
-                }
-            }
-            Expr::ParExt {
-                kind,
-                var: v,
-                body,
-                source,
-                max_in_flight,
-            } => {
-                // same binding structure as Ext
-                let rebuilt = Expr::Ext {
-                    kind,
-                    var: v,
-                    body,
-                    source,
-                }
-                .subst_inner(var, replacement, free_in_repl);
-                match rebuilt {
+            Expr::Ext { .. } | Expr::ParExt { .. } => {
+                // Shared binding structure; destructure via accessors.
+                let (kind, v, body, source, par) = match &**e {
                     Expr::Ext {
                         kind,
                         var,
                         body,
                         source,
-                    } => Expr::ParExt {
+                    } => (*kind, var, body, source, None),
+                    Expr::ParExt {
                         kind,
                         var,
                         body,
                         source,
                         max_in_flight,
+                    } => (*kind, var, body, source, Some(*max_in_flight)),
+                    _ => unreachable!(),
+                };
+                let rebuild = |v: Name, body: Arc<Expr>, source: Arc<Expr>| match par {
+                    None => Expr::Ext {
+                        kind,
+                        var: v,
+                        body,
+                        source,
                     },
-                    other => other,
+                    Some(m) => Expr::ParExt {
+                        kind,
+                        var: v,
+                        body,
+                        source,
+                        max_in_flight: m,
+                    },
+                };
+                let source2 = Expr::subst_rec(source, var, repl, free_in_repl);
+                if &**v == var {
+                    if Arc::ptr_eq(&source2, source) {
+                        Arc::clone(e)
+                    } else {
+                        Arc::new(rebuild(Arc::clone(v), Arc::clone(body), source2))
+                    }
+                } else if free_in_repl.iter().any(|n| n == v) {
+                    let fresh_v = fresh(v);
+                    let renamed =
+                        Expr::subst_shared(body, v, &Arc::new(Expr::Var(Arc::clone(&fresh_v))));
+                    Arc::new(rebuild(
+                        fresh_v,
+                        Expr::subst_rec(&renamed, var, repl, free_in_repl),
+                        source2,
+                    ))
+                } else {
+                    let body2 = Expr::subst_rec(body, var, repl, free_in_repl);
+                    if Arc::ptr_eq(&source2, source) && Arc::ptr_eq(&body2, body) {
+                        Arc::clone(e)
+                    } else {
+                        Arc::new(rebuild(Arc::clone(v), body2, source2))
+                    }
                 }
             }
             Expr::Case {
                 scrutinee,
                 arms,
                 default,
-            } => Expr::Case {
-                scrutinee: Box::new(scrutinee.subst_inner(var, replacement, free_in_repl)),
-                arms: arms
-                    .into_iter()
-                    .map(|arm| {
-                        if &*arm.var == var {
-                            arm
-                        } else if free_in_repl.iter().any(|n| *n == arm.var) {
-                            let fresh_v = fresh(&arm.var);
-                            let renamed = arm.body.subst(&arm.var, &Expr::Var(Arc::clone(&fresh_v)));
-                            CaseArm {
-                                tag: arm.tag,
-                                var: fresh_v,
-                                body: renamed.subst_inner(var, replacement, free_in_repl),
-                            }
+            } => {
+                let mut changed = false;
+                let scrutinee2 = Expr::subst_rec(scrutinee, var, repl, free_in_repl);
+                changed |= !Arc::ptr_eq(&scrutinee2, scrutinee);
+                // Lazy arm rebuild, mirroring map_children_shared: no
+                // allocation when the variable occurs in no arm.
+                let mut new_arms: Option<Vec<CaseArm>> = None;
+                for (i, arm) in arms.iter().enumerate() {
+                    let arm2 = if &*arm.var == var {
+                        None
+                    } else if free_in_repl.iter().any(|n| *n == arm.var) {
+                        let fresh_v = fresh(&arm.var);
+                        let renamed = Expr::subst_shared(
+                            &arm.body,
+                            &arm.var,
+                            &Arc::new(Expr::Var(Arc::clone(&fresh_v))),
+                        );
+                        Some(CaseArm {
+                            tag: Arc::clone(&arm.tag),
+                            var: fresh_v,
+                            body: Expr::subst_rec(&renamed, var, repl, free_in_repl),
+                        })
+                    } else {
+                        let body2 = Expr::subst_rec(&arm.body, var, repl, free_in_repl);
+                        if Arc::ptr_eq(&body2, &arm.body) {
+                            None
                         } else {
-                            CaseArm {
-                                tag: arm.tag,
-                                var: arm.var,
-                                body: arm.body.subst_inner(var, replacement, free_in_repl),
-                            }
+                            Some(CaseArm {
+                                tag: Arc::clone(&arm.tag),
+                                var: Arc::clone(&arm.var),
+                                body: body2,
+                            })
                         }
+                    };
+                    if new_arms.is_none() && arm2.is_some() {
+                        let mut v = Vec::with_capacity(arms.len());
+                        v.extend(arms[..i].iter().cloned());
+                        new_arms = Some(v);
+                    }
+                    if let Some(v) = &mut new_arms {
+                        v.push(arm2.unwrap_or_else(|| arm.clone()));
+                    }
+                }
+                changed |= new_arms.is_some();
+                let default2 = default.as_ref().map(|d| {
+                    let d2 = Expr::subst_rec(d, var, repl, free_in_repl);
+                    changed |= !Arc::ptr_eq(&d2, d);
+                    d2
+                });
+                if changed {
+                    Arc::new(Expr::Case {
+                        scrutinee: scrutinee2,
+                        arms: new_arms.unwrap_or_else(|| arms.clone()),
+                        default: default2,
                     })
-                    .collect(),
-                default: default
-                    .map(|d| Box::new(d.subst_inner(var, replacement, free_in_repl))),
-            },
-            Expr::Join { .. } => {
-                // Joins are introduced after substitution-driven rewriting;
-                // handle conservatively via the generic path on components.
-                let e = self;
-                e.map_children(&mut |c| c.subst_inner(var, replacement, free_in_repl))
+                } else {
+                    Arc::clone(e)
+                }
             }
-            other => other.map_children(&mut |c| c.subst_inner(var, replacement, free_in_repl)),
+            // Joins are introduced after substitution-driven rewriting;
+            // handle conservatively via the generic (binder-blind) path.
+            _ => Expr::map_children_shared(e, &mut |c| Expr::subst_rec(c, var, repl, free_in_repl)),
         }
     }
 
@@ -711,12 +1063,39 @@ mod tests {
         let e = Expr::ext(
             CollKind::Set,
             "x",
-            Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::var("y")]),
+            Expr::prim(Prim::Add, vec![Expr::var("x"), Expr::var("y")]),
             Expr::var("src"),
         );
         let fv = e.free_vars();
         let names: Vec<&str> = fv.iter().map(|n| &**n).collect();
         assert_eq!(names, vec!["src", "y"]);
+        assert!(e.occurs_free("y"));
+        assert!(!e.occurs_free("x"));
+    }
+
+    #[test]
+    fn occurs_free_matches_free_vars_on_join_keys() {
+        // left_key is scoped under lvar only: rvar occurring in it is
+        // FREE, and both predicates must agree on that.
+        let join = Expr::Join {
+            kind: CollKind::Set,
+            strategy: JoinStrategy::IndexedNl,
+            left: Arc::new(Expr::var("L")),
+            right: Arc::new(Expr::var("R")),
+            lvar: name("l"),
+            rvar: name("r"),
+            left_key: Some(Arc::new(Expr::var("r"))),
+            right_key: Some(Arc::new(Expr::var("r"))),
+            cond: Arc::new(Expr::bool(true)),
+            body: Arc::new(Expr::single(CollKind::Set, Expr::var("l"))),
+        };
+        let fv = join.free_vars();
+        assert!(fv.iter().any(|n| &**n == "r"), "free_vars: {fv:?}");
+        assert!(
+            join.occurs_free("r"),
+            "occurs_free must agree with free_vars"
+        );
+        assert!(!join.occurs_free("l"), "lvar never escapes");
     }
 
     #[test]
@@ -757,6 +1136,58 @@ mod tests {
         let e = Expr::lambda("x", Expr::var("x"));
         let r = e.clone().subst("x", &Expr::int(1));
         assert_eq!(r, e, "bound variable is untouched");
+    }
+
+    #[test]
+    fn subst_shared_is_pointer_preserving_on_miss() {
+        // var does not occur: the very same Arc comes back.
+        let e = Arc::new(Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::single(CollKind::Set, Expr::var("x")),
+            Expr::var("src"),
+        ));
+        let out = Expr::subst_shared(&e, "zzz", &Arc::new(Expr::int(1)));
+        assert!(Arc::ptr_eq(&e, &out));
+        // var occurs only in one branch: the untouched branch is shared.
+        let e = Arc::new(Expr::if_(Expr::var("p"), Expr::var("q"), Expr::int(3)));
+        let out = Expr::subst_shared(&e, "p", &Arc::new(Expr::bool(true)));
+        let (Expr::If(_, t1, f1), Expr::If(_, t2, f2)) = (&*e, &*out) else {
+            panic!("shape changed");
+        };
+        assert!(Arc::ptr_eq(t1, t2), "untouched then-branch must be shared");
+        assert!(Arc::ptr_eq(f1, f2), "untouched else-branch must be shared");
+    }
+
+    #[test]
+    fn map_children_shared_preserves_pointer_on_identity() {
+        let e = Arc::new(Expr::eq(Expr::int(1), Expr::var("x")));
+        let out = Expr::map_children_shared(&e, &mut Arc::clone);
+        assert!(Arc::ptr_eq(&e, &out), "identity map must not reallocate");
+        let out = Expr::map_children_shared(&e, &mut |c| match &**c {
+            Expr::Var(_) => Arc::new(Expr::int(9)),
+            _ => Arc::clone(c),
+        });
+        assert!(!Arc::ptr_eq(&e, &out));
+        assert_eq!(*out, Expr::eq(Expr::int(1), Expr::int(9)));
+    }
+
+    #[test]
+    fn clone_is_shallow_and_deep_clone_unshares() {
+        let shared = Arc::new(Expr::int(5));
+        let e = Expr::Union(CollKind::Set, Arc::clone(&shared), Arc::clone(&shared));
+        let c = e.clone();
+        let (Expr::Union(_, a, _), Expr::Union(_, b, _)) = (&e, &c) else {
+            panic!("shape");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share children");
+        let d = e.deep_clone();
+        assert_eq!(d, e, "deep clone is structurally identical");
+        let Expr::Union(_, da, db) = &d else {
+            panic!("shape")
+        };
+        assert!(!Arc::ptr_eq(da, a), "deep clone must not share");
+        assert!(!Arc::ptr_eq(da, db), "deep clone unfolds internal sharing");
     }
 
     #[test]

@@ -211,7 +211,7 @@ mod tests {
     fn infix_prims_print_infix() {
         let e = Expr::eq(Expr::int(1), Expr::int(2));
         assert_eq!(e.to_string(), "(1 = 2)");
-        let e = Expr::Prim(Prim::Count, vec![Expr::var("xs")]);
+        let e = Expr::prim(Prim::Count, vec![Expr::var("xs")]);
         assert_eq!(e.to_string(), "count(xs)");
     }
 

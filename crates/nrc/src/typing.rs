@@ -406,9 +406,9 @@ mod tests {
 
     #[test]
     fn arithmetic_type_errors_are_definite() {
-        let bad = Expr::Prim(Prim::Add, vec![Expr::str("a"), Expr::int(1)]);
+        let bad = Expr::prim(Prim::Add, vec![Expr::str("a"), Expr::int(1)]);
         assert!(infer(&bad, &TypeEnv::new()).is_err());
-        let ok = Expr::Prim(Prim::Add, vec![Expr::int(1), Expr::int(1)]);
+        let ok = Expr::prim(Prim::Add, vec![Expr::int(1), Expr::int(1)]);
         assert_eq!(infer(&ok, &TypeEnv::new()).unwrap(), Type::Int);
     }
 
@@ -416,17 +416,17 @@ mod tests {
     fn case_merges_arm_types() {
         // case v of <a = \x> => 1 | <b = \y> => 2 end
         let e = Expr::Case {
-            scrutinee: Box::new(Expr::var("v")),
+            scrutinee: Arc::new(Expr::var("v")),
             arms: vec![
                 crate::expr::CaseArm {
                     tag: name("a"),
                     var: name("x"),
-                    body: Expr::int(1),
+                    body: Arc::new(Expr::int(1)),
                 },
                 crate::expr::CaseArm {
                     tag: name("b"),
                     var: name("y"),
-                    body: Expr::int(2),
+                    body: Arc::new(Expr::int(2)),
                 },
             ],
             default: None,

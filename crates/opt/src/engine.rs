@@ -7,6 +7,8 @@
 //! subexpressions and how many iterations of a rule set should be applied"
 //! (Section 4).
 
+use std::sync::Arc;
+
 use nrc::Expr;
 
 use crate::catalog::SourceCatalog;
@@ -97,52 +99,67 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
-    /// Run the rule set to fixpoint. Appends fired rules to `trace`.
-    pub fn run(&self, mut e: Expr, ctx: &RuleCtx<'_>, trace: &mut Vec<TraceEntry>) -> Expr {
+    /// Run the rule set to fixpoint over a shared plan handle.
+    ///
+    /// The whole traversal is *sharing-preserving*: a pass over a subtree
+    /// in which no rule fires hands back the very same `Arc` (pointer-
+    /// equal) and allocates nothing, so the fixpoint test is a single
+    /// `Arc::ptr_eq` on the root instead of a structural `PartialEq` walk.
+    pub fn run(
+        &self,
+        mut e: Arc<Expr>,
+        ctx: &RuleCtx<'_>,
+        trace: &mut Vec<TraceEntry>,
+    ) -> Arc<Expr> {
         for pass in 0..ctx.config.max_passes {
-            let mut changed = false;
-            e = self.one_pass(e, ctx, trace, pass, &mut changed);
-            if !changed {
-                break;
+            let next = self.one_pass(&e, ctx, trace, pass);
+            if Arc::ptr_eq(&next, &e) {
+                break; // fixpoint: no rule fired anywhere in the plan
             }
+            e = next;
         }
         e
     }
 
+    /// Owned-value convenience over [`RuleSet::run`] for tests and callers
+    /// that do not track sharing.
+    pub fn run_owned(&self, e: Expr, ctx: &RuleCtx<'_>, trace: &mut Vec<TraceEntry>) -> Expr {
+        let out = self.run(Arc::new(e), ctx, trace);
+        Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone())
+    }
+
     fn one_pass(
         &self,
-        e: Expr,
+        e: &Arc<Expr>,
         ctx: &RuleCtx<'_>,
         trace: &mut Vec<TraceEntry>,
         pass: usize,
-        changed: &mut bool,
-    ) -> Expr {
+    ) -> Arc<Expr> {
         match self.strategy {
             Strategy::BottomUp => {
-                let e = e.map_children(&mut |c| self.one_pass(c, ctx, trace, pass, changed));
-                self.apply_here(e, ctx, trace, pass, changed)
+                let e2 = Expr::map_children_shared(e, &mut |c| self.one_pass(c, ctx, trace, pass));
+                self.apply_here(e2, ctx, trace, pass)
             }
             Strategy::TopDown => {
-                let e = self.apply_here(e, ctx, trace, pass, changed);
-                e.map_children(&mut |c| self.one_pass(c, ctx, trace, pass, changed))
+                let e2 = self.apply_here(Arc::clone(e), ctx, trace, pass);
+                Expr::map_children_shared(&e2, &mut |c| self.one_pass(c, ctx, trace, pass))
             }
         }
     }
 
     fn apply_here(
         &self,
-        mut e: Expr,
+        mut e: Arc<Expr>,
         ctx: &RuleCtx<'_>,
         trace: &mut Vec<TraceEntry>,
         pass: usize,
-        changed: &mut bool,
-    ) -> Expr {
+    ) -> Arc<Expr> {
         // Keep applying rules at this node until none fires (bounded).
         'outer: for _ in 0..ctx.config.max_passes {
             for rule in &self.rules {
                 if let Some(new) = (rule.apply)(&e, ctx) {
                     debug_assert_ne!(
-                        new, e,
+                        new, *e,
                         "rule '{}' returned an unchanged expression",
                         rule.name
                     );
@@ -151,8 +168,7 @@ impl RuleSet {
                         rule: rule.name,
                         pass,
                     });
-                    *changed = true;
-                    e = new;
+                    e = Arc::new(new);
                     continue 'outer;
                 }
             }
@@ -199,7 +215,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        let out = set.run(e, &ctx, &mut trace);
+        let out = set.run_owned(e, &ctx, &mut trace);
         assert_eq!(out, Expr::int(2));
         assert_eq!(trace.len(), 2);
         assert!(trace.iter().all(|t| t.rule == "if-const"));
@@ -215,15 +231,64 @@ mod tests {
                 apply: fold_if,
             }],
         };
-        let e = Expr::Prim(Prim::Add, vec![Expr::int(1), Expr::int(2)]);
+        let e = Arc::new(Expr::prim(Prim::Add, vec![Expr::int(1), Expr::int(2)]));
         let config = OptConfig::default();
         let ctx = RuleCtx {
             catalog: &NullCatalog,
             config: &config,
         };
         let mut trace = Vec::new();
-        let out = set.run(e.clone(), &ctx, &mut trace);
-        assert_eq!(out, e);
+        let out = set.run(Arc::clone(&e), &ctx, &mut trace);
+        assert!(
+            Arc::ptr_eq(&out, &e),
+            "a pass with no firing rules must return the same plan handle"
+        );
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn unchanged_subtrees_stay_shared_when_a_sibling_rewrites() {
+        let set = RuleSet {
+            name: "test",
+            strategy: Strategy::BottomUp,
+            rules: vec![Rule {
+                name: "if-const",
+                apply: fold_if,
+            }],
+        };
+        // union( U{...|x<-S} , if true then {1} else {2} ): the left arm is
+        // untouched by the rewrite and must come back pointer-equal.
+        let left = Arc::new(Expr::ext(
+            kleisli_core::CollKind::Set,
+            "x",
+            Expr::single(kleisli_core::CollKind::Set, Expr::var("x")),
+            Expr::var("S"),
+        ));
+        let right = Expr::if_(
+            Expr::bool(true),
+            Expr::single(kleisli_core::CollKind::Set, Expr::int(1)),
+            Expr::single(kleisli_core::CollKind::Set, Expr::int(2)),
+        );
+        let e = Arc::new(Expr::Union(
+            kleisli_core::CollKind::Set,
+            Arc::clone(&left),
+            Arc::new(right),
+        ));
+        let config = OptConfig::default();
+        let ctx = RuleCtx {
+            catalog: &NullCatalog,
+            config: &config,
+        };
+        let mut trace = Vec::new();
+        let out = set.run(e, &ctx, &mut trace);
+        assert_eq!(trace.len(), 1);
+        let Expr::Union(_, l, r) = &*out else {
+            panic!("unexpected {out}");
+        };
+        assert!(
+            Arc::ptr_eq(l, &left),
+            "untouched sibling must be pointer-shared, not rebuilt"
+        );
+        assert_eq!(**r, Expr::single(kleisli_core::CollKind::Set, Expr::int(1)));
     }
 }

@@ -25,15 +25,21 @@ pub mod rules;
 pub use catalog::{NullCatalog, SourceCatalog, StaticCatalog};
 pub use engine::{OptConfig, Rule, RuleCtx, RuleSet, Strategy, TraceEntry};
 
+use std::sync::Arc;
+
 use nrc::Expr;
 
-/// Run the full optimization pipeline under `config`, returning the
-/// rewritten expression and the trace of fired rules.
-pub fn optimize(
-    e: Expr,
+/// Run the full optimization pipeline under `config` over a shared plan
+/// handle, returning the rewritten plan and the trace of fired rules.
+///
+/// The pipeline is sharing-preserving end to end: when no rule fires in
+/// any set, the returned handle is pointer-equal to the input, and in the
+/// common case only the rewritten spine of the plan is freshly allocated.
+pub fn optimize_shared(
+    e: Arc<Expr>,
     catalog: &dyn SourceCatalog,
     config: &OptConfig,
-) -> (Expr, Vec<TraceEntry>) {
+) -> (Arc<Expr>, Vec<TraceEntry>) {
     let ctx = RuleCtx { catalog, config };
     let mut trace = Vec::new();
     let mut e = rules::resolve::rule_set().run(e, &ctx, &mut trace);
@@ -68,7 +74,24 @@ pub fn optimize(
     (e, trace)
 }
 
+/// Owned-value convenience over [`optimize_shared`]. `Expr` is a cheap
+/// handle (its children are `Arc`s), so the wrapping costs one shallow
+/// clone of the root node.
+pub fn optimize(
+    e: Expr,
+    catalog: &dyn SourceCatalog,
+    config: &OptConfig,
+) -> (Expr, Vec<TraceEntry>) {
+    let (out, trace) = optimize_shared(Arc::new(e), catalog, config);
+    (Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()), trace)
+}
+
 /// Optimize with everything enabled and no source information.
 pub fn optimize_default(e: Expr) -> (Expr, Vec<TraceEntry>) {
     optimize(e, &NullCatalog, &OptConfig::default())
+}
+
+/// [`optimize_default`] over a shared handle.
+pub fn optimize_default_shared(e: Arc<Expr>) -> (Arc<Expr>, Vec<TraceEntry>) {
+    optimize_shared(e, &NullCatalog, &OptConfig::default())
 }

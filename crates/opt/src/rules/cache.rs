@@ -6,6 +6,7 @@
 //! outer relation."
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use nrc::Expr;
 
@@ -56,7 +57,7 @@ fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
             Some(Expr::Ext {
                 kind: *kind,
                 var: var.clone(),
-                body: Box::new(new_body),
+                body: new_body,
                 source: source.clone(),
             })
         }
@@ -71,7 +72,7 @@ fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
             Some(Expr::ParExt {
                 kind: *kind,
                 var: var.clone(),
-                body: Box::new(new_body),
+                body: new_body,
                 source: source.clone(),
                 max_in_flight: *max_in_flight,
             })
@@ -81,29 +82,31 @@ fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
 }
 
 /// Wrap the outermost cacheable subexpressions of `e`; `None` if nothing
-/// was wrapped. Never descends into already-cached subtrees.
-fn wrap_outermost(e: &Expr) -> Option<Expr> {
-    if matches!(e, Expr::Cached { .. }) {
+/// was wrapped. Never descends into already-cached subtrees. Sharing-
+/// preserving: the wrapped subquery is referenced by `Arc`, never copied,
+/// and untouched siblings stay pointer-shared.
+fn wrap_outermost(e: &Arc<Expr>) -> Option<Arc<Expr>> {
+    if matches!(&**e, Expr::Cached { .. }) {
         return None;
     }
     if cacheable(e) {
-        return Some(Expr::Cached {
+        return Some(Arc::new(Expr::Cached {
             id: next_cache_id(),
-            expr: Box::new(e.clone()),
-        });
+            expr: Arc::clone(e),
+        }));
     }
     // otherwise try children (shallow: first level where something fires)
     let mut changed = false;
-    let new = e.clone().map_children(&mut |c| {
+    let new = Expr::map_children_shared(e, &mut |c| {
         if changed {
-            return c; // one wrap per rule firing keeps the trace readable
+            return Arc::clone(c); // one wrap per firing keeps the trace readable
         }
-        match wrap_outermost(&c) {
+        match wrap_outermost(c) {
             Some(w) => {
                 changed = true;
                 w
             }
-            None => c,
+            None => Arc::clone(c),
         }
     });
     changed.then_some(new)
@@ -123,7 +126,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     fn remote() -> Expr {
@@ -171,7 +174,7 @@ mod tests {
             "x",
             Expr::RemoteApp {
                 driver: nrc::name("GenBank"),
-                arg: Box::new(Expr::var("x")),
+                arg: Arc::new(Expr::var("x")),
             },
             Expr::var("S"),
         );

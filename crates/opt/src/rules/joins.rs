@@ -7,6 +7,8 @@
 //! which join operator": the indexed join fires only when equality tests in
 //! the join condition can be turned into index keys.
 
+use std::sync::Arc;
+
 use nrc::{Expr, JoinStrategy, Name, Prim};
 
 use crate::engine::{Rule, RuleCtx, RuleSet, Strategy};
@@ -85,26 +87,26 @@ fn local_join(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
             },
             None,
             None,
-            (**cond).clone(),
+            Arc::clone(cond),
         )
     } else {
         let key = |ks: Vec<Expr>| {
             if ks.len() == 1 {
-                ks.into_iter().next().unwrap()
+                Arc::new(ks.into_iter().next().unwrap())
             } else {
-                Expr::Record(
+                Arc::new(Expr::Record(
                     ks.into_iter()
                         .enumerate()
-                        .map(|(i, k)| (nrc::name(format!("k{i}")), k))
+                        .map(|(i, k)| (nrc::name(format!("k{i}")), Arc::new(k)))
                         .collect(),
-                )
+                ))
             }
         };
         (
             JoinStrategy::IndexedNl,
-            Some(Box::new(key(left_keys))),
-            Some(Box::new(key(right_keys))),
-            residual_cond,
+            Some(key(left_keys)),
+            Some(key(right_keys)),
+            Arc::new(residual_cond),
         )
     };
     Some(Expr::Join {
@@ -116,7 +118,7 @@ fn local_join(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
         rvar: v2.clone(),
         left_key: lk,
         right_key: rk,
-        cond: Box::new(cond),
+        cond,
         body: then.clone(),
     })
 }
@@ -139,9 +141,9 @@ fn equi_key(e: &Expr, v1: &Name, v2: &Name) -> Option<(Expr, Expr)> {
     let (a, b) = (&args[0], &args[1]);
     let only = |x: &Expr, v: &Name, other: &Name| x.occurs_free(v) && !x.occurs_free(other);
     if only(a, v1, v2) && only(b, v2, v1) {
-        Some((a.clone(), b.clone()))
+        Some(((**a).clone(), (**b).clone()))
     } else if only(a, v2, v1) && only(b, v1, v2) {
-        Some((b.clone(), a.clone()))
+        Some(((**b).clone(), (**a).clone()))
     } else {
         None
     }
@@ -162,17 +164,14 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     fn table(n: usize, modulus: i64) -> Expr {
         Expr::Const(Value::set(
             (0..n as i64)
                 .map(|i| {
-                    Value::record_from(vec![
-                        ("k", Value::Int(i % modulus)),
-                        ("v", Value::Int(i)),
-                    ])
+                    Value::record_from(vec![("k", Value::Int(i % modulus)), ("v", Value::Int(i))])
                 })
                 .collect(),
         ))
@@ -224,9 +223,12 @@ mod tests {
                 Expr::proj(Expr::var("l"), "k"),
                 Expr::proj(Expr::var("r"), "k"),
             ),
-            Expr::Prim(
+            Expr::prim(
                 Prim::Lt,
-                vec![Expr::proj(Expr::var("l"), "v"), Expr::proj(Expr::var("r"), "v")],
+                vec![
+                    Expr::proj(Expr::var("l"), "v"),
+                    Expr::proj(Expr::var("r"), "v"),
+                ],
             ),
         ));
         let before = eval(&e, &Env::empty(), &Context::new()).unwrap();
@@ -243,9 +245,12 @@ mod tests {
 
     #[test]
     fn inequality_only_selects_blocked_join() {
-        let e = nested_loop_join(Expr::Prim(
+        let e = nested_loop_join(Expr::prim(
             Prim::Lt,
-            vec![Expr::proj(Expr::var("l"), "v"), Expr::proj(Expr::var("r"), "v")],
+            vec![
+                Expr::proj(Expr::var("l"), "v"),
+                Expr::proj(Expr::var("r"), "v"),
+            ],
         ));
         let before = eval(&e, &Env::empty(), &Context::new()).unwrap();
         let opt = run(e);

@@ -8,6 +8,8 @@
 //! change multiplicities (bags) or order (lists). `fusion_ok` encodes the
 //! legal combinations.
 
+use std::sync::Arc;
+
 use kleisli_core::CollKind;
 use nrc::{fresh, Expr};
 
@@ -61,9 +63,7 @@ fn definite_kind(e: &Expr) -> Option<CollKind> {
     match e {
         Expr::Const(v) => v.coll_kind(),
         Expr::Empty(k) | Expr::Single(k, _) | Expr::Union(k, ..) => Some(*k),
-        Expr::Ext { kind, .. } | Expr::ParExt { kind, .. } | Expr::Join { kind, .. } => {
-            Some(*kind)
-        }
+        Expr::Ext { kind, .. } | Expr::ParExt { kind, .. } | Expr::Join { kind, .. } => Some(*kind),
         Expr::Remote { .. } | Expr::RemoteApp { .. } => Some(CollKind::Set),
         Expr::Cached { expr, .. } => definite_kind(expr),
         Expr::Let { body, .. } => definite_kind(body),
@@ -189,15 +189,15 @@ fn vertical_fusion(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     // Capture check: y must not appear free in e1.
     let (y, e2) = if e1.occurs_free(y) {
         let fy = fresh(y);
-        let renamed = (**e2).clone().subst(y, &Expr::Var(fy.clone()));
-        (fy, Box::new(renamed))
+        let renamed = Expr::subst_shared(e2, y, &Arc::new(Expr::Var(fy.clone())));
+        (fy, renamed)
     } else {
         (y.clone(), e2.clone())
     };
     Some(Expr::Ext {
         kind: *kind,
         var: y,
-        body: Box::new(Expr::Ext {
+        body: Arc::new(Expr::Ext {
             kind: *kind,
             var: x.clone(),
             body: e1.clone(),
@@ -242,14 +242,14 @@ fn horizontal_fusion(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     }
     // Rename the second loop's variable to the first's.
     let b2 = if x1 == x2 {
-        (**b2).clone()
+        Arc::clone(b2)
     } else {
-        (**b2).clone().subst(x2, &Expr::Var(x1.clone()))
+        Expr::subst_shared(b2, x2, &Arc::new(Expr::Var(x1.clone())))
     };
     Some(Expr::Ext {
         kind: *kind,
         var: x1.clone(),
-        body: Box::new(Expr::Union(*kind, b1.clone(), Box::new(b2))),
+        body: Arc::new(Expr::Union(*kind, b1.clone(), b2)),
         source: s1.clone(),
     })
 }
@@ -296,10 +296,8 @@ fn union_empty(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     let Expr::Union(kind, a, b) = e else {
         return None;
     };
-    let is_empty = |x: &Expr| {
-        matches!(x, Expr::Empty(_))
-            || matches!(x, Expr::Const(v) if v.is_empty_coll())
-    };
+    let is_empty =
+        |x: &Expr| matches!(x, Expr::Empty(_)) || matches!(x, Expr::Const(v) if v.is_empty_coll());
     if is_empty(a) {
         return Some((**b).clone());
     }
@@ -325,7 +323,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     fn ints(range: std::ops::Range<i64>) -> Expr {
@@ -340,7 +338,7 @@ mod tests {
             "y",
             Expr::single(
                 CollKind::Set,
-                Expr::Prim(nrc::Prim::Mul, vec![Expr::var("y"), Expr::int(2)]),
+                Expr::prim(nrc::Prim::Mul, vec![Expr::var("y"), Expr::int(2)]),
             ),
             ints(0..10),
         );
@@ -349,7 +347,7 @@ mod tests {
             "x",
             Expr::single(
                 CollKind::Set,
-                Expr::Prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
+                Expr::prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
             ),
             inner,
         );
@@ -397,7 +395,7 @@ mod tests {
                 "x",
                 Expr::single(
                     CollKind::Set,
-                    Expr::Prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(off)]),
+                    Expr::prim(nrc::Prim::Add, vec![Expr::var("x"), Expr::int(off)]),
                 ),
                 ints(0..10),
             )
@@ -454,10 +452,7 @@ mod tests {
             ints(0..10),
         );
         let opt = normalize(e);
-        assert!(
-            matches!(opt, Expr::If(..)),
-            "filter not promoted: {opt}"
-        );
+        assert!(matches!(opt, Expr::If(..)), "filter not promoted: {opt}");
         // ... and the else-branch loop collapsed to {}
         if let Expr::If(_, _, f) = &opt {
             assert_eq!(**f, Expr::Empty(CollKind::Set));

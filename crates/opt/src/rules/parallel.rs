@@ -30,11 +30,10 @@ fn touches_remote_uncached(e: &Expr) -> bool {
         Expr::Remote { .. } | Expr::RemoteApp { .. } => true,
         other => {
             let mut found = false;
-            other.clone().map_children(&mut |c| {
+            other.for_each_child(&mut |c| {
                 if !found {
-                    found = touches_remote_uncached(&c);
+                    found = touches_remote_uncached(c);
                 }
-                c
             });
             found
         }
@@ -48,11 +47,10 @@ fn first_driver(e: &Expr) -> Option<nrc::Name> {
         Expr::Remote { driver, .. } | Expr::RemoteApp { driver, .. } => Some(driver.clone()),
         other => {
             let mut found = None;
-            other.clone().map_children(&mut |c| {
+            other.for_each_child(&mut |c| {
                 if found.is_none() {
-                    found = first_driver(&c);
+                    found = first_driver(c);
                 }
-                c
             });
             found
         }
@@ -94,6 +92,8 @@ fn parallelize(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
     use crate::catalog::{NullCatalog, StaticCatalog};
     use crate::engine::OptConfig;
@@ -106,7 +106,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     fn dependent_remote_loop() -> Expr {
@@ -116,7 +116,7 @@ mod tests {
             "x",
             Expr::RemoteApp {
                 driver: nrc::name("GenBank"),
-                arg: Box::new(Expr::record(vec![
+                arg: Arc::new(Expr::record(vec![
                     ("db", Expr::str("na")),
                     ("link", Expr::var("x")),
                 ])),
@@ -171,7 +171,7 @@ mod tests {
             "x",
             Expr::Cached {
                 id: 7,
-                expr: Box::new(Expr::Remote {
+                expr: Arc::new(Expr::Remote {
                     driver: nrc::name("GDB"),
                     request: kleisli_core::DriverRequest::TableScan {
                         table: "t".into(),

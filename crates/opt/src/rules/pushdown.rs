@@ -116,10 +116,7 @@ fn recognize(e: &Expr, ctx: &RuleCtx<'_>) -> Option<ConjQuery> {
     if q.tables.len() == 1 && q.preds.is_empty() && !q.impossible {
         // A bare projection is still worth shipping only if it actually
         // narrows the row; without schema info assume it does.
-        let narrow = match ctx
-            .catalog
-            .table_stats(&q.driver, &q.tables[0].1)
-        {
+        let narrow = match ctx.catalog.table_stats(&q.driver, &q.tables[0].1) {
             Some(stats) => q.select.len() < stats.columns.len(),
             None => true,
         };
@@ -198,8 +195,8 @@ fn collect_preds(cond: &Expr, q: &mut ConjQuery, ctx: &RuleCtx<'_>) -> Option<()
         Expr::Prim(Prim::HasField, args) => {
             // Pattern-compiled field-presence test: resolved against the
             // table schema. Unknown schema => cannot push.
-            let Expr::Var(v) = &args[0] else { return None };
-            let Expr::Const(Value::Str(field)) = &args[1] else {
+            let Expr::Var(v) = &*args[0] else { return None };
+            let Expr::Const(Value::Str(field)) = &*args[1] else {
                 return None;
             };
             let table = &q.tables.iter().find(|(tv, _)| tv == v)?.1;
@@ -211,7 +208,10 @@ fn collect_preds(cond: &Expr, q: &mut ConjQuery, ctx: &RuleCtx<'_>) -> Option<()
                 Some(())
             }
         }
-        Expr::Prim(op @ (Prim::Eq | Prim::Ne | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge), args) => {
+        Expr::Prim(
+            op @ (Prim::Eq | Prim::Ne | Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge),
+            args,
+        ) => {
             let lhs = operand(&args[0], q)?;
             let rhs = operand(&args[1], q)?;
             q.preds.push(Pred { op: *op, lhs, rhs });
@@ -382,7 +382,7 @@ fn tag_extraction(e: &Expr, y: &Name) -> Option<String> {
     if !matches!(default.as_deref(), Some(Expr::Empty(CollKind::Set))) {
         return None;
     }
-    match body {
+    match &**body {
         Expr::Single(CollKind::Set, inner) if matches!(&**inner, Expr::Var(v) if v == w) => {
             Some(tag.to_string())
         }
@@ -454,7 +454,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     /// Build the (already let-inlined) NRC form of the paper's Loci22
@@ -506,7 +506,10 @@ mod tests {
                 let DriverRequest::Sql { query } = request else {
                     panic!("expected SQL, got {request:?}");
                 };
-                assert!(query.contains("from locus t0, object_genbank_eref t1"), "{query}");
+                assert!(
+                    query.contains("from locus t0, object_genbank_eref t1"),
+                    "{query}"
+                );
                 assert!(query.contains("t1.object_id = t0.locus_id"), "{query}");
                 assert!(query.contains("t1.object_class_key = 1"), "{query}");
                 assert!(query.contains("t0.locus_symbol as locus_symbol"), "{query}");
@@ -522,7 +525,7 @@ mod tests {
             CollKind::Set,
             "g1",
             Expr::if_(
-                Expr::Prim(
+                Expr::prim(
                     Prim::HasField,
                     vec![Expr::var("g1"), Expr::str("locus_symbol")],
                 ),
@@ -536,7 +539,13 @@ mod tests {
         );
         let out = run(e, &gdb_catalog());
         assert!(
-            matches!(&out, Expr::Remote { request: DriverRequest::Sql { .. }, .. }),
+            matches!(
+                &out,
+                Expr::Remote {
+                    request: DriverRequest::Sql { .. },
+                    ..
+                }
+            ),
             "{out}"
         );
     }
@@ -547,7 +556,7 @@ mod tests {
             CollKind::Set,
             "g1",
             Expr::if_(
-                Expr::Prim(
+                Expr::prim(
                     Prim::HasField,
                     vec![Expr::var("g1"), Expr::str("no_such_column")],
                 ),
@@ -654,16 +663,16 @@ mod tests {
             Expr::Ext {
                 kind: CollKind::Set,
                 var: nrc::name("y"),
-                body: Box::new(Expr::Case {
-                    scrutinee: Box::new(Expr::var("y")),
+                body: Arc::new(Expr::Case {
+                    scrutinee: Arc::new(Expr::var("y")),
                     arms: vec![CaseArm {
                         tag: nrc::name("giim"),
                         var: nrc::name("w"),
-                        body: Expr::single(CollKind::Set, Expr::var("w")),
+                        body: Arc::new(Expr::single(CollKind::Set, Expr::var("w"))),
                     }],
-                    default: Some(Box::new(Expr::Empty(CollKind::Set))),
+                    default: Some(Arc::new(Expr::Empty(CollKind::Set))),
                 }),
-                source: Box::new(Expr::proj(Expr::proj(Expr::var("x"), "seq"), "id")),
+                source: Arc::new(Expr::proj(Expr::proj(Expr::var("x"), "seq"), "id")),
             },
             fetch,
         );

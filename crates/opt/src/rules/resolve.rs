@@ -4,6 +4,8 @@
 //! lowering of dynamic driver calls with constant arguments into static
 //! [`Expr::Remote`] requests that the pushdown rules can inspect.
 
+use std::sync::Arc;
+
 use kleisli_exec::{request_from_value, Context};
 use nrc::{Expr, Prim};
 
@@ -67,7 +69,7 @@ fn beta_reduce(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     };
     Some(Expr::Let {
         var: var.clone(),
-        def: Box::new((**a).clone()),
+        def: Arc::clone(a),
         body: body.clone(),
     })
 }
@@ -88,11 +90,9 @@ fn count_occ(e: &Expr, var: &str) -> usize {
     fn go(e: &Expr, var: &str) -> usize {
         match e {
             Expr::Var(n) => usize::from(&**n == var),
-            Expr::Let {
-                var: v,
-                def,
-                body,
-            } => go(def, var) + if &**v == var { 0 } else { go(body, var) },
+            Expr::Let { var: v, def, body } => {
+                go(def, var) + if &**v == var { 0 } else { go(body, var) }
+            }
             Expr::Lambda { var: v, body } => {
                 if &**v == var {
                     0
@@ -153,11 +153,7 @@ fn count_occ(e: &Expr, var: &str) -> usize {
             }
             other => {
                 let mut n = 0;
-                // visit direct children only
-                other.clone().map_children(&mut |c| {
-                    n += go(&c, var);
-                    c
-                });
+                other.for_each_child(&mut |c| n += go(c, var));
                 n
             }
         }
@@ -178,7 +174,7 @@ fn let_inline(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
         return Some((**body).clone());
     }
     if is_cheap(def) || (uses == 1 && !def.touches_remote()) {
-        return Some(body.clone().subst(var, def));
+        return Some((*Expr::subst_shared(body, var, def)).clone());
     }
     None
 }
@@ -192,10 +188,8 @@ fn proj_record(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
         Expr::Record(fields) => fields
             .iter()
             .find(|(n, _)| n == field)
-            .map(|(_, fe)| fe.clone()),
-        Expr::Const(kleisli_core::Value::Record(r)) => {
-            r.get(field).cloned().map(Expr::Const)
-        }
+            .map(|(_, fe)| (**fe).clone()),
+        Expr::Const(kleisli_core::Value::Record(r)) => r.get(field).cloned().map(Expr::Const),
         _ => None,
     }
 }
@@ -212,17 +206,15 @@ fn case_of_variant(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     };
     let (tag, payload): (&str, Expr) = match &**scrutinee {
         Expr::Inject(t, inner) => (t, (**inner).clone()),
-        Expr::Const(kleisli_core::Value::Variant(t, inner)) => {
-            (t, Expr::Const((**inner).clone()))
-        }
+        Expr::Const(kleisli_core::Value::Variant(t, inner)) => (t, Expr::Const((**inner).clone())),
         _ => return None,
     };
     for arm in arms {
         if &*arm.tag == tag {
             return Some(Expr::Let {
                 var: arm.var.clone(),
-                def: Box::new(payload),
-                body: Box::new(arm.body.clone()),
+                def: Arc::new(payload),
+                body: arm.body.clone(),
             });
         }
     }
@@ -248,7 +240,7 @@ fn const_fold(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     }
     let mut vals = Vec::with_capacity(args.len());
     for a in args {
-        match a {
+        match &**a {
             Expr::Const(v) => vals.push(v.clone()),
             _ => return None,
         }
@@ -264,16 +256,16 @@ fn record_introspection(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     let Expr::Prim(p, args) = e else { return None };
     match p {
         Prim::HasField => {
-            let Expr::Record(fields) = &args[0] else {
+            let Expr::Record(fields) = &*args[0] else {
                 return None;
             };
-            let Expr::Const(kleisli_core::Value::Str(f)) = &args[1] else {
+            let Expr::Const(kleisli_core::Value::Str(f)) = &*args[1] else {
                 return None;
             };
             Some(Expr::bool(fields.iter().any(|(n, _)| &**n == &**f)))
         }
         Prim::RecordWidth => {
-            let Expr::Record(fields) = &args[0] else {
+            let Expr::Record(fields) = &*args[0] else {
                 return None;
             };
             Some(Expr::int(fields.len() as i64))
@@ -287,7 +279,7 @@ fn record_const_fold(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
     let Expr::Record(fields) = e else { return None };
     let mut out = Vec::with_capacity(fields.len());
     for (n, fe) in fields {
-        match fe {
+        match &**fe {
             Expr::Const(v) => out.push((n.clone(), v.clone())),
             _ => return None,
         }
@@ -297,11 +289,13 @@ fn record_const_fold(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
 
 /// `<t = const>` is a constant.
 fn variant_const_fold(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
-    let Expr::Inject(tag, inner) = e else { return None };
+    let Expr::Inject(tag, inner) = e else {
+        return None;
+    };
     match &**inner {
         Expr::Const(v) => Some(Expr::Const(kleisli_core::Value::Variant(
             tag.clone(),
-            std::sync::Arc::new(v.clone()),
+            Arc::new(v.clone()),
         ))),
         _ => None,
     }
@@ -336,7 +330,7 @@ mod tests {
             config: &config,
         };
         let mut trace = Vec::new();
-        rule_set().run(e, &ctx, &mut trace)
+        rule_set().run_owned(e, &ctx, &mut trace)
     }
 
     #[test]
@@ -357,29 +351,29 @@ mod tests {
     #[test]
     fn case_dispatch_on_known_tag() {
         let e = Expr::Case {
-            scrutinee: Box::new(Expr::Inject(nrc::name("ok"), Box::new(Expr::int(5)))),
+            scrutinee: Arc::new(Expr::Inject(nrc::name("ok"), Arc::new(Expr::int(5)))),
             arms: vec![nrc::CaseArm {
                 tag: nrc::name("ok"),
                 var: nrc::name("x"),
-                body: Expr::Prim(Prim::Add, vec![Expr::var("x"), Expr::int(1)]),
+                body: Arc::new(Expr::prim(Prim::Add, vec![Expr::var("x"), Expr::int(1)])),
             }],
-            default: Some(Box::new(Expr::int(0))),
+            default: Some(Arc::new(Expr::int(0))),
         };
         assert_eq!(run(e), Expr::int(6));
     }
 
     #[test]
     fn constant_arithmetic_folds() {
-        let e = Expr::Prim(Prim::Mul, vec![Expr::int(6), Expr::int(7)]);
+        let e = Expr::prim(Prim::Mul, vec![Expr::int(6), Expr::int(7)]);
         assert_eq!(run(e), Expr::int(42));
         // division by zero must NOT fold (stays a runtime error)
-        let e = Expr::Prim(Prim::Div, vec![Expr::int(1), Expr::int(0)]);
+        let e = Expr::prim(Prim::Div, vec![Expr::int(1), Expr::int(0)]);
         assert!(matches!(run(e), Expr::Prim(Prim::Div, _)));
     }
 
     #[test]
     fn hasfield_folds_on_record_expressions() {
-        let e = Expr::Prim(
+        let e = Expr::prim(
             Prim::HasField,
             vec![
                 Expr::record(vec![("a", Expr::var("unknown"))]),
@@ -394,7 +388,7 @@ mod tests {
     fn remote_call_lowering() {
         let e = Expr::RemoteApp {
             driver: nrc::name("GDB"),
-            arg: Box::new(Expr::Const(Value::record_from(vec![(
+            arg: Arc::new(Expr::Const(Value::record_from(vec![(
                 "table",
                 Value::str("locus"),
             )]))),
@@ -418,7 +412,7 @@ mod tests {
     fn remote_call_with_dynamic_arg_stays() {
         let e = Expr::RemoteApp {
             driver: nrc::name("GDB"),
-            arg: Box::new(Expr::var("x")),
+            arg: Arc::new(Expr::var("x")),
         };
         assert_eq!(run(e.clone()), e);
     }

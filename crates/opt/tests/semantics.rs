@@ -36,11 +36,11 @@ fn int_expr(scope: Scope, depth: u32) -> BoxedStrategy<Expr> {
     prop_oneof![
         3 => leaf,
         2 => (int_expr(scope, depth - 1), int_expr(scope, depth - 1))
-            .prop_map(|(a, b)| Expr::Prim(Prim::Add, vec![a, b])),
+            .prop_map(|(a, b)| Expr::prim(Prim::Add, vec![a, b])),
         1 => (int_expr(scope, depth - 1), int_expr(scope, depth - 1))
-            .prop_map(|(a, b)| Expr::Prim(Prim::Sub, vec![a, b])),
+            .prop_map(|(a, b)| Expr::prim(Prim::Sub, vec![a, b])),
         1 => coll_expr(scope, depth - 1)
-            .prop_map(|c| Expr::Prim(Prim::Count, vec![c])),
+            .prop_map(|c| Expr::prim(Prim::Count, vec![c])),
         1 => (bool_expr(scope, depth - 1), int_expr(scope, depth - 1), int_expr(scope, depth - 1))
             .prop_map(|(c, t, f)| Expr::if_(c, t, f)),
     ]
@@ -57,11 +57,11 @@ fn bool_expr(scope: Scope, depth: u32) -> BoxedStrategy<Expr> {
         2 => (int_expr(scope, depth - 1), int_expr(scope, depth - 1))
             .prop_map(|(a, b)| Expr::eq(a, b)),
         2 => (int_expr(scope, depth - 1), int_expr(scope, depth - 1))
-            .prop_map(|(a, b)| Expr::Prim(Prim::Lt, vec![a, b])),
+            .prop_map(|(a, b)| Expr::prim(Prim::Lt, vec![a, b])),
         1 => (bool_expr(scope, depth - 1), bool_expr(scope, depth - 1))
             .prop_map(|(a, b)| Expr::and(a, b)),
         1 => bool_expr(scope, depth - 1)
-            .prop_map(|a| Expr::Prim(Prim::Not, vec![a])),
+            .prop_map(|a| Expr::prim(Prim::Not, vec![a])),
     ]
     .boxed()
 }
@@ -92,8 +92,8 @@ fn coll_expr(scope: Scope, depth: u32) -> BoxedStrategy<Expr> {
             .prop_map(move |(k, src, body)| Expr::Ext {
                 kind: k,
                 var: nrc::name(format!("v{}", scope.0)),
-                body: Box::new(fit_kind(body, k)),
-                source: Box::new(src),
+                body: std::sync::Arc::new(fit_kind(body, k)),
+                source: std::sync::Arc::new(src),
             }),
         1 => (bool_expr(scope, depth - 1), any_kind(), coll_expr(scope, depth - 1), coll_expr(scope, depth - 1))
             .prop_map(|(c, k, t, f)| Expr::if_(c, fit_kind(t, k), fit_kind(f, k))),
@@ -120,7 +120,7 @@ fn fit_kind(e: Expr, k: CollKind) -> Expr {
         CollKind::Bag => Prim::BagOf,
         CollKind::List => Prim::ListOf,
     };
-    Expr::Prim(conv, vec![e])
+    Expr::prim(conv, vec![e])
 }
 
 fn definite_kind(e: &Expr) -> Option<CollKind> {
@@ -170,6 +170,48 @@ proptest! {
                 .expect("optimized scalar query failed");
             prop_assert_eq!(before, after, "\n  original: {}\n optimized: {}", e, opt);
         }
+    }
+
+    /// The two structural-sharing contracts of the Arc-based plan
+    /// representation, over random plans:
+    /// (a) a rewritten plan evaluates to the same `Value` as the original
+    ///     (the `optimizer_preserves_collection_semantics` property above
+    ///     already covers the value part; here we re-check through the
+    ///     shared-handle API), and
+    /// (b) re-optimizing an already-optimized plan is a no-op pass that
+    ///     returns a *pointer-equal* `Arc` root — the engine must detect
+    ///     the fixpoint by `Arc::ptr_eq`, not rebuild an identical tree.
+    #[test]
+    fn noop_passes_are_pointer_equal(e in coll_expr(Scope(0), 3)) {
+        use std::sync::Arc;
+        let ctx = Context::new();
+        let before = eval(&e, &Env::empty(), &ctx);
+        let (opt1, _) = kleisli_opt::optimize_shared(
+            Arc::new(e.clone()), &NullCatalog, &OptConfig::default());
+        // (a) same observable semantics through the shared-handle API
+        if let Ok(b) = before {
+            match eval(&opt1, &Env::empty(), &ctx) {
+                Ok(a) => prop_assert_eq!(
+                    b, a, "\n  original: {}\n optimized: {}", e, opt1
+                ),
+                Err(err) => {
+                    return Err(TestCaseError::fail(format!(
+                        "optimized plan failed ({err})\n  original: {e}\n optimized: {opt1}"
+                    )));
+                }
+            }
+        }
+        // (b) a second pipeline run fires nothing and shares the root
+        let (opt2, trace2) = kleisli_opt::optimize_shared(
+            Arc::clone(&opt1), &NullCatalog, &OptConfig::default());
+        prop_assert!(
+            trace2.is_empty(),
+            "re-optimization fired rules {:?} on {}", trace2, opt1
+        );
+        prop_assert!(
+            Arc::ptr_eq(&opt1, &opt2),
+            "no-op optimization must return the same Arc root for {}", opt1
+        );
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! A minimal, offline, API-compatible stand-in for the `criterion` crate:
+//! groups, `bench_function` / `bench_with_input`, `iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! fixed-iteration median-of-samples wall-clock timer — far simpler than
+//! real Criterion's statistics, but stable enough to compare the plans
+//! this workspace benches against each other.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 20, &mut f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accept both `&str` and `BenchmarkId` where real criterion does.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.full
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_target: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // calibrate: aim for samples of at least ~1ms or 10 iterations
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000)
+            as u64;
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.sample_target {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / per_sample as u32);
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_target: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no samples (b.iter never called)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "  {label}: median {} (min {}, max {}, {} samples x {} iters)",
+        fmt_dur(median),
+        fmt_dur(min),
+        fmt_dur(max),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,602 @@
+//! A minimal, offline, API-compatible stand-in for the `proptest` crate,
+//! covering exactly the surface this workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, `boxed`, tuples, ranges, `Just`,
+//!   `any::<bool>()`, weighted/unweighted [`prop_oneof!`], and string
+//!   strategies from simple character-class regexes (`"[a-z]{1,6}"`);
+//! * [`collection::vec`] with a size range or an exact count;
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//!   `prop_assert*` macros returning [`test_runner::TestCaseError`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case is
+//! reported with its full `Debug` rendering. Generation is deterministic
+//! per test (seeded from the case index), so failures reproduce.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property; carries the failure message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+
+        /// Proptest's "discard this case" marker; treated as a pass here.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(format!("rejected: {}", msg.into()))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// The RNG driving generation: SplitMix64, seeded per test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generation strategy for values of type `Self::Value`.
+pub trait Strategy: 'static {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: fmt::Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self // already erased; re-boxing would only add indirection
+    }
+}
+
+/// Strategy returning a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + 'static,
+    O: fmt::Debug,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String strategies from a simple regex subset: a concatenation of
+/// `[class]` atoms (ranges, literals, trailing `-`) each optionally
+/// followed by `{n}` or `{m,n}`. This covers every pattern in the test
+/// suite; anything else panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        // parse one atom: a character class or a literal character
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pat}"))
+                + i;
+            let mut class = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad range in pattern {pat}");
+                    class.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    class.push(chars[j]); // literal, including trailing '-'
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            class
+        } else {
+            let c = chars[i];
+            assert!(
+                !['(', ')', '|', '*', '+', '?', '.', '\\'].contains(&c),
+                "unsupported regex construct '{c}' in pattern {pat}"
+            );
+            i += 1;
+            vec![c]
+        };
+        // parse an optional {n} / {m,n} repetition
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        assert!(!class.is_empty(), "empty class in pattern {pat}");
+        for _ in 0..count {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `any::<T>()` support (subset: the types the tests request).
+pub trait Arbitrary: fmt::Debug + Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A weighted union of boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for WeightedUnion<T> {
+    fn clone(&self) -> Self {
+        WeightedUnion {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T: fmt::Debug + 'static> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < u64::from(*w) {
+                return s.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+pub fn weighted_union<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> WeightedUnion<T> {
+    let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! needs at least one arm");
+    WeightedUnion { arms, total }
+}
+
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vec sizes: an exact count or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy + Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                elem: self.elem.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let n = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Map, Strategy, WeightedUnion};
+}
+
+pub mod prelude {
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::weighted_union(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::weighted_union(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($a), stringify!($b), a, b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                        stringify!($a), stringify!($b), a, b, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($a), stringify!($b), a),
+            ));
+        }
+    }};
+}
+
+/// The test-definition macro. Each `#[test] fn name(arg in strategy, ..)
+/// { body }` becomes a plain `#[test]` that runs `body` over `cases`
+/// generated inputs. The body may `return Err(TestCaseError)` (that is
+/// what the `prop_assert*` macros expand to); the harness panics with the
+/// message and the `Debug` rendering of the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Strategies are rebuilt once per test, not per case.
+            $(let $arg = $strat;)*
+            for case in 0..config.cases {
+                // Mix the case index into the seed; keep it deterministic.
+                let mut rng = $crate::TestRng::new(
+                    0xC0FF_EE00_0000_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9)
+                );
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)*
+                // Render the inputs before the body can move them.
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn patterns_generate_within_class_and_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1}", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+            let s = Strategy::generate(&"[a-z][a-z0-9-]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let s = Strategy::generate(&"[a-zA-Z0-9 .,;:()-]{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_loosely() {
+        let strat = prop_oneof![
+            9 => Just(1),
+            1 => Just(2),
+        ];
+        let mut rng = TestRng::new(9);
+        let ones = (0..1000)
+            .filter(|_| Strategy::generate(&strat, &mut rng) == 1)
+            .count();
+        assert!(ones > 800, "{ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_wires_strategies_through(x in 0i64..10, v in super::collection::vec(0i64..5, 0..4)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(v.iter().count(), v.len());
+        }
+    }
+}
