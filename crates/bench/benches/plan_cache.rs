@@ -1,0 +1,49 @@
+//! E12: what deterministic subplan caching buys.
+//!
+//! * `repeat-compile/*` — compiling the same CPL source over and over
+//!   (the common mediator traffic shape) with the session plan cache
+//!   versus with the cache disabled (full parse → typecheck → optimize
+//!   every time).
+//! * `memo-fixpoint/*` — the resolve + monadic rule sets to fixpoint over
+//!   a plan whose deep subtree is shared by many parents, with the
+//!   engine's identity-keyed rewrite memo versus without (every
+//!   occurrence re-walked).
+
+use std::sync::Arc;
+
+use bench_harness::{compile_session, memo_fixpoint, shared_subtree_plan, REPEAT_COMPILE};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kleisli_opt::OptConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    g.sample_size(20);
+
+    let cached = compile_session(64);
+    let uncached = compile_session(0);
+    g.bench_function("repeat-compile/cached", |b| {
+        b.iter(|| black_box(cached.compile(REPEAT_COMPILE).expect("compile")))
+    });
+    g.bench_function("repeat-compile/uncached", |b| {
+        b.iter(|| black_box(uncached.compile(REPEAT_COMPILE).expect("compile")))
+    });
+
+    let config = OptConfig::default();
+    for copies in [8usize, 32] {
+        let plan = shared_subtree_plan(copies, 6, 4);
+        g.bench_with_input(
+            BenchmarkId::new("memo-fixpoint/memoized", copies),
+            &copies,
+            |b, _| b.iter(|| black_box(memo_fixpoint(Arc::clone(&plan), &config, true))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("memo-fixpoint/unmemoized", copies),
+            &copies,
+            |b, _| b.iter(|| black_box(memo_fixpoint(Arc::clone(&plan), &config, false))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -349,6 +349,59 @@ pub fn deep_comprehension(depth: usize, width: i64) -> Expr {
     e
 }
 
+// ------------------------------------------------------------------------
+// E12: subplan caching (the `plan_cache` bench).
+// ------------------------------------------------------------------------
+
+/// A plan in which one deep subtree is *shared* (one `Arc`, `copies`
+/// occurrences): `union(S, union(S, ... union(S, S)))`. The memoized
+/// rewrite engine rewrites `S` once per fixpoint; the unmemoized engine
+/// walks it once per occurrence.
+pub fn shared_subtree_plan(copies: usize, depth: usize, width: i64) -> Arc<Expr> {
+    let shared = Arc::new(deep_comprehension(depth, width));
+    let mut e = Arc::clone(&shared);
+    for _ in 1..copies.max(1) {
+        e = Arc::new(Expr::Union(CollKind::Set, Arc::clone(&shared), e));
+    }
+    e
+}
+
+/// Fixpoint over the resolve + monadic sets with the rewrite memo toggled.
+pub fn memo_fixpoint(e: Arc<Expr>, config: &OptConfig, memo: bool) -> Arc<Expr> {
+    let config = OptConfig {
+        enable_rewrite_memo: memo,
+        ..config.clone()
+    };
+    shared_fixpoint(e, &config)
+}
+
+/// A session with a small local database and the plan cache sized by
+/// `capacity` (0 disables caching — the repeat-compile baseline).
+pub fn compile_session(capacity: usize) -> Session {
+    let mut session = Session::new();
+    session.set_plan_cache_capacity(capacity);
+    session.bind_value(
+        "DB",
+        Value::set(
+            (0..64)
+                .map(|i| {
+                    Value::record_from(vec![
+                        ("k", Value::Int(i % 7)),
+                        ("v", Value::Int(i)),
+                        ("name", Value::str(format!("row{i}"))),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    session
+}
+
+/// The query repeatedly compiled by the plan-cache experiment: enough
+/// nesting and pattern sugar that a compile costs a realistic amount.
+pub const REPEAT_COMPILE: &str = r"{[k = x.k, total = sum({y.v | \y <- DB, y.k = x.k}),
+      names = {y.name | \y <- DB, y.k = x.k}] | \x <- DB}";
+
 /// Run one rule set to fixpoint the way the pre-sharing engine did:
 /// every pass rebuilds **every** node of the plan (one fresh allocation
 /// per node, exactly like the old `Box<Expr>` `map_children`), and the

@@ -2,15 +2,129 @@
 //! `deref`, and the subquery cache.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::{self, ThreadId};
 
 use parking_lot::Mutex;
 
-/// A memoization slot; its mutex serializes the first computation so that
-/// concurrent evaluators (inside `ParExt`) fetch a cached subquery once.
-pub type CacheSlot = Arc<Mutex<Option<Value>>>;
-
 use kleisli_core::{DriverRef, DriverRequest, KError, KResult, Oid, Value};
+
+/// A memoization slot for one `Cached { id }` subquery, with *single-
+/// flight* population: the first evaluator to find the slot empty becomes
+/// the populator (it receives a [`PopulateTicket`]); everyone else blocks
+/// until the populator commits a value or gives up, then re-checks. This
+/// is what makes a cached subquery under a parallel generator (`ParExt`)
+/// run exactly once, no matter how many worker threads race to it.
+///
+/// Unlike the previous `Mutex<Option<Value>>` design, the slot is *not*
+/// held locked while the value is computed — the populator owns a ticket
+/// it can carry into a lazy stream, so the streaming executor can yield
+/// cached rows as they arrive and commit the canonical collection only
+/// when the stream is exhausted. An abandoned ticket (dropped without
+/// commit — the consumer stopped early, or evaluation failed) wakes the
+/// waiters and leaves the slot empty for the next evaluator to retry.
+///
+/// Built on `std::sync` (the vendored `parking_lot` stub has no condvar).
+#[derive(Default)]
+pub struct CacheCell {
+    state: StdMutex<CellState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CellState {
+    value: Option<Value>,
+    /// The thread currently populating, if any.
+    populating: Option<ThreadId>,
+}
+
+/// Outcome of [`CacheCell::lookup_or_begin`].
+pub enum CacheLookup {
+    /// The slot is populated; here is the value.
+    Hit(Value),
+    /// The slot is empty and the caller is now the populator: evaluate the
+    /// subquery and [`PopulateTicket::commit`] the result (dropping the
+    /// ticket without committing aborts and lets someone else retry).
+    Miss(PopulateTicket),
+    /// The calling thread is *already* populating this very cell further
+    /// up its own evaluation (a re-entrant lookup through the same cached
+    /// subquery). Waiting would self-deadlock; the caller must evaluate
+    /// the subquery directly without touching the cache.
+    Reentrant,
+}
+
+/// Exclusive permission to populate a [`CacheCell`]; see there.
+pub struct PopulateTicket {
+    cell: Arc<CacheCell>,
+    committed: bool,
+}
+
+impl CacheCell {
+    /// Read the value or acquire the right to compute it; blocks while
+    /// another thread is populating. See [`CacheLookup`].
+    pub fn lookup_or_begin(self: &Arc<Self>) -> CacheLookup {
+        let me = thread::current().id();
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = &st.value {
+                return CacheLookup::Hit(v.clone());
+            }
+            match st.populating {
+                None => {
+                    st.populating = Some(me);
+                    return CacheLookup::Miss(PopulateTicket {
+                        cell: Arc::clone(self),
+                        committed: false,
+                    });
+                }
+                Some(owner) if owner == me => return CacheLookup::Reentrant,
+                Some(_) => {
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// The current value, if populated (non-blocking; testing/inspection).
+    pub fn peek(&self) -> Option<Value> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .value
+            .clone()
+    }
+
+    /// Store a value directly, releasing any in-flight population claim.
+    pub fn put(&self, v: Value) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.value = Some(v);
+        st.populating = None;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+impl PopulateTicket {
+    /// Publish the computed value and wake every waiter.
+    pub fn commit(mut self, v: Value) {
+        self.committed = true;
+        self.cell.put(v);
+    }
+}
+
+impl Drop for PopulateTicket {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        // Abort: release the claim so a waiter (or a later evaluator)
+        // can try again; the slot stays empty.
+        let mut st = self.cell.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.populating = None;
+        drop(st);
+        self.cell.cv.notify_all();
+    }
+}
 
 /// Resolves object references for sources with object identity (ACE).
 /// CPL can dereference but never create or update references.
@@ -23,7 +137,7 @@ pub trait ObjectStore: Send + Sync {
 pub struct Context {
     drivers: HashMap<String, DriverRef>,
     object_stores: Vec<Arc<dyn ObjectStore>>,
-    cache: Mutex<HashMap<u64, CacheSlot>>,
+    cache: Mutex<HashMap<u64, Arc<CacheCell>>>,
 }
 
 impl Context {
@@ -61,23 +175,24 @@ impl Context {
         Err(KError::eval(format!("dangling object reference {oid}")))
     }
 
-    /// The memoization slot for a cached subquery. Callers lock the slot;
-    /// the first computes and stores, later ones read — even when racing
-    /// inside a parallel loop.
-    pub fn cache_slot(&self, id: u64) -> CacheSlot {
+    /// The memoization cell for a cached subquery. Ids are the subplan's
+    /// deterministic structural hash (assigned by the optimizer's cache
+    /// rule), so recompiled plans address the same cells. Callers use
+    /// [`CacheCell::lookup_or_begin`]: the first evaluator computes and
+    /// commits, later ones read — even when racing inside a parallel loop
+    /// (single-flight).
+    pub fn cache_cell(&self, id: u64) -> Arc<CacheCell> {
         Arc::clone(self.cache.lock().entry(id).or_default())
     }
 
     /// Look up a memoized subquery result (testing convenience).
     pub fn cache_get(&self, id: u64) -> Option<Value> {
-        let slot = self.cache_slot(id);
-        let guard = slot.lock();
-        guard.clone()
+        self.cache_cell(id).peek()
     }
 
     /// Store a memoized subquery result (testing convenience).
     pub fn cache_put(&self, id: u64, v: Value) {
-        *self.cache_slot(id).lock() = Some(v);
+        self.cache_cell(id).put(v);
     }
 
     /// Drop all memoized results (between queries).

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use kleisli_core::{CollKind, KError, KResult, Value};
 use nrc::{Expr, JoinStrategy, Prim};
 
-use crate::context::{request_from_value, Context};
+use crate::context::{request_from_value, CacheLookup, Context};
 use crate::env::{Env, Rt};
 use crate::prims::apply_prim;
 
@@ -242,16 +242,21 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
             }
             Ok(Rt::Val(Value::collection(*kind, out)))
         }
-        Expr::Cached { id, expr } => {
-            let slot = ctx.cache_slot(*id);
-            let mut guard = slot.lock();
-            if let Some(hit) = &*guard {
-                return Ok(Rt::Val(hit.clone()));
+        Expr::Cached { id, expr } => match ctx.cache_cell(*id).lookup_or_begin() {
+            CacheLookup::Hit(v) => Ok(Rt::Val(v)),
+            CacheLookup::Miss(ticket) => {
+                // Single-flight: concurrent evaluators of the same id
+                // block in lookup_or_begin until this commit (or until
+                // the ticket is dropped by `?` on an Err, which aborts
+                // and lets one of them retry).
+                let v = eval(expr, env, ctx)?;
+                ticket.commit(v.clone());
+                Ok(Rt::Val(v))
             }
-            let v = eval(expr, env, ctx)?;
-            *guard = Some(v.clone());
-            Ok(Rt::Val(v))
-        }
+            // This thread is already populating this id higher up the
+            // stack; evaluate without the cache to avoid self-deadlock.
+            CacheLookup::Reentrant => Ok(Rt::Val(eval(expr, env, ctx)?)),
+        },
         Expr::ParExt {
             kind,
             var,

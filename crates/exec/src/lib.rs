@@ -18,7 +18,7 @@ pub mod eval;
 pub mod prims;
 pub mod stream;
 
-pub use context::{request_from_value, Context, ObjectStore};
+pub use context::{request_from_value, CacheCell, CacheLookup, Context, ObjectStore, PopulateTicket};
 pub use env::{Env, Rt};
 pub use eval::{eval, eval_rt};
-pub use stream::{collect_stream, eval_stream, first_n, RowStream};
+pub use stream::{collect_stream, eval_stream, first_n, first_n_distinct, RowStream};

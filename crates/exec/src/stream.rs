@@ -8,19 +8,21 @@
 //!
 //! `eval_stream` compiles a collection-valued NRC expression into a
 //! pull-based iterator: generators (`Ext`), unions, conditionals, remote
-//! scans and joins all stream; anything else falls back to the eager
-//! evaluator. A stream yields elements *without* final collection
-//! canonicalization (set deduplication happens only when the stream is
-//! collected), which is what makes `first_n` cheap — the intended use, as
-//! in the paper, is fast first response on queries whose laziness the
-//! optimizer has identified as profitable.
+//! scans, joins and cached subqueries all stream; anything else falls
+//! back to the eager evaluator. A stream yields elements *without* final
+//! collection canonicalization (set deduplication happens only when the
+//! stream is collected), which is what makes `first_n` cheap — the
+//! intended use, as in the paper, is fast first response on queries whose
+//! laziness the optimizer has identified as profitable. Consumers of a
+//! set-typed prefix that must not see duplicates use [`first_n_distinct`].
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use kleisli_core::{CollKind, KError, KResult, Value};
 use nrc::{Expr, JoinStrategy, Name};
 
-use crate::context::{request_from_value, Context};
+use crate::context::{request_from_value, CacheLookup, Context, PopulateTicket};
 use crate::env::{Env, Rt};
 use crate::eval::{eval, eval_parallel};
 
@@ -149,6 +151,43 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                 }
             }
         }
+        Expr::Cached { id, expr } => match ctx.cache_cell(*id).lookup_or_begin() {
+            // Hit: stream the memoized rows; no driver traffic at all.
+            CacheLookup::Hit(v) => stream_of_value(&v),
+            // Re-entrant lookup (this thread is populating the same id
+            // higher up): stream the subquery directly, uncached.
+            CacheLookup::Reentrant => eval_stream(expr, env, ctx),
+            // Miss: this consumer is the populator. When the subplan's
+            // collection kind is syntactically evident we stream the
+            // subquery lazily, teeing rows aside, and commit the canonical
+            // collection once the stream is exhausted — so `first_n` over
+            // a cached remote scan still pulls only what it needs (an
+            // abandoned prefix aborts the ticket and leaves the slot
+            // empty). The ticket rides inside the stream, keeping the
+            // single-flight guarantee of the eager path: racing
+            // evaluators block until commit or abort.
+            CacheLookup::Miss(ticket) => match expr.coll_kind_hint() {
+                Some(kind) => {
+                    // An Err here drops the ticket (abort) on the way out.
+                    let inner = eval_stream(expr, env, ctx)?;
+                    Ok(Box::new(CachingStream {
+                        inner,
+                        ticket: Some(ticket),
+                        rows: Vec::new(),
+                        kind,
+                        done: false,
+                    }))
+                }
+                None => {
+                    // Kind unknowable from syntax: populate eagerly so the
+                    // cached value is canonicalized exactly like the eager
+                    // evaluator's, then stream it.
+                    let v = eval(expr, env, ctx)?;
+                    ticket.commit(v.clone());
+                    stream_of_value(&v)
+                }
+            },
+        },
         Expr::ParExt {
             var,
             body,
@@ -182,6 +221,28 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
     }
 }
 
+/// Stream the elements of an already-computed collection value without
+/// copying it: the iterator shares the collection's element vector (one
+/// `Arc` bump) and clones elements only as they are pulled — a `first_n`
+/// over a huge cache hit touches `n` elements, not the whole collection.
+fn stream_of_value(v: &Value) -> KResult<RowStream> {
+    let elems: Arc<Vec<Value>> = match v {
+        Value::Set(es) | Value::Bag(es) | Value::List(es) => Arc::clone(es),
+        other => {
+            return Err(KError::eval(format!(
+                "cannot stream a non-collection ({})",
+                other.kind_name()
+            )))
+        }
+    };
+    let mut i = 0;
+    Ok(Box::new(std::iter::from_fn(move || {
+        let out = elems.get(i).cloned().map(Ok);
+        i += 1;
+        out
+    })))
+}
+
 /// Pull at most `n` elements from the stream of `e` — the "fast response"
 /// path. Returns the elements in arrival order.
 pub fn first_n(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KResult<Vec<Value>> {
@@ -195,10 +256,74 @@ pub fn first_n(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KResult<Vec
     Ok(out)
 }
 
+/// [`first_n`] for *set*-typed plans: streams skip collection
+/// canonicalization (see the module docs), so a set query can yield the
+/// same element several times; here duplicates are dropped and do not
+/// count toward `n`. First-arrival order is preserved.
+pub fn first_n_distinct(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KResult<Vec<Value>> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen: HashSet<Value> = HashSet::new();
+    if n == 0 {
+        return Ok(out);
+    }
+    for item in eval_stream(e, env, ctx)? {
+        let v = item?;
+        if seen.insert(v.clone()) {
+            out.push(v);
+            if out.len() >= n {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Collect a stream into a canonical collection of the given kind.
 pub fn collect_stream(stream: RowStream, kind: CollKind) -> KResult<Value> {
     let elems: Vec<Value> = stream.collect::<KResult<_>>()?;
     Ok(Value::collection(kind, elems))
+}
+
+/// Lazy population of a [`crate::context::CacheCell`]: passes the inner
+/// stream's rows through while teeing them aside, and commits the
+/// canonical collection (same canonicalization as the eager evaluator's
+/// `Value::collection`) when the inner stream is exhausted. Dropping the
+/// stream early drops the ticket uncommitted, releasing the single-flight
+/// claim with the slot still empty.
+struct CachingStream {
+    inner: RowStream,
+    ticket: Option<PopulateTicket>,
+    rows: Vec<Value>,
+    kind: CollKind,
+    done: bool,
+}
+
+impl Iterator for CachingStream {
+    type Item = KResult<Value>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.inner.next() {
+            Some(Ok(v)) => {
+                self.rows.push(v.clone());
+                Some(Ok(v))
+            }
+            Some(Err(e)) => {
+                self.done = true;
+                self.ticket = None; // abort: do not cache a partial result
+                Some(Err(e))
+            }
+            None => {
+                self.done = true;
+                if let Some(t) = self.ticket.take() {
+                    t.commit(Value::collection(self.kind, std::mem::take(&mut self.rows)));
+                }
+                None
+            }
+        }
+    }
 }
 
 /// A stream constructed on first pull (for the right side of unions).

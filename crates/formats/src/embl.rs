@@ -66,7 +66,17 @@ pub fn parse_embl(text: &str) -> KResult<Value> {
         if line.trim().is_empty() {
             continue;
         }
-        let (code, rest) = line.split_at(line.len().min(2));
+        // Line codes are two ASCII letters. On arbitrary (UTF-8) input the
+        // byte index 2 can fall inside a multi-byte character, where
+        // `split_at` would panic — report a format error instead.
+        let cut = line.len().min(2);
+        if !line.is_char_boundary(cut) {
+            return Err(KError::format(
+                "embl",
+                format!("line {lno} does not start with an ASCII line code"),
+            ));
+        }
+        let (code, rest) = line.split_at(cut);
         let rest = rest.trim_start();
         match code {
             "ID" => {
@@ -123,6 +133,13 @@ pub fn print_embl(v: &Value) -> KResult<String> {
         };
         let id = get_str("id")?;
         let seq = get_str("sequence")?;
+        if !seq.is_ascii() {
+            // The 60-column wrap below slices at byte offsets.
+            return Err(KError::format(
+                "embl",
+                format!("sequence of '{id}' contains non-ASCII characters"),
+            ));
+        }
         let _ = writeln!(out, "ID   {id}; DNA; {} BP.", seq.len());
         let _ = writeln!(out, "DE   {}.", get_str("description")?);
         let _ = writeln!(out, "OS   {}", get_str("organism")?);

@@ -81,6 +81,13 @@ pub fn print_fasta(v: &Value) -> KResult<String> {
         let id = get("id")?;
         let desc = get("description").unwrap_or_default();
         let seq = get("sequence")?;
+        if !seq.is_ascii() {
+            // The 60-column wrap below slices at byte offsets.
+            return Err(KError::format(
+                "fasta",
+                format!("sequence of '{id}' contains non-ASCII characters"),
+            ));
+        }
         if desc.is_empty() {
             let _ = writeln!(out, ">{id}");
         } else {

@@ -102,6 +102,13 @@ pub fn print_gcg(v: &Value) -> KResult<String> {
     };
     let id = get_str("id")?;
     let seq = get_str("sequence")?;
+    if !seq.is_ascii() {
+        // The 50/10-column grouping below slices at byte offsets.
+        return Err(KError::format(
+            "gcg",
+            format!("sequence of '{id}' contains non-ASCII characters"),
+        ));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -1,13 +1,34 @@
 //! The Kleisli session: the CPL → NRC → optimizer → executor pipeline of
-//! Figure 2, plus driver registration and explain output.
+//! Figure 2, plus driver registration, a compiled-plan cache, and explain
+//! output.
+//!
+//! # Plan caching
+//!
+//! [`Session::compile`] memoizes compiled plans in a small LRU keyed by
+//! the CPL source text plus the [`OptConfig`] in force — re-submitting a
+//! query (the common shape of mediator traffic: the same handful of
+//! queries over and over) skips parse/typecheck/optimize entirely. The
+//! cache is invalidated whenever the meaning of a source string can
+//! change: a driver or value binding is registered, or a `define` runs.
+//!
+//! Before optimization, plans are hash-consed through a session-level
+//! [`nrc::Interner`], so structurally identical subplans — within one
+//! query or across queries — are one shared `Arc`. That makes the
+//! optimizer's identity-keyed rewrite memo hit across repeated subplans,
+//! and interacts with the deterministic `Cached` ids (the subplan's
+//! structural hash): recompiling the same query addresses the same
+//! `Context` cache slots.
 
 use std::sync::Arc;
 
 use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
-use kleisli_core::{Capabilities, DriverRef, KResult, MetricsSnapshot, TableStats, Type, Value};
-use kleisli_exec::{eval, first_n, Context, Env, ObjectStore};
-use kleisli_opt::{optimize, OptConfig, SourceCatalog, TraceEntry};
-use nrc::{Expr, TypeEnv};
+use kleisli_core::{
+    Capabilities, CollKind, DriverRef, KResult, MetricsSnapshot, TableStats, Type, Value,
+};
+use kleisli_exec::{eval, first_n, first_n_distinct, Context, Env, ObjectStore};
+use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
+use nrc::{Expr, Interner, TypeEnv};
+use parking_lot::Mutex;
 
 /// The result of running one top-level statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +52,81 @@ pub struct Compiled {
     pub ty: Type,
 }
 
+/// Observability counters for the session plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// The compiled-plan LRU. Linear-scan over a Vec: capacities are tens of
+/// entries, and a scan over that is noise next to even a cache-hit clone
+/// of a `Compiled`.
+struct PlanCache {
+    /// `(source, config, plan)`, most recently used last.
+    entries: Vec<(String, OptConfig, Arc<Compiled>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, src: &str, config: &OptConfig) -> Option<Arc<Compiled>> {
+        match self
+            .entries
+            .iter()
+            .position(|(s, c, _)| s == src && c == config)
+        {
+            Some(i) => {
+                let entry = self.entries.remove(i);
+                let plan = Arc::clone(&entry.2);
+                self.entries.push(entry); // move to MRU position
+                self.hits += 1;
+                Some(plan)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, src: String, config: OptConfig, plan: Arc<Compiled>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // evict LRU
+        }
+        self.entries.push((src, config, plan));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// A CPL/Kleisli session. Drivers are registered once; `define`s
 /// accumulate; queries compile and run against the registered sources.
 pub struct Session {
     ctx: Arc<Context>,
     defs: Definitions,
     config: OptConfig,
+    /// Compiled-plan LRU; interior mutability keeps `compile(&self)`.
+    plan_cache: Mutex<PlanCache>,
+    /// Hash-consing table for every plan this session compiles.
+    interner: Mutex<Interner>,
 }
 
 impl Default for Session {
@@ -57,22 +147,62 @@ impl SourceCatalog for CtxCatalog<'_> {
     }
 }
 
+/// Default number of compiled plans kept per session.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
 impl Session {
     pub fn new() -> Session {
         Session {
             ctx: Arc::new(Context::new()),
             defs: Definitions::new(),
             config: OptConfig::default(),
+            plan_cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            interner: Mutex::new(Interner::new()),
         }
     }
 
     /// Tune the optimizer (e.g. to ablate one optimization in a bench).
+    /// The optimizer config is part of the plan-cache key, so previously
+    /// cached plans stay valid (and reusable if the config is restored).
     pub fn set_opt_config(&mut self, config: OptConfig) {
         self.config = config;
     }
 
     pub fn opt_config(&self) -> &OptConfig {
         &self.config
+    }
+
+    /// Resize the plan cache; `0` disables it. Existing entries beyond
+    /// the new capacity are evicted oldest-first.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        let mut cache = self.plan_cache.lock();
+        cache.capacity = capacity;
+        while cache.entries.len() > capacity {
+            cache.entries.remove(0);
+        }
+    }
+
+    /// Hit/miss counters and occupancy of the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let cache = self.plan_cache.lock();
+        PlanCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+        }
+    }
+
+    /// Drop every cached compiled plan (counters are kept) and the
+    /// hash-consing table that fed them, so a long-lived session's memory
+    /// stays bounded by its *live* plans. Called automatically whenever
+    /// definitions or registered sources change. Interned nodes still
+    /// referenced by outstanding plans stay alive through those plans'
+    /// own `Arc`s; only cross-plan sharing with *future* compiles is
+    /// given up.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.lock().clear();
+        self.interner.lock().clear();
     }
 
     fn ctx_mut(&mut self) -> &mut Context {
@@ -82,8 +212,10 @@ impl Session {
 
     /// Register a data-source driver. The driver's name becomes a CPL
     /// function (`GDB(req)`); SQL-capable drivers also get the paper's
-    /// `<name>-Tab(table)` template.
+    /// `<name>-Tab(table)` template. Invalidates the plan cache: both the
+    /// definitions and the optimizer's source catalog change.
     pub fn register_driver(&mut self, driver: DriverRef) {
+        self.clear_plan_cache();
         let name: nrc::Name = Arc::from(driver.name());
         let sql = driver.capabilities().sql;
         self.ctx_mut().register_driver(driver);
@@ -116,33 +248,70 @@ impl Session {
         }
     }
 
-    /// Register an object store consulted by `deref`.
+    /// Register an object store consulted by `deref`. Invalidates the
+    /// plan cache for symmetry with driver registration (object stores
+    /// are consulted at run time, but a stale compiled plan should never
+    /// outlive a topology change).
     pub fn register_object_store(&mut self, store: Arc<dyn ObjectStore>) {
+        self.clear_plan_cache();
         self.ctx_mut().register_object_store(store);
     }
 
-    /// Bind a name to a data value (a local "database").
+    /// Bind a name to a data value (a local "database"). Invalidates the
+    /// plan cache: the name's meaning in future sources changes.
     pub fn bind_value(&mut self, name: impl AsRef<str>, v: Value) {
+        self.clear_plan_cache();
         self.defs.insert_value(name, v);
     }
 
-    /// Compile a single CPL expression: desugar, typecheck, optimize.
+    /// Compile a single CPL expression: desugar, typecheck, optimize —
+    /// or fetch the identical plan from the session plan cache (keyed by
+    /// source text + optimizer config; see the module docs).
     pub fn compile(&self, src: &str) -> KResult<Compiled> {
+        Ok((*self.compile_shared(src)?).clone())
+    }
+
+    /// [`Session::compile`] returning the cache's shared handle: a cache
+    /// hit is a pointer bump, no `Compiled` clone. The internal query
+    /// paths use this.
+    pub fn compile_shared(&self, src: &str) -> KResult<Arc<Compiled>> {
+        if let Some(hit) = self.plan_cache.lock().lookup(src, &self.config) {
+            return Ok(hit);
+        }
+        let compiled = Arc::new(self.compile_uncached(src)?);
+        self.plan_cache.lock().insert(
+            src.to_string(),
+            self.config.clone(),
+            Arc::clone(&compiled),
+        );
+        Ok(compiled)
+    }
+
+    fn compile_uncached(&self, src: &str) -> KResult<Compiled> {
         let ast = parse_expr(src)?;
         let raw = cpl::desugar(&ast, &self.defs)?;
         let ty = nrc::infer(&raw, &TypeEnv::new())?;
-        let (optimized, trace) = optimize(raw.clone(), &CtxCatalog(&self.ctx), &self.config);
+        let (optimized, trace) = self.intern_and_optimize(raw.clone());
         Ok(Compiled {
             raw,
-            optimized,
+            optimized: (*optimized).clone(),
             trace,
             ty,
         })
     }
 
+    /// The shared back half of compilation: hash-cons the raw plan —
+    /// identical subplans (within this plan or shared with earlier
+    /// compiles) become one Arc, which the engine's identity-keyed memo
+    /// then rewrites once — and run the optimizer pipeline.
+    fn intern_and_optimize(&self, raw: Expr) -> (Arc<Expr>, Vec<TraceEntry>) {
+        let shared = self.interner.lock().intern(&Arc::new(raw));
+        optimize_shared(shared, &CtxCatalog(&self.ctx), &self.config)
+    }
+
     /// Compile and evaluate one CPL expression.
     pub fn query(&mut self, src: &str) -> KResult<Value> {
-        let compiled = self.compile(src)?;
+        let compiled = self.compile_shared(src)?;
         self.run_compiled(&compiled)
     }
 
@@ -153,11 +322,23 @@ impl Session {
     }
 
     /// Evaluate lazily, returning only the first `n` elements — the
-    /// paper's fast-first-response path.
+    /// paper's fast-first-response path. Streams skip collection
+    /// canonicalization, so when the plan produces a *set* (by inferred
+    /// type, or plan syntax where typing says `Any`) the streamed prefix
+    /// is deduplicated (duplicates do not count toward `n`); bag/list
+    /// prefixes are returned in arrival order as-is.
     pub fn query_first_n(&mut self, src: &str, n: usize) -> KResult<Vec<Value>> {
-        let compiled = self.compile(src)?;
+        let compiled = self.compile_shared(src)?;
         self.ctx.cache_clear();
-        first_n(&compiled.optimized, n, &Env::empty(), &self.ctx)
+        let is_set = match &compiled.ty {
+            Type::Coll(kind, _) => *kind == CollKind::Set,
+            _ => compiled.optimized.coll_kind_hint() == Some(CollKind::Set),
+        };
+        if is_set {
+            first_n_distinct(&compiled.optimized, n, &Env::empty(), &self.ctx)
+        } else {
+            first_n(&compiled.optimized, n, &Env::empty(), &self.ctx)
+        }
     }
 
     /// Run a whole program (defines and queries).
@@ -167,16 +348,21 @@ impl Session {
         for stmt in &stmts {
             match stmt {
                 Stmt::Define(name, _) => {
+                    // A define changes what later sources mean.
+                    self.clear_plan_cache();
                     desugar_stmt(stmt, &mut self.defs)?;
                     out.push(StmtResult::Defined(name.to_string()));
                 }
                 Stmt::Query(_) => {
+                    // Statements have no stable source key (defines in the
+                    // same program may change their meaning mid-stream),
+                    // so program queries do not consult the plan LRU; they
+                    // still go through the interner + optimizer pipeline.
                     let Some(raw) = desugar_stmt(stmt, &mut self.defs)? else {
                         continue;
                     };
                     nrc::infer(&raw, &TypeEnv::new())?;
-                    let (optimized, _trace) =
-                        optimize(raw, &CtxCatalog(&self.ctx), &self.config);
+                    let (optimized, _trace) = self.intern_and_optimize(raw);
                     self.ctx.cache_clear();
                     out.push(StmtResult::Value(eval(
                         &optimized,

@@ -40,6 +40,30 @@
 //! against the `*_shared` helpers. [`Expr::deep_clone`] exists only to
 //! deliberately *un*-share a plan (benchmarks measuring the cost of the
 //! old copying representation).
+//!
+//! # Hashing and interning invariants
+//!
+//! The [`crate::hash`] module builds on the discipline above:
+//!
+//! * **Structural hashes are pointer-blind.** [`crate::hash::plan_hash`]
+//!   depends only on constructors, names, constants and child hashes —
+//!   never on addresses — so structurally identical plans hash equal no
+//!   matter how they were built. `Cached { id }` ids are derived from this
+//!   hash by the cache rule; anything that rewrites *inside* a `Cached`
+//!   node after ids are assigned would silently change what the id
+//!   describes, which is why the cache rule set runs after the semantic
+//!   rule sets and never descends into an existing `Cached`.
+//! * **Interning is sharing-maximal, structure-neutral.** An
+//!   [`crate::hash::Interner`] maps a plan to a canonical form where every
+//!   structurally identical subtree is one `Arc`. It changes only sharing
+//!   (`Arc::ptr_eq` topology), never structure, so evaluation results are
+//!   unchanged, and everything keyed on pointer identity — the rewrite
+//!   engine's memo table, `Arc::ptr_eq` fixpoint detection — treats
+//!   repeated subplans as one.
+//! * **Never mutate a node in place** (the base discipline): both the
+//!   interner's pointer-keyed hash cache and the engine's memo table
+//!   assume a given `Arc<Expr>` address denotes one immutable structure
+//!   for as long as it is alive.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +89,7 @@ pub fn fresh(prefix: &str) -> Name {
 }
 
 /// Strategy chosen for a local join by the join rule set.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum JoinStrategy {
     /// Blocked nested-loop join [Kim 80]: the inner collection is scanned
     /// once per block of outer elements.
@@ -1037,6 +1061,28 @@ impl Expr {
             // Joins are introduced after substitution-driven rewriting;
             // handle conservatively via the generic (binder-blind) path.
             _ => Expr::map_children_shared(e, &mut |c| Expr::subst_rec(c, var, repl, free_in_repl)),
+        }
+    }
+
+    /// The collection kind this expression produces, when it is evident
+    /// from the plan's syntax. Used by the streaming executor to
+    /// canonicalize a cached subquery's rows exactly like the eager
+    /// evaluator would, and by `Session::query_first_n` to decide whether
+    /// the streamed prefix needs set deduplication. `None` means the kind
+    /// is only knowable from types or runtime values (e.g. a bare `Var`).
+    pub fn coll_kind_hint(&self) -> Option<CollKind> {
+        match self {
+            Expr::Empty(k) | Expr::Single(k, _) | Expr::Union(k, ..) => Some(*k),
+            Expr::Ext { kind, .. } | Expr::ParExt { kind, .. } | Expr::Join { kind, .. } => {
+                Some(*kind)
+            }
+            // Drivers stream back sets (see `run_remote`).
+            Expr::Remote { .. } | Expr::RemoteApp { .. } => Some(CollKind::Set),
+            Expr::Cached { expr, .. } => expr.coll_kind_hint(),
+            Expr::Let { body, .. } => body.coll_kind_hint(),
+            Expr::If(_, t, f) => t.coll_kind_hint().or_else(|| f.coll_kind_hint()),
+            Expr::Const(v) => v.coll_kind(),
+            _ => None,
         }
     }
 

@@ -7,6 +7,7 @@
 //! subexpressions and how many iterations of a rule set should be applied"
 //! (Section 4).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use nrc::Expr;
@@ -36,14 +37,21 @@ pub struct RuleCtx<'a> {
 }
 
 /// Optimizer configuration. The `enable_*` switches exist so benchmarks can
-/// ablate individual optimizations.
-#[derive(Debug, Clone)]
+/// ablate individual optimizations. `PartialEq` makes the config usable as
+/// part of the session plan-cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptConfig {
     pub enable_monadic: bool,
     pub enable_pushdown: bool,
     pub enable_joins: bool,
     pub enable_cache: bool,
     pub enable_parallel: bool,
+    /// Memoize per-subplan rewrite results within each rule-set fixpoint,
+    /// keyed by `Arc` identity: a subtree shared by many parents (or
+    /// repeated across passes once it has normalized) is rewritten once
+    /// instead of once per occurrence. Off only for benchmarks measuring
+    /// the unmemoized engine.
+    pub enable_rewrite_memo: bool,
     /// Block size for blocked nested-loop joins.
     pub join_block_size: usize,
     /// Concurrency used when a server does not declare a limit.
@@ -61,6 +69,7 @@ impl Default for OptConfig {
             enable_joins: true,
             enable_cache: true,
             enable_parallel: true,
+            enable_rewrite_memo: true,
             join_block_size: 256,
             default_concurrency: 5,
             max_passes: 20,
@@ -98,6 +107,55 @@ pub struct RuleSet {
     pub rules: Vec<Rule>,
 }
 
+/// Per-fixpoint memo table of the rewrite engine: input subplan identity
+/// (`Arc` address) → rewritten subplan.
+///
+/// Soundness rests on two facts. Rules are pure functions of the subtree
+/// and the (constant) rule context, so one_pass is deterministic and its
+/// result is reusable for every occurrence of the same node — this is what
+/// turns a rewrite over a DAG with shared subtrees from "once per
+/// occurrence" into "once per distinct subplan". And every key's `Arc` is
+/// retained in `keep` for the lifetime of the table, so a keyed address
+/// can never be freed and reused by an unrelated allocation while the
+/// entry is live.
+///
+/// The table persists across the passes of one [`RuleSet::run`]: a shared
+/// subtree that reached its local fixpoint in pass *n* is looked up, not
+/// re-walked, in pass *n+1*. Unshared nodes (strong count 1) are never
+/// tracked — they cannot repeat, and skipping them keeps no-op passes as
+/// cheap as the unmemoized engine's.
+struct RewriteMemo {
+    enabled: bool,
+    map: HashMap<usize, Arc<Expr>>,
+    keep: Vec<Arc<Expr>>,
+}
+
+impl RewriteMemo {
+    fn new(enabled: bool) -> RewriteMemo {
+        RewriteMemo {
+            enabled,
+            map: HashMap::new(),
+            keep: Vec::new(),
+        }
+    }
+
+    fn get(&self, e: &Arc<Expr>) -> Option<Arc<Expr>> {
+        if !self.enabled {
+            return None;
+        }
+        self.map.get(&(Arc::as_ptr(e) as usize)).map(Arc::clone)
+    }
+
+    fn insert(&mut self, input: &Arc<Expr>, output: &Arc<Expr>) {
+        if !self.enabled {
+            return;
+        }
+        self.map
+            .insert(Arc::as_ptr(input) as usize, Arc::clone(output));
+        self.keep.push(Arc::clone(input));
+    }
+}
+
 impl RuleSet {
     /// Run the rule set to fixpoint over a shared plan handle.
     ///
@@ -105,14 +163,22 @@ impl RuleSet {
     /// in which no rule fires hands back the very same `Arc` (pointer-
     /// equal) and allocates nothing, so the fixpoint test is a single
     /// `Arc::ptr_eq` on the root instead of a structural `PartialEq` walk.
+    ///
+    /// With `config.enable_rewrite_memo` (the default), per-subplan
+    /// results are additionally memoized on `Arc` identity for the whole
+    /// fixpoint, so a subtree shared by many parents is rewritten once —
+    /// see [`RewriteMemo`]. A memo hit also skips re-recording trace
+    /// entries: the trace reports rewrites per distinct subplan, not per
+    /// occurrence.
     pub fn run(
         &self,
         mut e: Arc<Expr>,
         ctx: &RuleCtx<'_>,
         trace: &mut Vec<TraceEntry>,
     ) -> Arc<Expr> {
+        let mut memo = RewriteMemo::new(ctx.config.enable_rewrite_memo);
         for pass in 0..ctx.config.max_passes {
-            let next = self.one_pass(&e, ctx, trace, pass);
+            let next = self.one_pass(&e, ctx, trace, pass, &mut memo);
             if Arc::ptr_eq(&next, &e) {
                 break; // fixpoint: no rule fired anywhere in the plan
             }
@@ -134,17 +200,37 @@ impl RuleSet {
         ctx: &RuleCtx<'_>,
         trace: &mut Vec<TraceEntry>,
         pass: usize,
+        memo: &mut RewriteMemo,
     ) -> Arc<Expr> {
-        match self.strategy {
+        // Only *shared* nodes are worth tracking: a node referenced once
+        // can never yield a memo hit within a pass, and every key the
+        // table does hold is kept alive by `keep` (count ≥ 2), so a
+        // strong count of 1 proves absence. This keeps the no-op pass
+        // over an unshared plan at one atomic load per node — the
+        // PR-1 "a no-op pass allocates nothing" property — while shared
+        // subtrees (hand-shared or hash-consed) are rewritten once.
+        let track = memo.enabled && Arc::strong_count(e) > 1;
+        if track {
+            if let Some(hit) = memo.get(e) {
+                return hit;
+            }
+        }
+        let out = match self.strategy {
             Strategy::BottomUp => {
-                let e2 = Expr::map_children_shared(e, &mut |c| self.one_pass(c, ctx, trace, pass));
+                let e2 = Expr::map_children_shared(e, &mut |c| {
+                    self.one_pass(c, ctx, trace, pass, memo)
+                });
                 self.apply_here(e2, ctx, trace, pass)
             }
             Strategy::TopDown => {
                 let e2 = self.apply_here(Arc::clone(e), ctx, trace, pass);
-                Expr::map_children_shared(&e2, &mut |c| self.one_pass(c, ctx, trace, pass))
+                Expr::map_children_shared(&e2, &mut |c| self.one_pass(c, ctx, trace, pass, memo))
             }
+        };
+        if track {
+            memo.insert(e, &out);
         }
+        out
     }
 
     fn apply_here(
@@ -244,6 +330,50 @@ mod tests {
             "a pass with no firing rules must return the same plan handle"
         );
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn shared_subtrees_are_rewritten_once_when_memoized() {
+        let set = || RuleSet {
+            name: "test",
+            strategy: Strategy::BottomUp,
+            rules: vec![Rule {
+                name: "if-const",
+                apply: fold_if,
+            }],
+        };
+        // union(S, S): the SAME Arc twice; the rule fires inside S.
+        let shared = Arc::new(Expr::if_(Expr::bool(true), Expr::int(1), Expr::int(2)));
+        let e = Arc::new(Expr::Union(
+            kleisli_core::CollKind::Set,
+            Arc::clone(&shared),
+            Arc::clone(&shared),
+        ));
+        let catalog = NullCatalog;
+        let run_with = |memo: bool| {
+            let config = OptConfig {
+                enable_rewrite_memo: memo,
+                ..OptConfig::default()
+            };
+            let ctx = RuleCtx {
+                catalog: &catalog,
+                config: &config,
+            };
+            let mut trace = Vec::new();
+            let out = set().run(Arc::clone(&e), &ctx, &mut trace);
+            (out, trace)
+        };
+        let (memo_out, memo_trace) = run_with(true);
+        let (plain_out, plain_trace) = run_with(false);
+        assert_eq!(*memo_out, *plain_out, "memoization must not change plans");
+        assert_eq!(plain_trace.len(), 2, "unmemoized: once per occurrence");
+        assert_eq!(memo_trace.len(), 1, "memoized: once per distinct subplan");
+        // The memoized result keeps (in fact, increases) sharing: both
+        // occurrences of the rewritten subtree are one Arc.
+        let Expr::Union(_, a, b) = &*memo_out else {
+            panic!("shape changed");
+        };
+        assert!(Arc::ptr_eq(a, b), "shared input must stay shared output");
     }
 
     #[test]

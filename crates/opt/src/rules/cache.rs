@@ -5,7 +5,6 @@
 //! subquery can be cached check that the subquery doesn't depend on the
 //! outer relation."
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nrc::Expr;
@@ -22,11 +21,6 @@ pub fn rule_set() -> RuleSet {
             apply: cache_inner,
         }],
     }
-}
-
-fn next_cache_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Is this node a collection-producing subquery worth caching?
@@ -90,8 +84,13 @@ fn wrap_outermost(e: &Arc<Expr>) -> Option<Arc<Expr>> {
         return None;
     }
     if cacheable(e) {
+        // The id is the subplan's deterministic structural hash (not a
+        // process-global counter): recompiling or re-running the same
+        // query produces the same ids, so `Context` cache slots stay
+        // stable across compiles, and two occurrences of the *same*
+        // subquery in one plan share one slot instead of computing twice.
         return Some(Arc::new(Expr::Cached {
-            id: next_cache_id(),
+            id: nrc::plan_hash(e),
             expr: Arc::clone(e),
         }));
     }
@@ -208,6 +207,43 @@ mod tests {
         };
         assert_eq!(count(&once), 1);
         assert_eq!(count(&twice), 1, "{twice}");
+    }
+
+    #[test]
+    fn cache_ids_are_deterministic_across_compiles() {
+        // The same plan built twice (pointer-distinct) gets identical ids.
+        let build = || {
+            Expr::ext(
+                CollKind::Set,
+                "x",
+                Expr::ext(
+                    CollKind::Set,
+                    "y",
+                    Expr::single(CollKind::Set, Expr::var("y")),
+                    remote(),
+                ),
+                Expr::var("S"),
+            )
+        };
+        let ids = |e: &Expr| {
+            let mut out = Vec::new();
+            e.visit(&mut |n| {
+                if let Expr::Cached { id, .. } = n {
+                    out.push(*id);
+                }
+            });
+            out
+        };
+        let a = run(build());
+        let b = run(build());
+        assert_ne!(ids(&a), vec![] as Vec<u64>, "a cache must be introduced");
+        assert_eq!(ids(&a), ids(&b), "ids must not depend on process state");
+        // ...and the id is exactly the wrapped subplan's structural hash.
+        a.visit(&mut |n| {
+            if let Expr::Cached { id, expr } = n {
+                assert_eq!(*id, nrc::plan_hash(expr));
+            }
+        });
     }
 
     #[test]

@@ -214,6 +214,73 @@ proptest! {
         );
     }
 
+    /// Hash-consing is a pure representation change: interning a plan
+    /// (collapsing identical subtrees onto shared `Arc`s) must never
+    /// change what it evaluates to — directly, or after optimization.
+    #[test]
+    fn interning_never_changes_eval_results(e in coll_expr(Scope(0), 3)) {
+        use std::sync::Arc;
+        let ctx = Context::new();
+        let mut interner = nrc::Interner::new();
+        let interned = interner.intern(&Arc::new(e.clone()));
+        prop_assert_eq!(
+            &*interned, &e,
+            "interning changed the structure of {}", e
+        );
+        prop_assert_eq!(nrc::plan_hash(&e), nrc::plan_hash(&interned));
+        match (eval(&e, &Env::empty(), &ctx), eval(&interned, &Env::empty(), &ctx)) {
+            (Ok(b), Ok(a)) => prop_assert_eq!(b, a, "\n  plan: {}", e),
+            (Err(_), Err(_)) => {}
+            (b, a) => {
+                return Err(TestCaseError::fail(format!(
+                    "interning changed the outcome: {b:?} vs {a:?}\n  plan: {e}"
+                )));
+            }
+        }
+        // And through the full pipeline: an interned plan optimizes to
+        // the same result as the raw plan.
+        if let Ok(before) = eval(&e, &Env::empty(), &ctx) {
+            let (opt, _) = kleisli_opt::optimize_shared(
+                interned, &NullCatalog, &OptConfig::default());
+            let after = eval(&opt, &Env::empty(), &ctx)
+                .expect("optimized interned plan failed");
+            prop_assert_eq!(before, after, "\n  plan: {}\n optimized: {}", e, opt);
+        }
+    }
+
+    /// The engine's identity-keyed rewrite memo is invisible in the
+    /// output: memoized and unmemoized optimization produce plans of the
+    /// same shape (they may differ in fresh-variable suffixes, i.e. up to
+    /// alpha-equivalence) with the same observable semantics.
+    #[test]
+    fn rewrite_memo_never_changes_plans(e in coll_expr(Scope(0), 3)) {
+        let memo_cfg = OptConfig::default();
+        let plain_cfg = OptConfig {
+            enable_rewrite_memo: false,
+            ..OptConfig::default()
+        };
+        let (with_memo, _) = optimize(e.clone(), &NullCatalog, &memo_cfg);
+        let (without, _) = optimize(e.clone(), &NullCatalog, &plain_cfg);
+        prop_assert_eq!(
+            with_memo.size(), without.size(),
+            "\n  original: {}\n  memoized: {}\n  unmemoized: {}",
+            e, with_memo, without
+        );
+        let ctx = Context::new();
+        match (eval(&with_memo, &Env::empty(), &ctx), eval(&without, &Env::empty(), &ctx)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a, b, "\n  original: {}\n  memoized: {}\n  unmemoized: {}",
+                e, with_memo, without
+            ),
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "memoization changed the outcome: {a:?} vs {b:?}\n  plan: {e}"
+                )));
+            }
+        }
+    }
+
     #[test]
     fn monadic_rules_alone_preserve_semantics(e in coll_expr(Scope(0), 4)) {
         let config = OptConfig {
