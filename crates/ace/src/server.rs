@@ -1,4 +1,6 @@
-//! The ACE `Driver`: serves class scans and named-object fetches.
+//! The ACE `Driver`: serves class scans and named-object fetches through
+//! the two-phase submit/handle API, with the server's tolerated request
+//! concurrency enforced by an admission gate.
 
 use std::sync::Arc;
 
@@ -6,52 +8,53 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, Oid, Value, ValueStream,
+    MetricsSnapshot, Oid, RequestGate, RequestHandle, Value, ValueStream,
 };
 
 use crate::store::AceStore;
 
 /// A served ACE database.
 pub struct AceServer {
+    core: Arc<AceCore>,
+    gate: Arc<RequestGate>,
+}
+
+/// Shared server state, `Arc`'d for the request workers.
+struct AceCore {
     name: String,
     store: RwLock<AceStore>,
     latency: Arc<LatencyModel>,
     metrics: Arc<DriverMetrics>,
 }
 
+/// ACE servers of the era tolerated only a few concurrent clients.
+const ACE_CONCURRENT_REQUESTS: usize = 4;
+
 impl AceServer {
     pub fn new(name: impl Into<String>, store: AceStore, latency: LatencyModel) -> AceServer {
         AceServer {
-            name: name.into(),
-            store: RwLock::new(store),
-            latency: Arc::new(latency),
-            metrics: Arc::new(DriverMetrics::default()),
+            core: Arc::new(AceCore {
+                name: name.into(),
+                store: RwLock::new(store),
+                latency: Arc::new(latency),
+                metrics: Arc::new(DriverMetrics::default()),
+            }),
+            gate: RequestGate::new(ACE_CONCURRENT_REQUESTS),
         }
     }
 
     pub fn with_store<R>(&self, f: impl FnOnce(&mut AceStore) -> R) -> R {
-        f(&mut self.store.write())
+        f(&mut self.core.store.write())
     }
 
     /// Resolve an object identity (used by the session's `deref`).
     pub fn deref(&self, oid: &Oid) -> KResult<Value> {
-        self.store.read().deref(oid)
+        self.core.store.read().deref(oid)
     }
 }
 
-impl Driver for AceServer {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn capabilities(&self) -> Capabilities {
-        Capabilities {
-            max_concurrent_requests: 4,
-            ..Capabilities::default()
-        }
-    }
-
-    fn execute(&self, req: &DriverRequest) -> KResult<ValueStream> {
+impl AceCore {
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
         self.metrics.record_request();
         self.latency.charge_request();
         let rows: Vec<Value> = match req {
@@ -85,13 +88,42 @@ impl Driver for AceServer {
             Ok(v)
         })))
     }
+}
+
+impl Driver for AceServer {
+    fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            max_concurrent_requests: ACE_CONCURRENT_REQUESTS,
+            ..Capabilities::default()
+        }
+    }
+
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.core.perform(req)
+    }
+
+    fn submit(&self, req: &DriverRequest) -> KResult<RequestHandle> {
+        let core = Arc::clone(&self.core);
+        let req = req.clone();
+        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
+            core.perform(&req)
+        }))
+    }
+
+    fn nonblocking_submit(&self) -> bool {
+        true
+    }
 
     fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     fn reset_metrics(&self) {
-        self.metrics.reset();
+        self.core.metrics.reset();
     }
 }
 
@@ -122,19 +154,23 @@ mod tests {
     fn class_scan_and_named_fetch() {
         let s = server();
         let all: Vec<Value> = s
-            .execute(&DriverRequest::AceFetch {
+            .submit(&DriverRequest::AceFetch {
                 class: "Clone".into(),
                 name: None,
             })
+            .unwrap()
+            .wait()
             .unwrap()
             .collect::<KResult<_>>()
             .unwrap();
         assert_eq!(all.len(), 2);
         let one: Vec<Value> = s
-            .execute(&DriverRequest::AceFetch {
+            .submit(&DriverRequest::AceFetch {
                 class: "Clone".into(),
                 name: Some("c22-9".into()),
             })
+            .unwrap()
+            .wait()
             .unwrap()
             .collect::<KResult<_>>()
             .unwrap();
@@ -145,10 +181,12 @@ mod tests {
     fn missing_object_is_a_driver_error() {
         let s = server();
         assert!(s
-            .execute(&DriverRequest::AceFetch {
+            .submit(&DriverRequest::AceFetch {
                 class: "Clone".into(),
                 name: Some("nope".into())
             })
+            .unwrap()
+            .wait()
             .is_err());
     }
 
@@ -156,7 +194,7 @@ mod tests {
     fn metrics_count_rows() {
         let s = server();
         let _ = s
-            .execute(&DriverRequest::AceFetch {
+            .perform(&DriverRequest::AceFetch {
                 class: "Clone".into(),
                 name: None,
             })

@@ -10,7 +10,7 @@ const SCAN: &str = r#"{[s = l.locus_symbol] | \l <- GDB-Tab("locus")}"#;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("laziness");
     g.sample_size(10);
-    let (mut session, _fed) = latency_federation_rows(
+    let (session, _fed) = latency_federation_rows(
         20_000,
         Duration::from_micros(100),
         Duration::from_micros(20),

@@ -205,7 +205,7 @@ fn e9_caching() {
 /// E10: time-to-first-result.
 fn e10_laziness() {
     println!("-- E10: laziness, 20k-row remote scan (100 us/request, 20 us/row) --");
-    let (mut session, _fed) = latency_federation_rows(
+    let (session, _fed) = latency_federation_rows(
         20_000,
         Duration::from_micros(100),
         Duration::from_micros(20),

@@ -257,6 +257,16 @@ pub const CACHEABLE: &str = r#"{[s = l.locus_symbol,
 pub const CONCURRENCY: &str =
     r#"{[u = uid, n = count(GenBank([db = "na", link = uid]))] | \uid <- UIDS}"#;
 
+/// E13: the two-source overlap workload for the concurrency report —
+/// per-uid requests to *both* servers (GenBank neighbor links and a GDB
+/// locus lookup), so the latency-overlapping scheduler can keep both
+/// sources busy at once, bounded by each one's admission budget. `UIDS`
+/// must be bound in the session (see [`bind_uids`]).
+pub const TWO_SOURCE_CONCURRENCY: &str = r#"{[u = uid,
+       links = count(GenBank([db = "na", link = uid])),
+       loci = count({l | \l <- GDB-Tab("locus"), l.locus_id = uid})] |
+    \uid <- UIDS}"#;
+
 /// Bind `UIDS` to the first `n` GenBank entry uids.
 pub fn bind_uids(session: &mut Session, fed: &BioFederation, n: usize) {
     let uids: Vec<Value> = fed

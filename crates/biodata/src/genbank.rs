@@ -290,11 +290,13 @@ mod tests {
             .unwrap();
         let acc = locus.genbank_ref.as_deref().unwrap();
         let hits: Vec<Value> = server
-            .execute(&DriverRequest::EntrezFetch {
+            .submit(&DriverRequest::EntrezFetch {
                 db: "na".into(),
                 query: format!("accession {acc}"),
                 path: Some("Seq-entry.seq.id..giim".into()),
             })
+            .unwrap()
+            .wait()
             .unwrap()
             .collect::<KResult<_>>()
             .unwrap();
@@ -310,10 +312,12 @@ mod tests {
         gb.load(&server, "na").unwrap();
         let some_linked = gb.links[0].0;
         let links: Vec<Value> = server
-            .execute(&DriverRequest::EntrezLinks {
+            .submit(&DriverRequest::EntrezLinks {
                 db: "na".into(),
                 uid: some_linked,
             })
+            .unwrap()
+            .wait()
             .unwrap()
             .collect::<KResult<_>>()
             .unwrap();

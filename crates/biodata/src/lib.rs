@@ -21,10 +21,12 @@ use kleisli_core::Value;
 pub mod gdb;
 pub mod genbank;
 pub mod publications;
+pub mod server;
 
 pub use gdb::{GdbConfig, GdbData};
 pub use genbank::{GenBankConfig, GenBankData};
 pub use publications::publications;
+pub use server::MemorySource;
 
 /// Shared RNG constructor so every generator is reproducible.
 pub(crate) fn rng(seed: u64) -> StdRng {

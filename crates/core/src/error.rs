@@ -20,6 +20,8 @@ pub enum KError {
     Exchange(String),
     /// Malformed native-format data (SQL, ASN.1, ACE, FASTA, ...).
     Format { format: String, msg: String },
+    /// A submitted request or query was cancelled before completion.
+    Cancelled(String),
 }
 
 impl KError {
@@ -56,6 +58,10 @@ impl KError {
             msg: msg.into(),
         }
     }
+
+    pub fn cancelled(msg: impl Into<String>) -> KError {
+        KError::Cancelled(msg.into())
+    }
 }
 
 impl fmt::Display for KError {
@@ -70,6 +76,7 @@ impl fmt::Display for KError {
             KError::Driver { driver, msg } => write!(f, "driver '{driver}': {msg}"),
             KError::Exchange(m) => write!(f, "exchange format error: {m}"),
             KError::Format { format, msg } => write!(f, "{format} format error: {msg}"),
+            KError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

@@ -23,13 +23,14 @@ pub mod error;
 pub mod latency;
 pub mod print;
 pub mod remy;
+pub mod testutil;
 pub mod token;
 pub mod types;
 pub mod value;
 
 pub use driver::{
-    Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, TableStats,
-    ValueStream,
+    Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest, GateTicket, MetricsSnapshot,
+    RequestGate, RequestHandle, RequestStatus, TableStats, ValueStream,
 };
 pub use error::{KError, KResult};
 pub use latency::LatencyModel;

@@ -1,0 +1,106 @@
+//! Instrumented driver test-double shared by the concurrency test suites
+//! (and a minimal reference implementation of the gated two-phase
+//! [`Driver::submit`]): every request sleeps a configurable delay on its
+//! worker, tracks the high-water mark of concurrent `perform`s, and
+//! enforces its declared `max_concurrent_requests` through a shared
+//! [`RequestGate`] — the same structure as the real Sybase/Entrez/ACE
+//! servers.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::driver::{
+    Capabilities, Driver, DriverRequest, RequestGate, RequestHandle, ValueStream,
+};
+use crate::error::KResult;
+use crate::value::Value;
+
+/// A simulated slow source for concurrency tests. The instrumentation
+/// counters are public so tests can assert on them directly.
+pub struct SlowDriver {
+    name: String,
+    rows: i64,
+    delay: Duration,
+    limit: usize,
+    /// The admission gate (public so tests can watch tickets drain).
+    pub gate: Arc<RequestGate>,
+    /// Requests inside `perform` right now.
+    pub current: Arc<AtomicUsize>,
+    /// High-water mark of `current`.
+    pub max_seen: Arc<AtomicUsize>,
+    /// Total `perform` invocations.
+    pub performs: Arc<AtomicU64>,
+}
+
+impl SlowDriver {
+    /// A driver named `name` yielding `rows` records per request, each
+    /// request costing `delay` of worker time, admitting at most `limit`
+    /// requests at once.
+    pub fn new(name: &str, rows: i64, delay: Duration, limit: usize) -> Arc<SlowDriver> {
+        Arc::new(SlowDriver {
+            name: name.into(),
+            rows,
+            delay,
+            limit,
+            gate: RequestGate::new(limit),
+            current: Arc::new(AtomicUsize::new(0)),
+            max_seen: Arc::new(AtomicUsize::new(0)),
+            performs: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    fn run(
+        rows: i64,
+        delay: Duration,
+        current: &AtomicUsize,
+        max_seen: &AtomicUsize,
+        performs: &AtomicU64,
+    ) -> KResult<ValueStream> {
+        performs.fetch_add(1, Ordering::SeqCst);
+        let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+        max_seen.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(delay);
+        current.fetch_sub(1, Ordering::SeqCst);
+        Ok(Box::new(
+            (0..rows).map(|i| Ok(Value::record_from(vec![("n", Value::Int(i))]))),
+        ))
+    }
+}
+
+impl Driver for SlowDriver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            max_concurrent_requests: self.limit,
+            ..Capabilities::default()
+        }
+    }
+
+    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+        SlowDriver::run(
+            self.rows,
+            self.delay,
+            &self.current,
+            &self.max_seen,
+            &self.performs,
+        )
+    }
+
+    fn submit(&self, _req: &DriverRequest) -> KResult<RequestHandle> {
+        let (rows, delay) = (self.rows, self.delay);
+        let current = Arc::clone(&self.current);
+        let max_seen = Arc::clone(&self.max_seen);
+        let performs = Arc::clone(&self.performs);
+        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
+            SlowDriver::run(rows, delay, &current, &max_seen, &performs)
+        }))
+    }
+
+    fn nonblocking_submit(&self) -> bool {
+        true
+    }
+}

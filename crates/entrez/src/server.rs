@@ -15,7 +15,7 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, Value, ValueStream,
+    MetricsSnapshot, RequestGate, RequestHandle, Value, ValueStream,
 };
 
 use crate::path::Path;
@@ -110,31 +110,71 @@ impl Division {
 }
 
 /// The Entrez server: named divisions plus latency/traffic accounting.
+///
+/// Two-phase driver: `submit` never blocks on the latency model, and the
+/// paper's "say five" tolerated concurrent requests is enforced by a
+/// shared admission gate.
 pub struct EntrezServer {
+    core: Arc<EntrezCore>,
+    gate: Arc<RequestGate>,
+}
+
+/// Shared server state, `Arc`'d for the request workers.
+struct EntrezCore {
     name: String,
     divisions: RwLock<HashMap<String, Division>>,
     latency: Arc<LatencyModel>,
     metrics: Arc<DriverMetrics>,
 }
 
+/// The paper's example: an Entrez server tolerating ~5 requests at once.
+const ENTREZ_CONCURRENT_REQUESTS: usize = 5;
+
 impl EntrezServer {
     pub fn new(name: impl Into<String>, latency: LatencyModel) -> EntrezServer {
         EntrezServer {
-            name: name.into(),
-            divisions: RwLock::new(HashMap::new()),
-            latency: Arc::new(latency),
-            metrics: Arc::new(DriverMetrics::default()),
+            core: Arc::new(EntrezCore {
+                name: name.into(),
+                divisions: RwLock::new(HashMap::new()),
+                latency: Arc::new(latency),
+                metrics: Arc::new(DriverMetrics::default()),
+            }),
+            gate: RequestGate::new(ENTREZ_CONCURRENT_REQUESTS),
         }
     }
 
     pub fn latency(&self) -> &Arc<LatencyModel> {
-        &self.latency
+        &self.core.latency
     }
 
     /// Mutable access to a division for loading data.
     pub fn with_division<R>(&self, db: &str, f: impl FnOnce(&mut Division) -> R) -> R {
-        let mut divs = self.divisions.write();
+        let mut divs = self.core.divisions.write();
         f(divs.entry(db.to_string()).or_default())
+    }
+}
+
+impl EntrezCore {
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.metrics.record_request();
+        self.latency.charge_request();
+        let rows = match req {
+            DriverRequest::EntrezFetch { db, query, path } => self.fetch(db, query, path)?,
+            DriverRequest::EntrezLinks { db, uid } => self.links(db, *uid)?,
+            other => {
+                return Err(KError::driver(
+                    &self.name,
+                    format!("unsupported request: {}", other.describe()),
+                ))
+            }
+        };
+        let latency = Arc::clone(&self.latency);
+        let metrics = Arc::clone(&self.metrics);
+        Ok(Box::new(rows.into_iter().map(move |v| {
+            latency.charge_row();
+            metrics.record_row(v.approx_size());
+            Ok(v)
+        })))
     }
 
     fn fetch(&self, db: &str, query: &str, path: &Option<String>) -> KResult<Vec<Value>> {
@@ -193,7 +233,7 @@ impl EntrezServer {
 
 impl Driver for EntrezServer {
     fn name(&self) -> &str {
-        &self.name
+        &self.core.name
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -201,39 +241,34 @@ impl Driver for EntrezServer {
             sql: false,
             path_extraction: true,
             links: true,
-            // the paper's example: a server tolerating ~5 requests at once
-            max_concurrent_requests: 5,
+            // the paper's example: a server tolerating ~5 requests at
+            // once — enforced by this server's admission gate
+            max_concurrent_requests: ENTREZ_CONCURRENT_REQUESTS,
         }
     }
 
-    fn execute(&self, req: &DriverRequest) -> KResult<ValueStream> {
-        self.metrics.record_request();
-        self.latency.charge_request();
-        let rows = match req {
-            DriverRequest::EntrezFetch { db, query, path } => self.fetch(db, query, path)?,
-            DriverRequest::EntrezLinks { db, uid } => self.links(db, *uid)?,
-            other => {
-                return Err(KError::driver(
-                    &self.name,
-                    format!("unsupported request: {}", other.describe()),
-                ))
-            }
-        };
-        let latency = Arc::clone(&self.latency);
-        let metrics = Arc::clone(&self.metrics);
-        Ok(Box::new(rows.into_iter().map(move |v| {
-            latency.charge_row();
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.core.perform(req)
+    }
+
+    fn submit(&self, req: &DriverRequest) -> KResult<RequestHandle> {
+        let core = Arc::clone(&self.core);
+        let req = req.clone();
+        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
+            core.perform(&req)
+        }))
+    }
+
+    fn nonblocking_submit(&self) -> bool {
+        true
     }
 
     fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     fn reset_metrics(&self) {
-        self.metrics.reset();
+        self.core.metrics.reset();
     }
 }
 
@@ -299,7 +334,13 @@ mod tests {
     }
 
     fn collect(s: &EntrezServer, req: &DriverRequest) -> Vec<Value> {
-        s.execute(req).unwrap().collect::<KResult<_>>().unwrap()
+        // exercise the two-phase path: submit, then redeem the handle
+        s.submit(req)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .collect::<KResult<_>>()
+            .unwrap()
     }
 
     #[test]
@@ -388,12 +429,14 @@ mod tests {
             },
         );
         assert!(none.is_empty());
-        // unknown uid: error
+        // unknown uid: error (surfacing at wait, not at submission)
         assert!(s
-            .execute(&DriverRequest::EntrezLinks {
+            .submit(&DriverRequest::EntrezLinks {
                 db: "na".into(),
                 uid: 999
             })
+            .unwrap()
+            .wait()
             .is_err());
     }
 
@@ -401,14 +444,14 @@ mod tests {
     fn unknown_division_and_request_kind() {
         let s = server();
         assert!(s
-            .execute(&DriverRequest::EntrezFetch {
+            .perform(&DriverRequest::EntrezFetch {
                 db: "protein".into(),
                 query: "accession X".into(),
                 path: None
             })
             .is_err());
         assert!(s
-            .execute(&DriverRequest::TableScan {
+            .perform(&DriverRequest::TableScan {
                 table: "t".into(),
                 columns: None
             })

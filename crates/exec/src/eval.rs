@@ -348,7 +348,9 @@ fn emit_join_pair(
 
 fn run_remote(driver: &str, req: &kleisli_core::DriverRequest, ctx: &Context) -> KResult<Rt> {
     let d = ctx.driver(driver)?;
-    let stream = d.execute(req)?;
+    // Submit-then-wait: the eager evaluator is the blocking consumer of
+    // the two-phase driver API (overlap lives in the streaming executor).
+    let stream = d.submit(req)?.wait()?;
     let mut out = Vec::new();
     for item in stream {
         out.push(item?);

@@ -39,9 +39,27 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
         }
         Expr::Union(_, a, b) => {
             let sa = eval_stream(a, env, ctx)?;
-            // The right operand is compiled lazily so that a consumer that
-            // stops inside the left operand never evaluates the right one.
-            // Cloning the Arc is O(1) regardless of plan size.
+            // When the right operand is a spine of remote scans on
+            // drivers whose `submit` is genuinely non-blocking, building
+            // its stream *now* puts those requests in flight, so the
+            // right arm's round-trips overlap consumption of the left
+            // arm — the paper's "keep several requests in flight" traded
+            // against strict laziness. Rows are still pulled lazily;
+            // only the request goes out early. Anything that would do
+            // real work at construction time (locals, joins, cached
+            // populations, or submission through a blocking default
+            // adapter) stays fully lazy: a consumer that stops inside
+            // the left operand never evaluates it. Cloning the Arc is
+            // O(1) regardless of plan size.
+            if prefetchable(b, ctx) {
+                // A construction error (e.g. a malformed request record)
+                // falls through to the lazy path below, preserving the
+                // old guarantee that a left-arm-only consumer never sees
+                // the right arm fail.
+                if let Ok(sb) = eval_stream(b, env, ctx) {
+                    return Ok(Box::new(sa.chain(sb)));
+                }
+            }
             let b = Arc::clone(b);
             let env2 = env.clone();
             let ctx2 = Arc::clone(ctx);
@@ -76,13 +94,17 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
         }
         Expr::Remote { driver, request } => {
             let d = ctx.driver(driver)?;
-            d.execute(request)
+            // Two-phase: the request is in flight from this moment; the
+            // stream blocks only when the first row is actually pulled,
+            // so independent scans submitted while assembling one pull
+            // chain overlap their round-trips.
+            Ok(PendingStream::new(d.submit(request)?))
         }
         Expr::RemoteApp { driver, arg } => {
             let argv = eval(arg, env, ctx)?;
             let req = request_from_value(&argv)?;
             let d = ctx.driver(driver)?;
-            d.execute(&req)
+            Ok(PendingStream::new(d.submit(&req)?))
         }
         Expr::Join {
             strategy,
@@ -96,9 +118,12 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             body,
             ..
         } => {
-            // Materialize the inner (right) relation, stream the outer.
-            let rv: Vec<Value> = eval_stream(right, env, ctx)?.collect::<KResult<_>>()?;
+            // Materialize the inner (right) relation, stream the outer —
+            // but build the outer stream *first*: its driver request (if
+            // any) is then already in flight while the inner relation is
+            // being collected, overlapping the two sources' round-trips.
             let lstream = eval_stream(left, env, ctx)?;
+            let rv: Vec<Value> = eval_stream(right, env, ctx)?.collect::<KResult<_>>()?;
             match strategy {
                 JoinStrategy::IndexedNl => {
                     let (Some(lk), Some(rk)) = (left_key, right_key) else {
@@ -323,6 +348,68 @@ impl Iterator for CachingStream {
                 None
             }
         }
+    }
+}
+
+/// Is building a stream for `e` effectively free of *blocking* work —
+/// nothing beyond non-blocking driver submissions, environment lookups
+/// and constant collections? For such expressions the union arm builds
+/// the stream eagerly (prefetching the remote requests); everything else
+/// (locals with side work, joins that materialize, cached populations,
+/// or drivers whose `submit` runs the request inline) keeps the fully
+/// lazy path. `RemoteApp` arguments are required to be remote-free
+/// because they are evaluated at construction time.
+fn prefetchable(e: &Expr, ctx: &Context) -> bool {
+    let nonblocking = |driver: &str| {
+        ctx.driver(driver)
+            .map(|d| d.nonblocking_submit())
+            .unwrap_or(false)
+    };
+    match e {
+        Expr::Remote { driver, .. } => nonblocking(driver),
+        Expr::RemoteApp { driver, arg } => !arg.touches_remote() && nonblocking(driver),
+        Expr::Ext { source, .. } | Expr::ParExt { source, .. } => prefetchable(source, ctx),
+        Expr::Union(_, a, b) => prefetchable(a, ctx) && prefetchable(b, ctx),
+        _ => false,
+    }
+}
+
+/// A driver request in flight: submission already happened (the source is
+/// working, bounded by its admission gate); the first pull redeems the
+/// handle and then streams rows as before. Dropping the stream unpulled
+/// cancels the request, releasing the driver's admission ticket.
+struct PendingStream {
+    handle: Option<kleisli_core::RequestHandle>,
+    inner: Option<RowStream>,
+    failed: bool,
+}
+
+impl PendingStream {
+    fn new(handle: kleisli_core::RequestHandle) -> RowStream {
+        Box::new(PendingStream {
+            handle: Some(handle),
+            inner: None,
+            failed: false,
+        })
+    }
+}
+
+impl Iterator for PendingStream {
+    type Item = KResult<Value>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if self.inner.is_none() {
+            match self.handle.take()?.wait() {
+                Ok(s) => self.inner = Some(s),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        self.inner.as_mut()?.next()
     }
 }
 
@@ -616,7 +703,7 @@ mod tests {
         fn capabilities(&self) -> Capabilities {
             Capabilities::default()
         }
-        fn execute(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+        fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
             let pulled = Arc::clone(&self.pulled);
             let rows = self.rows;
             Ok(Box::new((0..rows).map(move |i| {
@@ -695,7 +782,11 @@ mod tests {
     }
 
     #[test]
-    fn union_right_side_is_lazy() {
+    fn union_right_side_rows_stay_lazy() {
+        // The right arm's *request* may be prefetched on non-blocking
+        // drivers (CountingDriver uses the blocking default adapter, so
+        // here it is not even submitted), and its rows must never be
+        // pulled by a consumer that stops inside the left arm.
         let (ctx, pulled) = counting_ctx(1000);
         let e = Expr::union(
             CollKind::Set,
@@ -709,7 +800,31 @@ mod tests {
         );
         let got = first_n(&e, 1, &Env::empty(), &ctx).unwrap();
         assert_eq!(got, vec![Value::Int(-1)]);
-        assert_eq!(pulled.load(Ordering::Relaxed), 0, "remote must not run");
+        assert_eq!(pulled.load(Ordering::Relaxed), 0, "no rows may be pulled");
+    }
+
+    #[test]
+    fn union_right_side_with_local_work_is_not_prefetched() {
+        // A right arm whose construction would do real local work (here a
+        // Let) keeps the fully lazy path: nothing of it runs at all.
+        let (ctx, pulled) = counting_ctx(1000);
+        let e = Expr::union(
+            CollKind::Set,
+            Expr::single(CollKind::Set, Expr::int(-1)),
+            Expr::let_(
+                "s",
+                Expr::int(0),
+                Expr::ext(
+                    CollKind::Set,
+                    "x",
+                    Expr::single(CollKind::Set, Expr::proj(Expr::var("x"), "n")),
+                    remote_scan(),
+                ),
+            ),
+        );
+        let got = first_n(&e, 1, &Env::empty(), &ctx).unwrap();
+        assert_eq!(got, vec![Value::Int(-1)]);
+        assert_eq!(pulled.load(Ordering::Relaxed), 0);
     }
 
     #[test]

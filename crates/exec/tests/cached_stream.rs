@@ -18,7 +18,7 @@ use kleisli_core::{
 use kleisli_exec::{collect_stream, eval, eval_stream, first_n, Context, Env};
 use nrc::{name, Expr};
 
-/// Counts both `execute` calls and per-row pulls.
+/// Counts both `perform` calls and per-row pulls.
 struct CountingDriver {
     rows: i64,
     execs: Arc<AtomicU64>,
@@ -32,7 +32,7 @@ impl Driver for CountingDriver {
     fn capabilities(&self) -> Capabilities {
         Capabilities::default()
     }
-    fn execute(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
         self.execs.fetch_add(1, Ordering::SeqCst);
         let pulled = Arc::clone(&self.pulled);
         let rows = self.rows;

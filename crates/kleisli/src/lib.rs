@@ -27,7 +27,7 @@
 pub mod session;
 pub mod sources;
 
-pub use session::{Compiled, Session, StmtResult};
+pub use session::{Compiled, QueryHandle, QueryStatus, Session, StmtResult};
 pub use sources::{bio_federation, AceObjects, BioFederation};
 
 #[cfg(test)]
@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn type_errors_are_rejected_before_execution() {
-        let mut s = pub_session();
+        let s = pub_session();
         // year is an int; projecting .title from it is a definite error
         let err = s.query(r"{p.year.title | \p <- DB}").unwrap_err();
         assert!(matches!(err, kleisli_core::KError::Type(_)), "{err}");
@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn unbound_names_are_reported() {
-        let mut s = Session::new();
+        let s = Session::new();
         assert!(matches!(
             s.query("{x | \\x <- NoSuchSource}"),
             Err(kleisli_core::KError::Unbound(_))

@@ -2,6 +2,16 @@
 //! Figure 2, plus driver registration, a compiled-plan cache, and explain
 //! output.
 //!
+//! # Concurrency
+//!
+//! Queries are *submitted*, not executed: [`Session::submit`] compiles
+//! and returns a [`QueryHandle`] while evaluation proceeds on a worker
+//! thread, shipping its driver requests through the two-phase
+//! submit/handle API so round-trips to independent sources overlap
+//! (Section 4, "Laziness, Latency, and Concurrency"). [`Session::query`]
+//! is simply submit-then-wait. Several handles may be in flight on one
+//! session at once, each bounded by the per-driver admission budgets.
+//!
 //! # Plan caching
 //!
 //! [`Session::compile`] memoizes compiled plans in a small LRU keyed by
@@ -19,13 +29,16 @@
 //! structural hash): recompiling the same query addresses the same
 //! `Context` cache slots.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread;
 
 use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
 use kleisli_core::{
-    Capabilities, CollKind, DriverRef, KResult, MetricsSnapshot, TableStats, Type, Value,
+    Capabilities, CollKind, DriverRef, KError, KResult, MetricsSnapshot, TableStats, Type, Value,
 };
-use kleisli_exec::{eval, first_n, first_n_distinct, Context, Env, ObjectStore};
+use kleisli_exec::{eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore};
 use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
 use nrc::{Expr, Interner, TypeEnv};
 use parking_lot::Mutex;
@@ -115,6 +128,272 @@ impl PlanCache {
     fn clear(&mut self) {
         self.entries.clear();
     }
+}
+
+// ------------------------------------------------------------------------
+// Non-blocking query submission
+// ------------------------------------------------------------------------
+
+/// How far a query submitted with [`Session::submit`] has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Still evaluating (or queued behind driver admission budgets).
+    Running,
+    /// Finished; the result is waiting in the handle.
+    Finished,
+}
+
+struct QueryState {
+    /// Rows streamed so far, in arrival order (streaming plans only).
+    rows: Vec<Value>,
+    /// The final result; `None` before completion, and again after it has
+    /// been taken by `wait`/`try_wait`.
+    result: Option<KResult<Value>>,
+    finished: bool,
+}
+
+struct QueryShared {
+    state: StdMutex<QueryState>,
+    cv: Condvar,
+    cancel: AtomicBool,
+}
+
+/// A query in flight: the public face of the two-phase execution API.
+///
+/// Obtained from [`Session::submit`], which returns as soon as the plan
+/// is compiled — evaluation proceeds on a worker thread, submitting its
+/// driver requests through the non-blocking handle machinery (bounded by
+/// each driver's admission budget). Redeem it with:
+///
+/// * [`QueryHandle::wait`] — block until the full result is ready;
+/// * [`QueryHandle::try_wait`] — non-blocking poll that takes the result
+///   when finished;
+/// * [`QueryHandle::first_n`] — block only until `n` rows have streamed
+///   in (set-typed prefixes are deduplicated, as in
+///   [`Session::query_first_n`]), then cancel the remainder;
+/// * [`QueryHandle::cancel`] — stop the evaluation cooperatively: the
+///   worker aborts at the next row boundary, and driver requests still
+///   queued behind admission gates are discarded without ever reaching
+///   their source. Dropping the handle cancels too; either way no driver
+///   admission ticket is leaked.
+///
+/// Cancellation granularity: a request already running inside a driver
+/// finishes on its worker (its result is thrown away); plans that fall
+/// back to the eager evaluator check the flag only between driver
+/// round-trips of the streaming spine, i.e. cancellation is cooperative,
+/// not preemptive.
+pub struct QueryHandle {
+    shared: Arc<QueryShared>,
+    /// Deduplicate the streamed prefix (set-typed plans).
+    dedup: bool,
+}
+
+impl QueryHandle {
+    /// Spawn the evaluation of `compiled` against `ctx` on a worker.
+    fn spawn(compiled: Arc<Compiled>, ctx: Arc<Context>) -> QueryHandle {
+        // The same kind/dedup decisions as the synchronous query paths:
+        // stream when the plan's collection kind is syntactically
+        // evident, else fall back to the eager evaluator on the worker.
+        let kind = compiled.optimized.coll_kind_hint();
+        let dedup = match &compiled.ty {
+            Type::Coll(k, _) => *k == CollKind::Set,
+            _ => kind == Some(CollKind::Set),
+        };
+        let shared = Arc::new(QueryShared {
+            state: StdMutex::new(QueryState {
+                rows: Vec::new(),
+                result: None,
+                finished: false,
+            }),
+            cv: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        });
+        let worker = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("query-eval".into())
+            .spawn(move || {
+                // A panic in evaluation must park an error, never leave
+                // the handle unfinished (the caller is blocked in wait).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    QueryHandle::run(&worker, &compiled, &ctx, kind)
+                }))
+                .unwrap_or_else(|_| Err(KError::eval("query evaluation panicked")));
+                let mut st = worker.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.result = Some(result);
+                st.finished = true;
+                drop(st);
+                worker.cv.notify_all();
+            })
+            .expect("spawn query worker");
+        QueryHandle { shared, dedup }
+    }
+
+    /// The worker body: stream rows into the shared state when the plan
+    /// is collection-shaped, eagerly evaluate otherwise.
+    fn run(
+        shared: &Arc<QueryShared>,
+        compiled: &Compiled,
+        ctx: &Arc<Context>,
+        kind: Option<CollKind>,
+    ) -> KResult<Value> {
+        let Some(kind) = kind else {
+            // Not visibly a collection: no row-granular progress (and no
+            // row-granular cancellation) to offer.
+            return eval(&compiled.optimized, &Env::empty(), ctx);
+        };
+        let stream = eval_stream(&compiled.optimized, &Env::empty(), ctx)?;
+        for item in stream {
+            if shared.cancel.load(Ordering::Acquire) {
+                return Err(KError::cancelled("query cancelled"));
+            }
+            let v = item?;
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.rows.push(v);
+            drop(st);
+            shared.cv.notify_all();
+        }
+        // Move the rows out rather than cloning them: first_n's fallback
+        // already serves the prefix from the final value when the row
+        // buffer is empty.
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = std::mem::take(&mut st.rows);
+        drop(st);
+        Ok(Value::collection(kind, rows))
+    }
+
+    /// Progress, without blocking.
+    pub fn status(&self) -> QueryStatus {
+        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.finished {
+            QueryStatus::Finished
+        } else {
+            QueryStatus::Running
+        }
+    }
+
+    /// Block until evaluation completes and return the full result.
+    pub fn wait(self) -> KResult<Value> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.finished {
+            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.result
+            .take()
+            .unwrap_or_else(|| Err(KError::eval("query result already taken")))
+    }
+
+    /// Take the result if evaluation has finished; `None` while running.
+    pub fn try_wait(&mut self) -> Option<KResult<Value>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.finished {
+            Some(
+                st.result
+                    .take()
+                    .unwrap_or_else(|| Err(KError::eval("query result already taken"))),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Block until `n` rows have streamed in (fewer if the query finishes
+    /// first), return them in arrival order — canonical collection order
+    /// when the evaluation had already completed — and cancel the
+    /// remainder of the evaluation. Set-typed prefixes are
+    /// duplicate-free — duplicates do not count toward `n`. An
+    /// evaluation error arriving before `n` rows propagates.
+    pub fn first_n(self, n: usize) -> KResult<Vec<Value>> {
+        let prefix;
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            // The wakeup check only needs a count (capped at `n`), not
+            // the prefix itself — no Value clones per wakeup.
+            let available = |rows: &[Value]| -> usize {
+                if self.dedup {
+                    distinct_count(rows, n)
+                } else {
+                    rows.len().min(n)
+                }
+            };
+            while available(&st.rows) < n && !st.finished {
+                st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if available(&st.rows) < n && st.finished {
+                // The query ended before `n` rows streamed in.
+                match st.result.take() {
+                    // Eager fallback: serve the prefix from the final
+                    // value (streamed rows are empty on this path).
+                    Some(Ok(v)) if st.rows.is_empty() => {
+                        return match v.elements() {
+                            Some(es) => Ok(if self.dedup {
+                                distinct_prefix(es, n)
+                            } else {
+                                es.iter().take(n).cloned().collect()
+                            }),
+                            None => Err(KError::eval(format!(
+                                "cannot take a row prefix of a non-collection ({})",
+                                v.kind_name()
+                            ))),
+                        };
+                    }
+                    // An error arriving before `n` rows propagates.
+                    Some(Err(e)) => return Err(e),
+                    // Finished clean with fewer than n rows: fall through
+                    // and return what streamed in.
+                    _ => {}
+                }
+            }
+            prefix = if self.dedup {
+                distinct_prefix(&st.rows, n)
+            } else {
+                st.rows.iter().take(n).cloned().collect()
+            };
+        }
+        // Enough rows arrived (or the stream ended): the rest of the
+        // evaluation is wasted work.
+        self.cancel();
+        Ok(prefix)
+    }
+
+    /// Stop the evaluation cooperatively (see the type docs). Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        self.cancel();
+    }
+}
+
+/// First-arrival-order distinct prefix of at most `n` rows.
+fn distinct_prefix(rows: &[Value], n: usize) -> Vec<Value> {
+    let mut seen: HashSet<&Value> = HashSet::new();
+    let mut out = Vec::new();
+    for v in rows {
+        if out.len() >= n {
+            break;
+        }
+        if seen.insert(v) {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
+/// How many distinct rows are available, counting no further than `cap`
+/// (clone-free: hashes references only).
+fn distinct_count(rows: &[Value], cap: usize) -> usize {
+    let mut seen: HashSet<&Value> = HashSet::new();
+    for v in rows {
+        if seen.len() >= cap {
+            break;
+        }
+        seen.insert(v);
+    }
+    seen.len().min(cap)
 }
 
 /// A CPL/Kleisli session. Drivers are registered once; `define`s
@@ -309,13 +588,38 @@ impl Session {
         optimize_shared(shared, &CtxCatalog(&self.ctx), &self.config)
     }
 
-    /// Compile and evaluate one CPL expression.
-    pub fn query(&mut self, src: &str) -> KResult<Value> {
+    /// Submit one CPL expression for evaluation without waiting for it:
+    /// compilation (and any compile error) happens here, then evaluation
+    /// proceeds on a worker thread that ships its driver requests through
+    /// the non-blocking submit/handle machinery. Returns a
+    /// [`QueryHandle`] exposing wait / try_wait / cancel / first_n.
+    ///
+    /// Note: like every query entry point, submission clears the
+    /// session's subquery cache, so results of queries *currently in
+    /// flight* on the same session may recompute cached subtrees.
+    pub fn submit(&self, src: &str) -> KResult<QueryHandle> {
         let compiled = self.compile_shared(src)?;
-        self.run_compiled(&compiled)
+        self.ctx.cache_clear();
+        Ok(QueryHandle::spawn(compiled, Arc::clone(&self.ctx)))
     }
 
-    /// Evaluate an already-compiled query.
+    /// [`Session::submit`] for an already-compiled plan.
+    pub fn submit_compiled(&self, compiled: &Compiled) -> QueryHandle {
+        self.ctx.cache_clear();
+        QueryHandle::spawn(Arc::new(compiled.clone()), Arc::clone(&self.ctx))
+    }
+
+    /// Compile and evaluate one CPL expression: submit-then-wait through
+    /// the concurrency machinery, so independent remote subplans overlap
+    /// their round-trips.
+    pub fn query(&self, src: &str) -> KResult<Value> {
+        self.submit(src)?.wait()
+    }
+
+    /// Evaluate an already-compiled query with the *blocking* evaluator:
+    /// every driver request is submitted and immediately waited on, one
+    /// at a time. This is the sequential baseline the concurrency bench
+    /// compares against (and what `run` uses for program statements).
     pub fn run_compiled(&self, compiled: &Compiled) -> KResult<Value> {
         self.ctx.cache_clear();
         eval(&compiled.optimized, &Env::empty(), &self.ctx)
@@ -327,7 +631,12 @@ impl Session {
     /// type, or plan syntax where typing says `Any`) the streamed prefix
     /// is deduplicated (duplicates do not count toward `n`); bag/list
     /// prefixes are returned in arrival order as-is.
-    pub fn query_first_n(&mut self, src: &str, n: usize) -> KResult<Vec<Value>> {
+    ///
+    /// This synchronous path pulls rows on the caller's thread, so driver
+    /// traffic is strictly bounded by demand; [`QueryHandle::first_n`] is
+    /// the concurrent variant (its worker may run slightly ahead of the
+    /// prefix before cancellation lands).
+    pub fn query_first_n(&self, src: &str, n: usize) -> KResult<Vec<Value>> {
         let compiled = self.compile_shared(src)?;
         self.ctx.cache_clear();
         let is_set = match &compiled.ty {

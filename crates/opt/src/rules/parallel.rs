@@ -76,10 +76,14 @@ fn parallelize(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
         return None;
     }
     let driver = first_driver(body);
+    // `concurrency_limit` is the *normalized* admission budget (a declared
+    // 0 means 1, never "unknown"): since the executor enforces the budget
+    // at the driver gate, asking for more in-flight work than the server
+    // admits would only queue. Unknown servers fall back to the
+    // configured default.
     let cap = driver
         .and_then(|d| ctx.catalog.capabilities(&d))
-        .map(|c| c.max_concurrent_requests)
-        .filter(|&n| n > 0)
+        .map(|c| c.concurrency_limit())
         .unwrap_or(ctx.config.default_concurrency);
     Some(Expr::ParExt {
         kind: *kind,
@@ -149,6 +153,25 @@ mod tests {
             Expr::ParExt { max_in_flight, .. } => {
                 assert_eq!(max_in_flight, OptConfig::default().default_concurrency)
             }
+            other => panic!("not parallelized: {other}"),
+        }
+    }
+
+    #[test]
+    fn declared_zero_budget_normalizes_to_serial_not_default() {
+        // 0 is meaningless for an enforced admission limit; the rule must
+        // read the normalized value (1), not fall back to the default 5.
+        let mut catalog = StaticCatalog::new();
+        catalog.add_driver(
+            "GenBank",
+            Capabilities {
+                max_concurrent_requests: 0,
+                ..Default::default()
+            },
+        );
+        let out = run(dependent_remote_loop(), &catalog);
+        match out {
+            Expr::ParExt { max_in_flight, .. } => assert_eq!(max_in_flight, 1),
             other => panic!("not parallelized: {other}"),
         }
     }

@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, TableStats, Value, ValueStream,
+    MetricsSnapshot, RequestGate, RequestHandle, TableStats, Value, ValueStream,
 };
 
 use crate::sql::{self, CmpOp, ColRef, Operand, Pred, Query, SelectList};
@@ -359,7 +359,19 @@ fn compare(a: &Datum, op: CmpOp, b: &Datum) -> bool {
 /// The simulated remote Sybase server (GDB in the paper). Charges its
 /// latency model per request and per shipped row, and counts traffic in
 /// its metrics — the observables for the pushdown experiments.
+///
+/// Implements the two-phase driver API: `submit` spawns the request onto
+/// a worker gated by the server's admission budget
+/// (`max_concurrent_requests`), so submission never blocks the caller on
+/// the latency model and in-flight requests never exceed the budget.
 pub struct SybaseServer {
+    core: Arc<SybaseCore>,
+    gate: Arc<RequestGate>,
+}
+
+/// The server's shared state, `Arc`'d so request workers can outlive the
+/// borrow `Driver::submit` gets.
+struct SybaseCore {
     name: String,
     db: RwLock<Database>,
     latency: Arc<LatencyModel>,
@@ -368,21 +380,44 @@ pub struct SybaseServer {
 
 impl SybaseServer {
     pub fn new(name: impl Into<String>, db: Database, latency: LatencyModel) -> SybaseServer {
-        SybaseServer {
+        let core = Arc::new(SybaseCore {
             name: name.into(),
             db: RwLock::new(db),
             latency: Arc::new(latency),
             metrics: Arc::new(DriverMetrics::default()),
-        }
+        });
+        let gate = RequestGate::new(SYBASE_CONCURRENT_REQUESTS);
+        SybaseServer { core, gate }
     }
 
     /// Mutable access for loading data (not part of the driver surface).
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        f(&mut self.db.write())
+        f(&mut self.core.db.write())
     }
 
     pub fn latency(&self) -> &Arc<LatencyModel> {
-        &self.latency
+        &self.core.latency
+    }
+}
+
+/// The paper-era Sybase front end tolerated a moderate number of open
+/// connections; this is the enforced admission budget.
+const SYBASE_CONCURRENT_REQUESTS: usize = 8;
+
+impl SybaseCore {
+    /// One full request round-trip: charge the request latency, run the
+    /// query, and hand back a stream that charges/counts per pulled row.
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.metrics.record_request();
+        self.latency.charge_request();
+        let rows = self.run(req)?;
+        let latency = Arc::clone(&self.latency);
+        let metrics = Arc::clone(&self.metrics);
+        Ok(Box::new(rows.into_iter().map(move |v| {
+            latency.charge_row();
+            metrics.record_row(v.approx_size());
+            Ok(v)
+        })))
     }
 
     fn run(&self, req: &DriverRequest) -> KResult<Vec<Value>> {
@@ -427,7 +462,7 @@ impl SybaseServer {
 
 impl Driver for SybaseServer {
     fn name(&self) -> &str {
-        &self.name
+        &self.core.name
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -435,33 +470,36 @@ impl Driver for SybaseServer {
             sql: true,
             path_extraction: false,
             links: false,
-            max_concurrent_requests: 8,
+            max_concurrent_requests: SYBASE_CONCURRENT_REQUESTS,
         }
     }
 
-    fn execute(&self, req: &DriverRequest) -> KResult<ValueStream> {
-        self.metrics.record_request();
-        self.latency.charge_request();
-        let rows = self.run(req)?;
-        let latency = Arc::clone(&self.latency);
-        let metrics = Arc::clone(&self.metrics);
-        Ok(Box::new(rows.into_iter().map(move |v| {
-            latency.charge_row();
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+        self.core.perform(req)
+    }
+
+    fn submit(&self, req: &DriverRequest) -> KResult<RequestHandle> {
+        let core = Arc::clone(&self.core);
+        let req = req.clone();
+        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
+            core.perform(&req)
+        }))
+    }
+
+    fn nonblocking_submit(&self) -> bool {
+        true
     }
 
     fn table_stats(&self, table: &str) -> Option<TableStats> {
-        self.db.read().table(table).ok().map(|t| t.stats())
+        self.core.db.read().table(table).ok().map(|t| t.stats())
     }
 
     fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.core.metrics.snapshot()
     }
 
     fn reset_metrics(&self) {
-        self.metrics.reset();
+        self.core.metrics.reset();
     }
 }
 
@@ -586,11 +624,14 @@ mod tests {
     #[test]
     fn driver_counts_traffic_and_streams() {
         let server = SybaseServer::new("GDB", sample_db(), LatencyModel::instant());
+        // submit-then-wait: the two-phase path a real consumer takes
         let stream = server
-            .execute(&DriverRequest::TableScan {
+            .submit(&DriverRequest::TableScan {
                 table: "locus".into(),
                 columns: Some(vec!["locus_symbol".into()]),
             })
+            .unwrap()
+            .wait()
             .unwrap();
         let rows: Vec<_> = stream.collect::<KResult<_>>().unwrap();
         assert_eq!(rows.len(), 20);
@@ -615,11 +656,38 @@ mod tests {
     #[test]
     fn unsupported_requests_are_driver_errors() {
         let server = SybaseServer::new("GDB", sample_db(), LatencyModel::instant());
+        // the submission itself succeeds; the error arrives at wait()
         assert!(server
-            .execute(&DriverRequest::EntrezLinks {
+            .submit(&DriverRequest::EntrezLinks {
                 db: "na".into(),
                 uid: 1
             })
+            .unwrap()
+            .wait()
             .is_err());
+    }
+
+    #[test]
+    fn concurrent_submissions_respect_the_admission_budget() {
+        let server = Arc::new(SybaseServer::new(
+            "GDB",
+            sample_db(),
+            LatencyModel::instant(),
+        ));
+        let handles: Vec<_> = (0..2 * SYBASE_CONCURRENT_REQUESTS)
+            .map(|_| {
+                server
+                    .submit(&DriverRequest::TableScan {
+                        table: "locus".into(),
+                        columns: None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let rows: Vec<_> = h.wait().unwrap().collect::<KResult<_>>().unwrap();
+            assert_eq!(rows.len(), 20);
+        }
+        assert_eq!(server.gate.in_flight(), 0, "all tickets released");
     }
 }

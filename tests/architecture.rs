@@ -55,7 +55,7 @@ fn three_source_session() -> Session {
 
 #[test]
 fn all_three_sources_answer_through_one_session() {
-    let mut s = three_source_session();
+    let s = three_source_session();
     let relational = s
         .query(r#"count(GDB-Tab("locus"))"#)
         .expect("relational source");
@@ -74,7 +74,7 @@ fn all_three_sources_answer_through_one_session() {
 
 #[test]
 fn object_identity_dereferences_across_the_session() {
-    let mut s = three_source_session();
+    let s = three_source_session();
     // Follow the Seq reference of the clone through deref.
     let dna = s
         .query(r#"{deref(c.Seq).DNA | \c <- ACE22([class = "Clone"])}"#)
@@ -84,7 +84,7 @@ fn object_identity_dereferences_across_the_session() {
 
 #[test]
 fn query_results_survive_the_exchange_format() {
-    let mut s = three_source_session();
+    let s = three_source_session();
     let v = s
         .query(r#"{[s = l.locus_symbol, i = l.locus_id] | \l <- GDB-Tab("locus"), l.locus_id <= 5}"#)
         .expect("query");
@@ -96,7 +96,7 @@ fn query_results_survive_the_exchange_format() {
 
 #[test]
 fn printers_cover_the_output_formats_of_section_3() {
-    let mut s = three_source_session();
+    let s = three_source_session();
     let v = s
         .query(r#"{[s = l.locus_symbol] | \l <- GDB-Tab("locus"), l.locus_id <= 3}"#)
         .expect("query");
@@ -115,7 +115,7 @@ fn printers_cover_the_output_formats_of_section_3() {
 fn cross_source_join_runs_locally() {
     // GDB (relational) joined with GenBank (ASN.1) — never pushable, so
     // the optimizer must plan it locally and still get the right answer.
-    let mut s = three_source_session();
+    let s = three_source_session();
     let v = s
         .query(
             r#"{[s = l.locus_symbol, org = e.organism] |

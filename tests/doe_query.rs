@@ -54,7 +54,7 @@ const DOE: &str = r#"{[locus = locus, homologs =
 
 #[test]
 fn doe_query_matches_ground_truth_exactly() {
-    let (mut session, fed) = federation();
+    let (session, fed) = federation();
     let result = session.query(DOE).expect("query");
 
     // ground truth from the generators
@@ -160,7 +160,7 @@ fn doe_plan_uses_every_optimization_of_section_4() {
 
 #[test]
 fn doe_query_ships_one_relational_request() {
-    let (mut session, _fed) = federation();
+    let (session, _fed) = federation();
     session.reset_metrics();
     let _ = session.query(DOE).expect("query");
     let gdb = session.driver_metrics("GDB").expect("gdb metrics");

@@ -27,7 +27,7 @@ impl Driver for FlakyDriver {
     fn capabilities(&self) -> Capabilities {
         Capabilities::default()
     }
-    fn execute(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         if self.refuse {
             return Err(KError::driver(&self.name, "connection refused"));
@@ -53,7 +53,7 @@ fn session_with(driver: FlakyDriver) -> Session {
 
 #[test]
 fn refused_connection_is_a_driver_error() {
-    let mut s = session_with(FlakyDriver {
+    let s = session_with(FlakyDriver {
         name: "DOWN".into(),
         refuse: true,
         fail_after: None,
@@ -70,7 +70,7 @@ fn refused_connection_is_a_driver_error() {
 
 #[test]
 fn mid_stream_failure_propagates() {
-    let mut s = session_with(FlakyDriver {
+    let s = session_with(FlakyDriver {
         name: "FLAKY".into(),
         refuse: false,
         fail_after: Some(4),
@@ -112,7 +112,7 @@ fn bad_sql_is_reported_not_panicked() {
 
 #[test]
 fn malformed_driver_requests_are_eval_errors() {
-    let mut s = session_with(FlakyDriver {
+    let s = session_with(FlakyDriver {
         name: "D".into(),
         refuse: false,
         fail_after: None,

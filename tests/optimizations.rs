@@ -161,7 +161,7 @@ fn e11_parallel_gather_is_bounded_and_correct() {
 
 #[test]
 fn e10_first_n_ships_a_fraction_of_the_rows() {
-    let (mut session, _fed) = federation(3000);
+    let (session, _fed) = federation(3000);
     session.reset_metrics();
     let rows = session
         .query_first_n(r#"{[s = l.locus_symbol] | \l <- GDB-Tab("locus")}"#, 7)

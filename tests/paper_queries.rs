@@ -13,7 +13,7 @@ fn session() -> Session {
 
 #[test]
 fn projection_and_its_pattern_form_agree() {
-    let mut s = session();
+    let s = session();
     // "the example below, which is equivalent to the one above"
     let a = s
         .query(r"{[title = p.title, authors = p.authors] | \p <- DB}")
@@ -27,7 +27,7 @@ fn projection_and_its_pattern_form_agree() {
 
 #[test]
 fn filter_and_literal_pattern_forms_agree() {
-    let mut s = session();
+    let s = session();
     // "Also, the following queries are equivalent:"
     let a = s
         .query(
@@ -47,7 +47,7 @@ fn filter_and_literal_pattern_forms_agree() {
 
 #[test]
 fn flatten_produces_title_keyword_pairs() {
-    let mut s = session();
+    let s = session();
     let flat = s
         .query(r"{[title = t, keyword = k] | [title = \t, keywd = \kk, ...] <- DB, \k <- kk}")
         .unwrap();
@@ -62,7 +62,7 @@ fn flatten_produces_title_keyword_pairs() {
 
 #[test]
 fn keyword_inversion_covers_every_keyword_and_title() {
-    let mut s = session();
+    let s = session();
     let inverted = s
         .query(
             r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |

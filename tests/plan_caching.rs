@@ -76,7 +76,7 @@ fn cached_ids_are_stable_across_pointer_distinct_compiles() {
 
     // Running the query populates exactly those slots in the session's
     // Context — the deterministic id is a real slot address.
-    let mut s1 = s1;
+    let s1 = s1;
     let v = s1.query(CACHEABLE).expect("run");
     assert_eq!(v.len(), Some(20));
     for id in &ids1 {
@@ -174,7 +174,7 @@ fn first_n_prefix_of_a_set_query_is_duplicate_free() {
 
 #[test]
 fn repeated_queries_reuse_the_compiled_plan_and_stay_correct() {
-    let (mut session, _fed) = federation(15);
+    let (session, _fed) = federation(15);
     let first = session.query(CACHEABLE).expect("run 1");
     for _ in 0..5 {
         assert_eq!(session.query(CACHEABLE).expect("re-run"), first);
