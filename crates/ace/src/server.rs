@@ -1,6 +1,8 @@
 //! The ACE `Driver`: serves class scans and named-object fetches through
 //! the two-phase submit/handle API, with the server's tolerated request
-//! concurrency enforced by an admission gate.
+//! concurrency enforced by its worker pool (at most
+//! `ACE_CONCURRENT_REQUESTS` threads, reused across requests) and rows
+//! prefetched a bounded distance ahead of the consumer.
 
 use std::sync::Arc;
 
@@ -8,7 +10,7 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, Oid, RequestGate, RequestHandle, Value, ValueStream,
+    MetricsSnapshot, Oid, RequestHandle, Value, ValueStream, WorkerPool,
 };
 
 use crate::store::AceStore;
@@ -16,7 +18,7 @@ use crate::store::AceStore;
 /// A served ACE database.
 pub struct AceServer {
     core: Arc<AceCore>,
-    gate: Arc<RequestGate>,
+    pool: WorkerPool,
 }
 
 /// Shared server state, `Arc`'d for the request workers.
@@ -30,17 +32,26 @@ struct AceCore {
 /// ACE servers of the era tolerated only a few concurrent clients.
 const ACE_CONCURRENT_REQUESTS: usize = 4;
 
+/// Rows a pool worker pulls ahead of the consumer per request (ACE
+/// objects are deep trees; keep the buffered working set small).
+/// Advertised only when the server's latency model charges a per-row
+/// transfer cost — with instant rows there is no latency to hide.
+pub const ACE_PREFETCH_ROWS: usize = 8;
+
 impl AceServer {
     pub fn new(name: impl Into<String>, store: AceStore, latency: LatencyModel) -> AceServer {
-        AceServer {
-            core: Arc::new(AceCore {
-                name: name.into(),
-                store: RwLock::new(store),
-                latency: Arc::new(latency),
-                metrics: Arc::new(DriverMetrics::default()),
-            }),
-            gate: RequestGate::new(ACE_CONCURRENT_REQUESTS),
-        }
+        let core = Arc::new(AceCore {
+            name: name.into(),
+            store: RwLock::new(store),
+            latency: Arc::new(latency),
+            metrics: Arc::new(DriverMetrics::default()),
+        });
+        let pool = WorkerPool::new(
+            "ace",
+            ACE_CONCURRENT_REQUESTS,
+            Some(Arc::clone(&core.metrics)),
+        );
+        AceServer { core, pool }
     }
 
     pub fn with_store<R>(&self, f: impl FnOnce(&mut AceStore) -> R) -> R {
@@ -98,6 +109,9 @@ impl Driver for AceServer {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             max_concurrent_requests: ACE_CONCURRENT_REQUESTS,
+            // 0 unless the latency model realizes a real per-row sleep:
+            // prefetch pipelines wall-clock transfer latency only.
+            prefetch_rows: self.core.latency.effective_prefetch(ACE_PREFETCH_ROWS),
             ..Capabilities::default()
         }
     }
@@ -109,9 +123,8 @@ impl Driver for AceServer {
     fn submit(&self, req: &DriverRequest) -> KResult<RequestHandle> {
         let core = Arc::clone(&self.core);
         let req = req.clone();
-        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
-            core.perform(&req)
-        }))
+        let prefetch = self.capabilities().prefetch_rows;
+        Ok(self.pool.submit(prefetch, move || core.perform(&req)))
     }
 
     fn nonblocking_submit(&self) -> bool {

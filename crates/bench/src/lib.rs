@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use bio_data::{GdbConfig, GenBankConfig};
 use kleisli::{bio_federation, BioFederation, Session};
-use kleisli_core::{CollKind, LatencyModel, RemyRecord, Value};
+use kleisli_core::{CollKind, DriverRequest, LatencyModel, RemyRecord, Value};
 use kleisli_exec::{Context, Env};
 use kleisli_opt::OptConfig;
 use nrc::{Expr, JoinStrategy, Prim};
@@ -302,6 +302,74 @@ pub fn set_par_width(e: &Expr, width: usize) -> Expr {
         }
     }
     (*go(&Arc::new(e.clone()), width)).clone()
+}
+
+// ------------------------------------------------------------------------
+// E14: row-pipelined execution (the `row_pipeline` report).
+// ------------------------------------------------------------------------
+
+/// The row-pipeline workload: `drivers` SlowDrivers, each scanned
+/// `arms_per_driver` times in one union spine, every row costing
+/// `per_row` of real transfer latency. With `prefetch_rows = 0` the
+/// consumer pays every row on its own clock (the PR-3 fully-lazy
+/// behavior: requests overlap, rows do not); with `prefetch_rows >=
+/// rows` each driver's pool workers pull their arms' rows concurrently,
+/// so elapsed time approaches one arm's transfer instead of the sum.
+/// Returns the execution context, the union plan, and the drivers (for
+/// metrics assertions).
+pub fn row_pipeline_workload(
+    drivers: usize,
+    arms_per_driver: usize,
+    rows: i64,
+    per_request: Duration,
+    per_row: Duration,
+    prefetch_rows: usize,
+) -> (Arc<Context>, Expr, Vec<Arc<kleisli_core::testutil::SlowDriver>>) {
+    use kleisli_core::testutil::SlowDriver;
+    let mut ctx = Context::new();
+    let mut slow = Vec::new();
+    let mut arms: Vec<Expr> = Vec::new();
+    for d in 0..drivers {
+        let name = format!("S{d}");
+        let driver = SlowDriver::pipelined(
+            &name,
+            rows,
+            per_request,
+            per_row,
+            arms_per_driver.max(1),
+            prefetch_rows,
+        );
+        slow.push(Arc::clone(&driver));
+        ctx.register_driver(driver);
+        for a in 0..arms_per_driver {
+            // Tag rows per arm so the set union keeps every arm's rows.
+            let scan = Expr::Remote {
+                driver: nrc::name(&name),
+                request: DriverRequest::TableScan {
+                    table: "t".into(),
+                    columns: None,
+                },
+            };
+            arms.push(Expr::ext(
+                CollKind::Set,
+                "x",
+                Expr::single(
+                    CollKind::Set,
+                    Expr::record(vec![
+                        ("src", Expr::int((d * arms_per_driver + a) as i64)),
+                        ("n", Expr::proj(Expr::var("x"), "n")),
+                    ]),
+                ),
+                scan,
+            ));
+        }
+    }
+    let plan = arms
+        .into_iter()
+        .rev()
+        .reduce(|acc, arm| Expr::union(CollKind::Set, arm, acc))
+        .expect("at least one arm");
+    (Arc::new(ctx), plan, slow)
 }
 
 // ------------------------------------------------------------------------

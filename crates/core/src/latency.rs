@@ -58,6 +58,49 @@ impl LatencyModel {
         }
     }
 
+    /// The configured per-round-trip cost (what [`charge_request`]
+    /// charges). Benchmarks read this to compute expected lower bounds.
+    ///
+    /// [`charge_request`]: LatencyModel::charge_request
+    pub fn per_request(&self) -> Duration {
+        Duration::from_nanos(self.per_request_ns)
+    }
+
+    /// The configured per-row transfer cost (what [`charge_row`]
+    /// charges) — the marginal latency the row-prefetch pipeline hides.
+    ///
+    /// [`charge_row`]: LatencyModel::charge_row
+    pub fn per_row(&self) -> Duration {
+        Duration::from_nanos(self.per_row_ns)
+    }
+
+    /// Whether charges are realized as real `thread::sleep`s (wall-clock
+    /// latency) rather than only accumulated on the virtual clock.
+    /// Drivers consult this when deciding to advertise row prefetch:
+    /// pipelining hides *wall-clock* transfer latency, so a virtual-only
+    /// model (an accounting tool for the optimizer experiments) should
+    /// keep rows strictly lazy and its row counts undisturbed.
+    pub fn is_real(&self) -> bool {
+        self.real_sleep
+    }
+
+    /// The row-prefetch depth a driver should advertise for a configured
+    /// depth of `depth`: unchanged when this model realizes a *real*
+    /// per-row sleep, `0` otherwise. Prefetch pipelines wall-clock
+    /// transfer latency; with instant or virtual-only rows there is
+    /// nothing to hide, the buffer handoff would only cost context
+    /// switches, and strict laziness (plus undisturbed row counts for
+    /// the virtual-clock experiments) is worth more. Every remote driver
+    /// routes its `Capabilities::prefetch_rows` through this so the
+    /// gating rule cannot drift between drivers.
+    pub fn effective_prefetch(&self, depth: usize) -> usize {
+        if self.real_sleep && self.per_row_ns > 0 {
+            depth
+        } else {
+            0
+        }
+    }
+
     /// Charge the fixed cost of one round-trip.
     pub fn charge_request(&self) {
         self.charge(self.per_request_ns);

@@ -15,12 +15,18 @@
 //! * [`print`] — CPL-syntax, HTML, and tabular printers.
 //! * [`driver`] — the driver trait, request language, capabilities,
 //!   statistics, and traffic metrics.
+//! * [`pool`] — per-driver worker pools and the bounded row-prefetch
+//!   buffer (row-pipelined execution).
+//! * [`oneshot`] — the shared one-shot promise behind every
+//!   submit-now/redeem-later handle.
 //! * [`latency`] — the simulated wide-area latency model.
 //! * [`error`] — the shared error type.
 
 pub mod driver;
 pub mod error;
 pub mod latency;
+pub mod oneshot;
+pub mod pool;
 pub mod print;
 pub mod remy;
 pub mod testutil;
@@ -34,6 +40,8 @@ pub use driver::{
 };
 pub use error::{KError, KResult};
 pub use latency::LatencyModel;
+pub use oneshot::{OneShot, PromiseState};
+pub use pool::WorkerPool;
 pub use remy::{CachedProjector, Directory, RemyRecord};
 pub use token::{detokenize, read_exchange, tokenize, write_exchange, Token};
 pub use types::Type;

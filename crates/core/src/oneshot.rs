@@ -1,0 +1,232 @@
+//! A one-shot promise: the single blocking primitive shared by every
+//! "submit now, redeem later" handle in the system.
+//!
+//! Both halves of the two-phase execution API — the driver-level
+//! [`crate::driver::RequestHandle`] and the session-level `QueryHandle` in
+//! the `kleisli` crate — used to carry their own mutex+condvar state
+//! machines with identical semantics. [`OneShot`] is that machinery
+//! extracted once: a single `Mutex` + `Condvar` cell that is **set at most
+//! once** by a producer and **taken at most once** by a consumer.
+//!
+//! Properties the handles rely on:
+//!
+//! * **Set-once.** The first [`OneShot::set`] wins; later sets are
+//!   rejected (returning `false`) instead of overwriting, so a racing
+//!   cancel/complete pair resolves deterministically.
+//! * **Take-once.** [`OneShot::wait`] / [`OneShot::try_wait`] move the
+//!   value out; a second take observes [`PromiseState::Taken`] rather
+//!   than a stale clone.
+//! * **Poison-immune.** Every lock acquisition recovers the inner state
+//!   from a poisoned mutex (`into_inner`), so a producer that panics
+//!   *near* the cell can never wedge waiters in a poisoned-lock panic —
+//!   the producer's `catch_unwind` wrapper parks an error value instead
+//!   (see `WorkerPool`), and waiters keep working.
+//! * **Progress pulses.** A producer that wants to report progress
+//!   *before* completion (the query worker streaming rows, cancellation
+//!   flags flipping) calls [`OneShot::pulse`]; consumers blocked in
+//!   [`OneShot::wait_until`] re-check their predicate on every pulse.
+//!   Pulse takes the cell lock before notifying, so a waiter that has
+//!   just checked its predicate and is about to sleep cannot miss the
+//!   wakeup (no lost-wakeup window).
+
+use std::sync::{Condvar, Mutex};
+
+/// Observed lifecycle stage of a [`OneShot`] cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromiseState {
+    /// Not set yet.
+    Pending,
+    /// Set; the value is waiting to be taken.
+    Ready,
+    /// Set and already taken by a consumer.
+    Taken,
+}
+
+struct Slot<T> {
+    value: Option<T>,
+    set: bool,
+}
+
+/// A set-once / take-once promise cell (see the module docs).
+pub struct OneShot<T> {
+    state: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for OneShot<T> {
+    fn default() -> Self {
+        OneShot::new()
+    }
+}
+
+impl<T> OneShot<T> {
+    /// An empty (pending) cell.
+    pub fn new() -> OneShot<T> {
+        OneShot {
+            state: Mutex::new(Slot {
+                value: None,
+                set: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// A cell already holding `value` — for handles that complete at
+    /// construction time (the default inline driver adapter).
+    pub fn ready(value: T) -> OneShot<T> {
+        OneShot {
+            state: Mutex::new(Slot {
+                value: Some(value),
+                set: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Slot<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fulfil the promise. The first set wins and wakes every waiter;
+    /// returns `false` (dropping `value`) if the cell was already set.
+    pub fn set(&self, value: T) -> bool {
+        let mut st = self.lock();
+        if st.set {
+            return false;
+        }
+        st.value = Some(value);
+        st.set = true;
+        drop(st);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Where the promise is in its lifecycle, without blocking.
+    pub fn poll(&self) -> PromiseState {
+        let st = self.lock();
+        match (st.set, st.value.is_some()) {
+            (false, _) => PromiseState::Pending,
+            (true, true) => PromiseState::Ready,
+            (true, false) => PromiseState::Taken,
+        }
+    }
+
+    /// Block until the promise is set and take the value; `None` if it
+    /// was already taken by an earlier wait.
+    pub fn wait(&self) -> Option<T> {
+        let mut st = self.lock();
+        while !st.set {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.value.take()
+    }
+
+    /// Take the value if the promise is set; `None` while pending (or
+    /// after the value was taken — disambiguate with [`OneShot::poll`]).
+    pub fn try_wait(&self) -> Option<T> {
+        self.lock().value.take()
+    }
+
+    /// Wake every waiter without setting the promise, so waiters blocked
+    /// in [`OneShot::wait_until`] re-check external progress (streamed
+    /// rows, cancellation flags). Acquires the cell lock first: a pulse
+    /// fired between a waiter's predicate check and its sleep cannot be
+    /// lost.
+    pub fn pulse(&self) {
+        let _guard = self.lock();
+        self.cv.notify_all();
+    }
+
+    /// Block until the promise is set **or** `ready()` returns true.
+    /// The predicate is evaluated under the cell lock, so producers must
+    /// never call [`OneShot::set`]/[`OneShot::pulse`] while holding a
+    /// lock the predicate takes (push progress first, then pulse).
+    pub fn wait_until<F: FnMut() -> bool>(&self, mut ready: F) {
+        let mut st = self.lock();
+        loop {
+            if st.set || ready() {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn set_wait_take_lifecycle() {
+        let p: OneShot<i32> = OneShot::new();
+        assert_eq!(p.poll(), PromiseState::Pending);
+        assert!(p.try_wait().is_none());
+        assert!(p.set(7));
+        assert_eq!(p.poll(), PromiseState::Ready);
+        assert_eq!(p.wait(), Some(7));
+        assert_eq!(p.poll(), PromiseState::Taken);
+        assert!(p.wait().is_none(), "take-once: second wait yields nothing");
+    }
+
+    #[test]
+    fn first_set_wins() {
+        let p: OneShot<&str> = OneShot::new();
+        assert!(p.set("first"));
+        assert!(!p.set("second"));
+        assert_eq!(p.wait(), Some("first"));
+    }
+
+    #[test]
+    fn ready_cell_is_immediately_takeable() {
+        let p = OneShot::ready(vec![1, 2, 3]);
+        assert_eq!(p.poll(), PromiseState::Ready);
+        assert_eq!(p.try_wait(), Some(vec![1, 2, 3]));
+        assert_eq!(p.poll(), PromiseState::Taken);
+    }
+
+    #[test]
+    fn wait_blocks_until_set_across_threads() {
+        let p: Arc<OneShot<u64>> = Arc::new(OneShot::new());
+        let setter = Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            setter.set(42);
+        });
+        assert_eq!(p.wait(), Some(42));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_observes_pulsed_progress() {
+        let p: Arc<OneShot<()>> = Arc::new(OneShot::new());
+        let progress = Arc::new(AtomicUsize::new(0));
+        let (p2, progress2) = (Arc::clone(&p), Arc::clone(&progress));
+        let t = std::thread::spawn(move || {
+            for i in 1..=5 {
+                std::thread::sleep(Duration::from_millis(2));
+                progress2.store(i, Ordering::SeqCst);
+                p2.pulse();
+            }
+        });
+        p.wait_until(|| progress.load(Ordering::SeqCst) >= 3);
+        assert!(progress.load(Ordering::SeqCst) >= 3);
+        t.join().unwrap();
+        assert_eq!(p.poll(), PromiseState::Pending, "pulse never sets");
+    }
+
+    #[test]
+    fn wait_until_returns_when_set_without_predicate() {
+        let p: Arc<OneShot<i32>> = Arc::new(OneShot::new());
+        let p2 = Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            p2.set(1);
+        });
+        p.wait_until(|| false);
+        assert_eq!(p.try_wait(), Some(1));
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,893 @@
+//! Per-driver worker pools and the bounded row-prefetch buffer: the
+//! row-pipelined half of the two-phase driver API.
+//!
+//! # Why a pool
+//!
+//! The first incarnation of [`crate::driver::Driver::submit`] parked one
+//! OS thread per *queued* request: a burst of submissions beyond the
+//! admission budget each pinned a thread inside the gate's condvar. Fine
+//! at simulator scale, fatal at mediator scale — queued work should be
+//! *data*, not stacks. A [`WorkerPool`] keeps queued requests in a deque
+//! and runs them on at most [`crate::driver::Capabilities::concurrency_limit`] worker
+//! threads, spawned lazily and reused across requests. Admission tickets
+//! from the driver's [`RequestGate`] are consumed by workers at the
+//! moment they pick a request up, never by parked threads, and
+//! cancelling a still-queued request simply removes it from the deque —
+//! no thread ever existed for it.
+//!
+//! # Row prefetch
+//!
+//! Request-level overlap (PR 3) hides round-trip latency, but rows were
+//! still shipped one pull at a time on the consumer's clock, so per-row
+//! transfer latency — the dominant cost the paper's Section 4
+//! laziness/cost discussion trades against — was never hidden. When a
+//! driver advertises [`crate::driver::Capabilities::prefetch_rows`] `> 0`, the pool
+//! worker that performed a request keeps going after parking the result:
+//! it eagerly pulls up to `prefetch_rows` rows from the driver stream
+//! into a bounded [`RowBuf`], ahead of the consumer. The consumer drains
+//! the buffer (waking refill work as it goes — backpressure is the
+//! buffer bound itself: a full buffer parks the stream and frees the
+//! worker), and falls back to pulling inline whenever no prefetched row
+//! is available, so a dead pool can never stall a stream. Dropping the
+//! consumer stream closes the buffer: outstanding refill work stops at
+//! the next row boundary and the underlying driver stream is dropped, so
+//! neither rows nor admission tickets leak.
+//!
+//! `prefetch_rows = 0` (the default) disables all of this: the worker
+//! parks the driver's stream untouched and the consumer pulls every row
+//! on its own clock — byte-identical to the fully-lazy behavior, which
+//! is what strictly-lazy consumers (and the laziness tests) rely on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+
+use crate::driver::{DriverMetrics, ReqShared, RequestGate, RequestHandle, ValueStream};
+use crate::error::{KError, KResult};
+use crate::value::Value;
+
+/// Work queued in a pool: a driver request (with its handle state and a
+/// prefetch depth) or a plain task (row-prefetch refills).
+enum Job {
+    Request(RequestJob),
+    Task(Box<dyn FnOnce() + Send>),
+}
+
+struct RequestJob {
+    id: u64,
+    shared: Arc<ReqShared>,
+    work: Box<dyn FnOnce() -> KResult<ValueStream> + Send>,
+    prefetch: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Workers currently parked in the condvar waiting for work.
+    idle: usize,
+    /// Workers currently running a job.
+    busy: usize,
+    /// Worker threads currently alive.
+    live: usize,
+    shutdown: bool,
+    next_id: u64,
+}
+
+pub(crate) struct PoolCore {
+    name: String,
+    gate: Arc<RequestGate>,
+    metrics: Option<Arc<DriverMetrics>>,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    limit: usize,
+    /// Total worker threads ever created (monotonic) — the observable
+    /// for "no thread growth across sequential requests".
+    threads_spawned: AtomicUsize,
+}
+
+/// A per-driver pool of at most `limit` worker threads executing
+/// submitted requests and row-prefetch refills (see the module docs).
+/// Dropping the pool shuts its workers down and resolves still-queued
+/// requests as cancelled.
+pub struct WorkerPool {
+    core: Arc<PoolCore>,
+}
+
+impl WorkerPool {
+    /// A pool running at most `limit` concurrent requests (`0` is
+    /// normalized to `1`, like the admission gate it wraps). Rows pulled
+    /// by prefetch workers are counted into `metrics` when given.
+    pub fn new(name: impl Into<String>, limit: usize, metrics: Option<Arc<DriverMetrics>>) -> WorkerPool {
+        let limit = limit.max(1);
+        WorkerPool {
+            core: Arc::new(PoolCore {
+                name: name.into(),
+                gate: RequestGate::new(limit),
+                metrics,
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    idle: 0,
+                    busy: 0,
+                    live: 0,
+                    shutdown: false,
+                    next_id: 0,
+                }),
+                cv: Condvar::new(),
+                limit,
+                threads_spawned: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The admission gate every request of this pool's driver passes
+    /// through. Exposed so tests (and drivers sharing the gate with
+    /// non-pool paths) can observe ticket flow.
+    pub fn gate(&self) -> &Arc<RequestGate> {
+        &self.core.gate
+    }
+
+    /// Maximum concurrent requests (== maximum worker threads).
+    pub fn limit(&self) -> usize {
+        self.core.limit
+    }
+
+    /// Total worker threads created over the pool's lifetime. Bounded by
+    /// [`WorkerPool::limit`]; sequential submissions reuse workers, so
+    /// this does not grow with request count.
+    pub fn threads_spawned(&self) -> usize {
+        self.core.threads_spawned.load(Ordering::SeqCst)
+    }
+
+    /// Submit `work` (one blocking request round-trip) and return a
+    /// handle immediately. The request queues as data until a pool
+    /// worker picks it up, acquires an admission ticket, and runs it; a
+    /// panic in `work` parks a driver error for every waiter. With
+    /// `prefetch > 0`, the worker keeps pulling up to `prefetch` rows
+    /// into a bounded buffer after the request completes (module docs).
+    pub fn submit<F>(&self, prefetch: usize, work: F) -> RequestHandle
+    where
+        F: FnOnce() -> KResult<ValueStream> + Send + 'static,
+    {
+        let shared = Arc::new(ReqShared::pending(Some(Arc::clone(&self.core.gate))));
+        let mut st = self.core.lock_state();
+        if st.shutdown {
+            drop(st);
+            shared.resolve_cancelled();
+            return RequestHandle::from_parts(shared, None);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back(Job::Request(RequestJob {
+            id,
+            shared: Arc::clone(&shared),
+            work: Box::new(work),
+            prefetch,
+        }));
+        self.core.ensure_worker(&mut st);
+        drop(st);
+        RequestHandle::from_parts(shared, Some((Arc::downgrade(&self.core), id)))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let mut st = self.core.lock_state();
+        st.shutdown = true;
+        let orphans: Vec<Job> = st.queue.drain(..).collect();
+        drop(st);
+        self.core.cv.notify_all();
+        // Still-queued requests resolve as cancelled so their waiters
+        // unblock; queued refill tasks are simply dropped (their streams
+        // fall back to inline pulls).
+        for job in orphans {
+            if let Job::Request(rj) = job {
+                rj.shared.resolve_cancelled();
+            }
+        }
+    }
+}
+
+impl PoolCore {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Make sure a worker will pick up freshly queued work: wake an idle
+    /// one, and — when demand genuinely exceeds the live workers — spawn
+    /// a new thread while under the limit. The two checks are
+    /// independent: a burst of submissions can outnumber the idle
+    /// workers before any of them wakes, and waking without spawning
+    /// would serialize the burst. A worker that has just finished a job
+    /// re-checks the queue before parking, so sequential request traffic
+    /// (demand never exceeding the live workers) reuses one worker
+    /// instead of growing the pool.
+    fn ensure_worker(self: &Arc<Self>, st: &mut PoolState) {
+        if st.idle > 0 {
+            self.cv.notify_one();
+        }
+        if st.live < self.limit && st.queue.len() + st.busy > st.live {
+            st.live += 1;
+            self.threads_spawned.fetch_add(1, Ordering::SeqCst);
+            let core = Arc::clone(self);
+            thread::Builder::new()
+                .name(format!("{}-pool-worker", self.name))
+                .spawn(move || PoolCore::worker_loop(core))
+                .expect("spawn pool worker");
+        }
+        // Else: every worker is busy (the job waits its turn in the
+        // deque — as data, not as a parked thread), or a worker between
+        // jobs is about to re-check the queue and will claim it.
+    }
+
+    /// Queue a non-request task (row-prefetch refill) on the pool.
+    fn spawn_task(self: &Arc<Self>, task: Box<dyn FnOnce() + Send>) {
+        let mut st = self.lock_state();
+        if st.shutdown {
+            return; // consumer streams fall back to inline pulls
+        }
+        st.queue.push_back(Job::Task(task));
+        self.ensure_worker(&mut st);
+    }
+
+    /// Remove a still-queued request (cancellation): resolves its handle
+    /// as cancelled without a worker ever touching it. Returns whether
+    /// the request was found in the queue.
+    pub(crate) fn remove_job(self: &Arc<Self>, id: u64) -> bool {
+        let mut st = self.lock_state();
+        let pos = st
+            .queue
+            .iter()
+            .position(|j| matches!(j, Job::Request(rj) if rj.id == id));
+        let Some(pos) = pos else { return false };
+        let job = st.queue.remove(pos);
+        drop(st);
+        if let Some(Job::Request(rj)) = job {
+            rj.shared.resolve_cancelled();
+            return true;
+        }
+        false
+    }
+
+    fn worker_loop(core: Arc<PoolCore>) {
+        let mut just_finished = false;
+        loop {
+            let job = {
+                let mut st = core.lock_state();
+                if just_finished {
+                    // (re-set to true after every job below, so no reset)
+                    st.busy -= 1;
+                }
+                loop {
+                    if let Some(j) = st.queue.pop_front() {
+                        st.busy += 1;
+                        break j;
+                    }
+                    if st.shutdown {
+                        st.live -= 1;
+                        return;
+                    }
+                    st.idle += 1;
+                    st = core.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    st.idle -= 1;
+                }
+            };
+            match job {
+                Job::Task(task) => {
+                    // A panicking refill must not kill the worker.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                }
+                Job::Request(rj) => {
+                    // Defense in depth: every panic source inside
+                    // run_request (the work, row pulls, stream drops) is
+                    // individually caught, but an unwind escaping here
+                    // would kill the worker with its live/busy counts
+                    // leaked — wedging the pool forever. Catch, and make
+                    // sure the waiter is never left pending.
+                    let shared = Arc::clone(&rj.shared);
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        core.run_request(rj)
+                    }))
+                    .is_err()
+                    {
+                        // Set-once: a no-op if the request already
+                        // resolved before the panic.
+                        shared.resolve_stream(Err(KError::driver(
+                            &core.name,
+                            "driver panicked while performing the request",
+                        )));
+                    }
+                }
+            }
+            just_finished = true;
+        }
+    }
+
+    fn run_request(self: &Arc<Self>, rj: RequestJob) {
+        let RequestJob {
+            shared,
+            work,
+            prefetch,
+            ..
+        } = rj;
+        if shared.is_cancelled() {
+            shared.resolve_cancelled();
+            return;
+        }
+        // The admission ticket is taken by this worker at pickup time —
+        // never by a parked thread — and covers the request round-trip
+        // (not the row stream, whose transfer the prefetch buffer
+        // pipelines separately).
+        let Some(ticket) = self.gate.acquire_unless(shared.cancelled_flag()) else {
+            shared.resolve_cancelled();
+            return;
+        };
+        if shared.is_cancelled() {
+            drop(ticket);
+            shared.resolve_cancelled();
+            return;
+        }
+        // A panicking driver must park an error, not leave the handle
+        // pending forever (the caller may be blocked in wait()).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work))
+            .unwrap_or_else(|_| {
+                Err(KError::driver(
+                    &self.name,
+                    "driver panicked while performing the request",
+                ))
+            });
+        drop(ticket); // release the admission slot
+        match result {
+            // A request cancelled while it performed gets its raw stream
+            // parked (the dropping handle discards it); starting a
+            // prefetch for it would burn this worker on per-row latency
+            // nobody will consume.
+            Ok(stream) if prefetch > 0 && !shared.is_cancelled() => {
+                let buf = RowBuf::new(
+                    stream,
+                    prefetch,
+                    Arc::downgrade(self),
+                    self.metrics.clone(),
+                );
+                // Resolve first so waiters start consuming while this
+                // worker works ahead of them.
+                shared.resolve_stream(Ok(PrefetchedStream::boxed(Arc::clone(&buf))));
+                RowBuf::refill(&buf);
+            }
+            other => shared.resolve_stream(other),
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// The bounded row-prefetch buffer
+// ------------------------------------------------------------------------
+
+/// Pull one row, converting a panic inside the driver stream into an
+/// error (`Ok(None)` is genuine end-of-stream). Row pulls run on pool
+/// workers and on consumers holding shared buffer state; letting a
+/// stream panic unwind through either would leak the `pulling` flag (or
+/// the worker itself), wedging every waiter.
+fn guarded_next(s: &mut ValueStream) -> Result<Option<KResult<Value>>, KError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.next()))
+        .map_err(|_| KError::driver("worker-pool", "driver panicked while streaming rows"))
+}
+
+/// Drop a poisoned stream without letting a panicking `Drop` unwind.
+fn guarded_drop(s: ValueStream) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(s)));
+}
+
+struct BufState {
+    rows: VecDeque<KResult<Value>>,
+    /// The underlying driver stream, parked here whenever nobody is
+    /// pulling from it; taken (with `pulling = true`) for the duration
+    /// of each pull so rows stay ordered and single-consumer.
+    stream: Option<ValueStream>,
+    pulling: bool,
+    /// A refill task is queued on the pool but has not started.
+    refill_queued: bool,
+    exhausted: bool,
+    closed: bool,
+}
+
+/// A bounded buffer of rows pulled ahead of the consumer (module docs).
+pub(crate) struct RowBuf {
+    state: Mutex<BufState>,
+    cv: Condvar,
+    capacity: usize,
+    pool: Weak<PoolCore>,
+    metrics: Option<Arc<DriverMetrics>>,
+}
+
+impl RowBuf {
+    fn new(
+        stream: ValueStream,
+        capacity: usize,
+        pool: Weak<PoolCore>,
+        metrics: Option<Arc<DriverMetrics>>,
+    ) -> Arc<RowBuf> {
+        Arc::new(RowBuf {
+            state: Mutex::new(BufState {
+                rows: VecDeque::with_capacity(capacity.min(1024)),
+                stream: Some(stream),
+                pulling: false,
+                refill_queued: false,
+                exhausted: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            pool,
+            metrics,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The single-pull protocol shared by the refill worker and the
+    /// consumer's demand pull, so the two paths can never drift: takes
+    /// the stream (the caller has set `pulling`), pulls one item with
+    /// the buffer lock *released*, then re-establishes the invariants —
+    /// `pulling` reset; the stream re-parked after an Ok row, dropped
+    /// (with `exhausted` set) on end-of-stream, an error row, or a
+    /// panic, which surfaces as a final error row. Returns the fresh
+    /// guard and the pulled row (`None` = the stream is finished).
+    fn pull_one<'b>(
+        buf: &'b RowBuf,
+        mut s: ValueStream,
+        st: std::sync::MutexGuard<'b, BufState>,
+    ) -> (std::sync::MutexGuard<'b, BufState>, Option<KResult<Value>>) {
+        drop(st);
+        let item = guarded_next(&mut s);
+        let mut st = buf.lock();
+        st.pulling = false;
+        let row = match item {
+            Ok(None) => {
+                st.exhausted = true;
+                None // `s` (the spent stream) drops here
+            }
+            Ok(Some(row)) => {
+                if row.is_ok() {
+                    st.stream = Some(s);
+                } else {
+                    // Never pull past an error: whoever consumes sees
+                    // the error, then end-of-stream.
+                    st.exhausted = true;
+                }
+                Some(row)
+            }
+            Err(e) => {
+                // The driver stream panicked mid-pull. Surface it as a
+                // final error row — with `pulling` reset so nobody
+                // wedges on the flag — and discard the poisoned stream.
+                st.exhausted = true;
+                guarded_drop(s);
+                Some(Err(e))
+            }
+        };
+        (st, row)
+    }
+
+    /// Pull rows from the parked stream until the buffer is full, the
+    /// stream ends (or errors, or panics), or the consumer closes it.
+    /// Runs on a pool worker; the buffer lock is *not* held across
+    /// pulls, so the consumer drains concurrently.
+    fn refill(buf: &Arc<RowBuf>) {
+        let mut st = buf.lock();
+        st.refill_queued = false;
+        loop {
+            if st.closed {
+                st.stream = None; // drop the driver stream: rows stop here
+                break;
+            }
+            if st.pulling || st.exhausted || st.rows.len() >= buf.capacity {
+                break;
+            }
+            let Some(s) = st.stream.take() else { break };
+            st.pulling = true;
+            let (st2, row) = RowBuf::pull_one(buf, s, st);
+            st = st2;
+            if let Some(row) = row {
+                if row.is_ok() {
+                    if let Some(m) = &buf.metrics {
+                        m.record_prefetched_row();
+                    }
+                }
+                st.rows.push_back(row);
+            }
+            buf.cv.notify_all();
+        }
+        drop(st);
+        buf.cv.notify_all();
+    }
+
+    /// Queue a refill if one is useful and none is active. Called with
+    /// the state lock held (lock order: buffer, then pool queue).
+    fn maybe_schedule(buf: &Arc<RowBuf>, st: &mut BufState) {
+        if st.refill_queued
+            || st.pulling
+            || st.exhausted
+            || st.closed
+            || st.stream.is_none()
+            || st.rows.len() >= buf.capacity
+        {
+            return;
+        }
+        let Some(core) = buf.pool.upgrade() else { return };
+        st.refill_queued = true;
+        let b = Arc::clone(buf);
+        core.spawn_task(Box::new(move || RowBuf::refill(&b)));
+    }
+}
+
+/// The consumer's view of a [`RowBuf`]: pops prefetched rows, pulls
+/// inline when none are buffered (so it never depends on pool liveness),
+/// and closes the buffer on drop.
+pub(crate) struct PrefetchedStream {
+    buf: Arc<RowBuf>,
+}
+
+impl PrefetchedStream {
+    fn boxed(buf: Arc<RowBuf>) -> ValueStream {
+        Box::new(PrefetchedStream { buf })
+    }
+}
+
+impl Iterator for PrefetchedStream {
+    type Item = KResult<Value>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let buf = &self.buf;
+        let mut st = buf.lock();
+        loop {
+            if let Some(row) = st.rows.pop_front() {
+                // Keep the worker ahead of us now that there is space.
+                RowBuf::maybe_schedule(buf, &mut st);
+                if row.is_ok() {
+                    if let Some(m) = &buf.metrics {
+                        m.record_pulled_row();
+                    }
+                }
+                return Some(row);
+            }
+            if st.exhausted || st.closed {
+                return None;
+            }
+            if !st.pulling {
+                let Some(s) = st.stream.take() else {
+                    // Stream gone without exhaustion (pool shut down with
+                    // a refill in its queue): nothing more will arrive.
+                    return None;
+                };
+                // Demand pull on the consumer's clock — the fallback that
+                // keeps the stream alive without any pool worker. Same
+                // pull protocol as the refill worker (RowBuf::pull_one).
+                st.pulling = true;
+                let (st2, row) = RowBuf::pull_one(buf, s, st);
+                st = st2;
+                if let Some(r) = &row {
+                    if r.is_ok() {
+                        if let Some(m) = &buf.metrics {
+                            m.record_pulled_row();
+                        }
+                        RowBuf::maybe_schedule(buf, &mut st);
+                    }
+                }
+                drop(st);
+                buf.cv.notify_all();
+                return row;
+            }
+            // A worker is mid-pull; it will push a row (or exhaust) and
+            // notify.
+            st = buf.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for PrefetchedStream {
+    fn drop(&mut self) {
+        let mut st = self.buf.lock();
+        st.closed = true;
+        st.stream = None; // drop the driver stream unless a puller holds it
+        drop(st);
+        self.buf.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::RequestStatus;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn rows_stream(n: i64) -> ValueStream {
+        Box::new((0..n).map(|i| Ok(Value::Int(i))))
+    }
+
+    fn collect(h: RequestHandle) -> Vec<Value> {
+        h.wait()
+            .unwrap()
+            .collect::<KResult<Vec<_>>>()
+            .unwrap()
+    }
+
+    #[test]
+    fn pool_threads_never_exceed_the_limit() {
+        let pool = WorkerPool::new("t", 2, None);
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                pool.submit(0, move || {
+                    thread::sleep(Duration::from_millis(3));
+                    Ok(rows_stream(2))
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(collect(h).len(), 2);
+        }
+        assert!(
+            pool.threads_spawned() <= 2,
+            "{} threads for a pool of 2",
+            pool.threads_spawned()
+        );
+        assert_eq!(pool.gate().in_flight(), 0);
+    }
+
+    #[test]
+    fn sequential_requests_reuse_the_same_worker() {
+        let pool = WorkerPool::new("t", 4, None);
+        for _ in 0..10 {
+            let h = pool.submit(0, move || Ok(rows_stream(1)));
+            assert_eq!(collect(h).len(), 1);
+            // Let the worker park between requests: the promise resolves
+            // a hair before the worker re-checks the queue, and this test
+            // is about steady-state reuse, not that race.
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            pool.threads_spawned(),
+            1,
+            "sequential requests must not grow the pool"
+        );
+    }
+
+    #[test]
+    fn queued_request_cancelled_before_pickup_never_runs() {
+        let pool = WorkerPool::new("t", 1, None);
+        let ran = Arc::new(AtomicU64::new(0));
+        let slow = {
+            let ran = Arc::clone(&ran);
+            pool.submit(0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(30));
+                Ok(rows_stream(1))
+            })
+        };
+        // Wait until the slow request holds the only worker (bounded:
+        // a stuck pool must fail, not hang).
+        let t0 = std::time::Instant::now();
+        while pool.gate().in_flight() == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "request never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let queued = {
+            let ran = Arc::clone(&ran);
+            pool.submit(0, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(rows_stream(1))
+            })
+        };
+        assert_eq!(queued.poll(), RequestStatus::Pending);
+        queued.cancel();
+        // Cancellation resolves immediately — queue removal, no worker.
+        assert_eq!(queued.poll(), RequestStatus::Cancelled);
+        match queued.wait() {
+            Err(e) => assert!(matches!(e, KError::Cancelled(_)), "{e}"),
+            Ok(_) => panic!("cancelled request must not yield a stream"),
+        }
+        assert_eq!(collect(slow).len(), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "queued request never ran");
+        assert_eq!(pool.threads_spawned(), 1, "no thread for the queued request");
+        assert_eq!(pool.gate().in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_request_parks_an_error_and_the_worker_survives() {
+        let pool = WorkerPool::new("t", 1, None);
+        let h = pool.submit(0, || -> KResult<ValueStream> { panic!("driver bug") });
+        match h.wait() {
+            Err(e) => assert!(e.to_string().contains("panicked"), "{e}"),
+            Ok(_) => panic!("panicked work must not yield a stream"),
+        }
+        assert_eq!(pool.gate().in_flight(), 0, "ticket released on unwind");
+        // The same worker keeps serving requests.
+        let h = pool.submit(0, move || Ok(rows_stream(3)));
+        assert_eq!(collect(h).len(), 3);
+        assert_eq!(pool.threads_spawned(), 1);
+    }
+
+    #[test]
+    fn dropping_the_pool_cancels_queued_requests() {
+        let pool = WorkerPool::new("t", 1, None);
+        let slow = pool.submit(0, move || {
+            thread::sleep(Duration::from_millis(20));
+            Ok(rows_stream(1))
+        });
+        let t0 = std::time::Instant::now();
+        while pool.gate().in_flight() == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "request never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let queued = pool.submit(0, move || Ok(rows_stream(1)));
+        drop(pool);
+        match queued.wait() {
+            Err(e) => assert!(matches!(e, KError::Cancelled(_)), "{e}"),
+            Ok(_) => panic!("queued request must cancel on pool shutdown"),
+        }
+        // The running request still completes on its worker.
+        assert_eq!(collect(slow).len(), 1);
+    }
+
+    #[test]
+    fn prefetched_rows_arrive_ahead_of_the_consumer() {
+        let metrics = Arc::new(DriverMetrics::default());
+        let pool = WorkerPool::new("t", 1, Some(Arc::clone(&metrics)));
+        let h = pool.submit(8, move || Ok(rows_stream(8)));
+        let stream = h.wait().unwrap();
+        // Give the worker time to prefetch the whole stream.
+        let t0 = std::time::Instant::now();
+        while metrics.snapshot().rows_prefetched < 8 && t0.elapsed() < Duration::from_secs(2) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(metrics.snapshot().rows_prefetched, 8);
+        let rows: Vec<_> = stream.collect::<KResult<_>>().unwrap();
+        assert_eq!(rows, (0..8).map(Value::Int).collect::<Vec<_>>());
+        assert_eq!(metrics.snapshot().rows_pulled, 8);
+    }
+
+    #[test]
+    fn prefetch_respects_the_buffer_bound() {
+        let pulled = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new("t", 1, None);
+        let h = {
+            let pulled = Arc::clone(&pulled);
+            pool.submit(3, move || {
+                let pulled = Arc::clone(&pulled);
+                Ok(Box::new((0..100).map(move |i| {
+                    pulled.fetch_add(1, Ordering::SeqCst);
+                    Ok(Value::Int(i))
+                })) as ValueStream)
+            })
+        };
+        let mut stream = h.wait().unwrap();
+        // The worker may pull at most `capacity` rows ahead.
+        thread::sleep(Duration::from_millis(20));
+        assert!(
+            pulled.load(Ordering::SeqCst) <= 3,
+            "prefetch overshot the bound: {}",
+            pulled.load(Ordering::SeqCst)
+        );
+        // Draining two rows lets it work ahead again, still bounded.
+        assert_eq!(stream.next().unwrap().unwrap(), Value::Int(0));
+        assert_eq!(stream.next().unwrap().unwrap(), Value::Int(1));
+        thread::sleep(Duration::from_millis(20));
+        assert!(pulled.load(Ordering::SeqCst) <= 5 + 1);
+    }
+
+    #[test]
+    fn dropping_a_prefetching_stream_stops_the_refill() {
+        let pulled = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new("t", 1, None);
+        let h = {
+            let pulled = Arc::clone(&pulled);
+            pool.submit(4, move || {
+                let pulled = Arc::clone(&pulled);
+                Ok(Box::new((0..1000).map(move |i| {
+                    pulled.fetch_add(1, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(1));
+                    Ok(Value::Int(i))
+                })) as ValueStream)
+            })
+        };
+        let mut stream = h.wait().unwrap();
+        assert_eq!(stream.next().unwrap().unwrap(), Value::Int(0));
+        drop(stream);
+        thread::sleep(Duration::from_millis(10));
+        let after_drop = pulled.load(Ordering::SeqCst);
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            pulled.load(Ordering::SeqCst),
+            after_drop,
+            "refill must stop once the consumer is gone"
+        );
+        assert!(after_drop <= 6, "at most a buffer's worth pulled: {after_drop}");
+    }
+
+    #[test]
+    fn prefetch_zero_hands_back_the_driver_stream_untouched() {
+        let pulled = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new("t", 1, None);
+        let h = {
+            let pulled = Arc::clone(&pulled);
+            pool.submit(0, move || {
+                let pulled = Arc::clone(&pulled);
+                Ok(Box::new((0..10).map(move |i| {
+                    pulled.fetch_add(1, Ordering::SeqCst);
+                    Ok(Value::Int(i))
+                })) as ValueStream)
+            })
+        };
+        let mut stream = h.wait().unwrap();
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(pulled.load(Ordering::SeqCst), 0, "fully lazy");
+        assert_eq!(stream.next().unwrap().unwrap(), Value::Int(0));
+        assert_eq!(pulled.load(Ordering::SeqCst), 1, "pulls on demand only");
+    }
+
+    #[test]
+    fn panicking_row_stream_parks_an_error_and_the_pool_survives() {
+        // A stream that panics *mid-prefetch* must neither wedge the
+        // consumer (stale `pulling` flag) nor kill the worker (leaked
+        // live/busy counts): the consumer sees the rows, then an error,
+        // then end-of-stream, and the pool keeps serving requests.
+        let pool = WorkerPool::new("t", 1, None);
+        let h = pool.submit(4, move || {
+            Ok(Box::new((0..5).map(|i| {
+                if i >= 2 {
+                    panic!("row stream bug");
+                }
+                Ok(Value::Int(i))
+            })) as ValueStream)
+        });
+        let rows: Vec<_> = h.wait().unwrap().collect();
+        assert_eq!(rows.len(), 3, "two rows, the panic as an error, then end");
+        assert!(rows[0].is_ok() && rows[1].is_ok());
+        assert!(rows[2].as_ref().unwrap_err().to_string().contains("panicked"));
+        // The worker survived with its accounting intact: a second
+        // request on the same limit-1 pool completes.
+        let h = pool.submit(4, move || Ok(rows_stream(3)));
+        assert_eq!(collect(h).len(), 3);
+        assert_eq!(pool.gate().in_flight(), 0);
+        assert_eq!(pool.threads_spawned(), 1);
+    }
+
+    #[test]
+    fn panicking_row_stream_on_the_demand_pull_surfaces_an_error() {
+        // Same stream panic, but hit by the consumer's inline fallback
+        // pull (prefetch exhausts the buffer first; the consumer then
+        // pulls past it... here: depth 1 so the consumer demand-pulls).
+        let pool = WorkerPool::new("t", 1, None);
+        let h = pool.submit(1, move || {
+            Ok(Box::new((0..5).map(|i| {
+                if i >= 3 {
+                    panic!("row stream bug");
+                }
+                Ok(Value::Int(i))
+            })) as ValueStream)
+        });
+        let rows: Vec<_> = h.wait().unwrap().collect();
+        assert_eq!(rows.len(), 4, "three rows, the panic as an error, then end");
+        assert!(rows[3].is_err());
+    }
+
+    #[test]
+    fn error_rows_pass_through_and_end_the_prefetch() {
+        let pool = WorkerPool::new("t", 1, None);
+        let h = pool.submit(4, move || {
+            Ok(Box::new((0..5).map(|i| {
+                if i < 2 {
+                    Ok(Value::Int(i))
+                } else {
+                    Err(KError::eval("row error"))
+                }
+            })) as ValueStream)
+        });
+        let rows: Vec<_> = h.wait().unwrap().collect();
+        assert_eq!(rows.len(), 3, "two rows, one error, then end-of-stream");
+        assert!(rows[0].is_ok() && rows[1].is_ok());
+        assert!(rows[2].is_err());
+    }
+}

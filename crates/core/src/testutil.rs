@@ -1,19 +1,25 @@
 //! Instrumented driver test-double shared by the concurrency test suites
-//! (and a minimal reference implementation of the gated two-phase
-//! [`Driver::submit`]): every request sleeps a configurable delay on its
-//! worker, tracks the high-water mark of concurrent `perform`s, and
-//! enforces its declared `max_concurrent_requests` through a shared
-//! [`RequestGate`] — the same structure as the real Sybase/Entrez/ACE
-//! servers.
+//! (and a minimal reference implementation of the pooled two-phase
+//! [`Driver::submit`]): every request charges a configurable per-request
+//! latency on its pool worker — and optionally a per-row transfer
+//! latency on whoever pulls each row — tracks the high-water mark of
+//! concurrent `perform`s, and enforces its declared
+//! `max_concurrent_requests` through a per-driver [`WorkerPool`] — the
+//! same structure as the real Sybase/Entrez/ACE servers. Construct with
+//! [`SlowDriver::pipelined`] to also advertise a row-prefetch depth and
+//! exercise the row-pipelined execution path.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::driver::{
-    Capabilities, Driver, DriverRequest, RequestGate, RequestHandle, ValueStream,
+    Capabilities, Driver, DriverMetrics, DriverRequest, MetricsSnapshot, RequestGate,
+    RequestHandle, ValueStream,
 };
 use crate::error::KResult;
+use crate::latency::LatencyModel;
+use crate::pool::WorkerPool;
 use crate::value::Value;
 
 /// A simulated slow source for concurrency tests. The instrumentation
@@ -21,8 +27,13 @@ use crate::value::Value;
 pub struct SlowDriver {
     name: String,
     rows: i64,
-    delay: Duration,
     limit: usize,
+    prefetch: usize,
+    /// Request/row latency model (real sleeps).
+    latency: Arc<LatencyModel>,
+    /// The request worker pool (sized to `limit`; public so tests can
+    /// watch thread growth).
+    pub pool: WorkerPool,
     /// The admission gate (public so tests can watch tickets drain).
     pub gate: Arc<RequestGate>,
     /// Requests inside `perform` right now.
@@ -31,40 +42,71 @@ pub struct SlowDriver {
     pub max_seen: Arc<AtomicUsize>,
     /// Total `perform` invocations.
     pub performs: Arc<AtomicU64>,
+    /// Traffic counters (rows shipped, rows prefetched/pulled, ...).
+    pub metrics: Arc<DriverMetrics>,
 }
 
 impl SlowDriver {
     /// A driver named `name` yielding `rows` records per request, each
     /// request costing `delay` of worker time, admitting at most `limit`
-    /// requests at once.
+    /// requests at once. Rows transfer instantly and are never
+    /// prefetched — the PR-3-identical fully-lazy configuration.
     pub fn new(name: &str, rows: i64, delay: Duration, limit: usize) -> Arc<SlowDriver> {
+        SlowDriver::pipelined(name, rows, delay, Duration::ZERO, limit, 0)
+    }
+
+    /// The fully-configurable constructor: per-request latency `delay`,
+    /// per-row transfer latency `row_delay` (charged on whichever thread
+    /// pulls the row — the consumer's when lazy, a pool worker's when
+    /// prefetched), and a row-prefetch advertisement of `prefetch_rows`.
+    pub fn pipelined(
+        name: &str,
+        rows: i64,
+        delay: Duration,
+        row_delay: Duration,
+        limit: usize,
+        prefetch_rows: usize,
+    ) -> Arc<SlowDriver> {
+        let metrics = Arc::new(DriverMetrics::default());
+        let pool = WorkerPool::new(name, limit, Some(Arc::clone(&metrics)));
+        let gate = Arc::clone(pool.gate());
         Arc::new(SlowDriver {
             name: name.into(),
             rows,
-            delay,
             limit,
-            gate: RequestGate::new(limit),
+            prefetch: prefetch_rows,
+            latency: Arc::new(LatencyModel::real(delay, row_delay)),
+            pool,
+            gate,
             current: Arc::new(AtomicUsize::new(0)),
             max_seen: Arc::new(AtomicUsize::new(0)),
             performs: Arc::new(AtomicU64::new(0)),
+            metrics,
         })
     }
 
     fn run(
         rows: i64,
-        delay: Duration,
+        latency: &Arc<LatencyModel>,
         current: &AtomicUsize,
         max_seen: &AtomicUsize,
         performs: &AtomicU64,
+        metrics: &Arc<DriverMetrics>,
     ) -> KResult<ValueStream> {
         performs.fetch_add(1, Ordering::SeqCst);
+        metrics.record_request();
         let now = current.fetch_add(1, Ordering::SeqCst) + 1;
         max_seen.fetch_max(now, Ordering::SeqCst);
-        std::thread::sleep(delay);
+        latency.charge_request();
         current.fetch_sub(1, Ordering::SeqCst);
-        Ok(Box::new(
-            (0..rows).map(|i| Ok(Value::record_from(vec![("n", Value::Int(i))]))),
-        ))
+        let latency = Arc::clone(latency);
+        let metrics = Arc::clone(metrics);
+        Ok(Box::new((0..rows).map(move |i| {
+            latency.charge_row();
+            let v = Value::record_from(vec![("n", Value::Int(i))]);
+            metrics.record_row(v.approx_size());
+            Ok(v)
+        })))
     }
 }
 
@@ -76,6 +118,7 @@ impl Driver for SlowDriver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             max_concurrent_requests: self.limit,
+            prefetch_rows: self.prefetch,
             ..Capabilities::default()
         }
     }
@@ -83,24 +126,35 @@ impl Driver for SlowDriver {
     fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
         SlowDriver::run(
             self.rows,
-            self.delay,
+            &self.latency,
             &self.current,
             &self.max_seen,
             &self.performs,
+            &self.metrics,
         )
     }
 
     fn submit(&self, _req: &DriverRequest) -> KResult<RequestHandle> {
-        let (rows, delay) = (self.rows, self.delay);
+        let rows = self.rows;
+        let latency = Arc::clone(&self.latency);
         let current = Arc::clone(&self.current);
         let max_seen = Arc::clone(&self.max_seen);
         let performs = Arc::clone(&self.performs);
-        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
-            SlowDriver::run(rows, delay, &current, &max_seen, &performs)
+        let metrics = Arc::clone(&self.metrics);
+        Ok(self.pool.submit(self.prefetch, move || {
+            SlowDriver::run(rows, &latency, &current, &max_seen, &performs, &metrics)
         }))
     }
 
     fn nonblocking_submit(&self) -> bool {
         true
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics.reset();
     }
 }

@@ -44,8 +44,12 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             // its stream *now* puts those requests in flight, so the
             // right arm's round-trips overlap consumption of the left
             // arm — the paper's "keep several requests in flight" traded
-            // against strict laziness. Rows are still pulled lazily;
-            // only the request goes out early. Anything that would do
+            // against strict laziness. Rows stay lazy up to the driver's
+            // advertised `prefetch_rows`: a prefetching driver's pool
+            // worker pulls that many rows ahead once the request
+            // completes (so the right arm's row transfer also overlaps
+            // the left arm's consumption), while `prefetch_rows = 0`
+            // drivers ship rows strictly on demand. Anything that would do
             // real work at construction time (locals, joins, cached
             // populations, or submission through a blocking default
             // adapter) stays fully lazy: a consumer that stops inside
@@ -378,6 +382,26 @@ fn prefetchable(e: &Expr, ctx: &Context) -> bool {
 /// working, bounded by its admission gate); the first pull redeems the
 /// handle and then streams rows as before. Dropping the stream unpulled
 /// cancels the request, releasing the driver's admission ticket.
+///
+/// # Row prefetch (`Capabilities::prefetch_rows`)
+///
+/// On drivers advertising a positive `prefetch_rows`, the stream this
+/// redeems is backed by the driver pool's bounded row-prefetch buffer:
+/// the pool worker that performed the request keeps pulling up to
+/// `prefetch_rows` rows ahead of whoever consumes this stream, so
+/// per-row transfer latency overlaps consumer work (and other streams'
+/// rows — union arms and join sides fill their buffers concurrently).
+/// This is the Section-4 laziness trade at *row* granularity, and it
+/// composes with `nonblocking_submit` the same way request prefetch
+/// does: only pool-submitting drivers ever prefetch, so one-method
+/// (default-adapter) drivers and `prefetch_rows = 0` drivers keep the
+/// fully-lazy, byte-identical pull behavior — `first_n` over them ships
+/// exactly the demanded prefix. Over a prefetching driver, `first_n`
+/// may leave up to a buffer's worth of rows shipped-but-unread; dropping
+/// this stream early closes that buffer (stopping refill work at the
+/// next row boundary), drops the buffered rows, and cancels/releases the
+/// request's admission ticket — nothing leaks. A join's inner collection
+/// simply drains the buffer to exhaustion.
 struct PendingStream {
     handle: Option<kleisli_core::RequestHandle>,
     inner: Option<RowStream>,

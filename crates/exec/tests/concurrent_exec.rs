@@ -219,7 +219,9 @@ fn dropped_prefix_stream_frees_the_driver_budget() {
     // The budget must drain fully; a fresh evaluation still works.
     let v = eval(&wrap_ext(scan("gated")), &Env::empty(), &ctx).unwrap();
     assert_eq!(v.len(), Some(8));
+    let t0 = Instant::now();
     while gate.in_flight() != 0 {
+        assert!(t0.elapsed() < Duration::from_secs(2), "admission ticket leaked");
         std::thread::sleep(Duration::from_millis(1));
     }
     // The abandoned queued request ideally never performed; allow the

@@ -182,10 +182,16 @@ mod tests {
             .unwrap();
         assert_eq!(five.len(), 5);
         let m = s.driver_metrics("GDB").unwrap();
+        // This federation's latency model ships rows instantly, so the
+        // driver advertises `prefetch_rows: 0` (there is no per-row
+        // latency to pipeline) and laziness stays strict: only the
+        // demanded prefix crosses the driver boundary. With a per-row
+        // cost the bound would loosen to prefix + prefetch buffer.
         assert!(
             m.rows_shipped <= 6,
             "streamed {} rows for 5 results",
             m.rows_shipped
         );
+        assert_eq!(m.rows_prefetched, 0, "instant rows must not be prefetched");
     }
 }

@@ -31,12 +31,13 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Mutex as StdMutex};
 use std::thread;
 
 use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
 use kleisli_core::{
-    Capabilities, CollKind, DriverRef, KError, KResult, MetricsSnapshot, TableStats, Type, Value,
+    Capabilities, CollKind, DriverRef, KError, KResult, MetricsSnapshot, OneShot, PromiseState,
+    TableStats, Type, Value,
 };
 use kleisli_exec::{eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore};
 use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
@@ -143,18 +144,17 @@ pub enum QueryStatus {
     Finished,
 }
 
-struct QueryState {
-    /// Rows streamed so far, in arrival order (streaming plans only).
-    rows: Vec<Value>,
-    /// The final result; `None` before completion, and again after it has
-    /// been taken by `wait`/`try_wait`.
-    result: Option<KResult<Value>>,
-    finished: bool,
-}
-
+/// Worker/consumer state of one in-flight query. The completion half is
+/// the shared [`kleisli_core::OneShot`] promise — the same primitive the
+/// driver-level `RequestHandle` is built on — and the streamed-row
+/// progress rides next to it: the worker pushes a row (releasing the
+/// rows lock first), then [`OneShot::pulse`]s the promise so `first_n`
+/// waiters re-check how much has arrived.
 struct QueryShared {
-    state: StdMutex<QueryState>,
-    cv: Condvar,
+    /// Rows streamed so far, in arrival order (streaming plans only).
+    rows: StdMutex<Vec<Value>>,
+    /// The final result, set exactly once when evaluation completes.
+    done: OneShot<KResult<Value>>,
     cancel: AtomicBool,
 }
 
@@ -200,12 +200,8 @@ impl QueryHandle {
             _ => kind == Some(CollKind::Set),
         };
         let shared = Arc::new(QueryShared {
-            state: StdMutex::new(QueryState {
-                rows: Vec::new(),
-                result: None,
-                finished: false,
-            }),
-            cv: Condvar::new(),
+            rows: StdMutex::new(Vec::new()),
+            done: OneShot::new(),
             cancel: AtomicBool::new(false),
         });
         let worker = Arc::clone(&shared);
@@ -218,11 +214,7 @@ impl QueryHandle {
                     QueryHandle::run(&worker, &compiled, &ctx, kind)
                 }))
                 .unwrap_or_else(|_| Err(KError::eval("query evaluation panicked")));
-                let mut st = worker.state.lock().unwrap_or_else(|e| e.into_inner());
-                st.result = Some(result);
-                st.finished = true;
-                drop(st);
-                worker.cv.notify_all();
+                worker.done.set(result);
             })
             .expect("spawn query worker");
         QueryHandle { shared, dedup }
@@ -247,52 +239,48 @@ impl QueryHandle {
                 return Err(KError::cancelled("query cancelled"));
             }
             let v = item?;
-            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
-            st.rows.push(v);
-            drop(st);
-            shared.cv.notify_all();
+            let mut rows = shared.rows.lock().unwrap_or_else(|e| e.into_inner());
+            rows.push(v);
+            drop(rows);
+            // Wake first_n waiters to re-count the arrived prefix. The
+            // rows lock is released first: pulse holds the promise lock,
+            // and waiters evaluate their row-count predicate under it.
+            shared.done.pulse();
         }
         // Move the rows out rather than cloning them: first_n's fallback
         // already serves the prefix from the final value when the row
         // buffer is empty.
-        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        let rows = std::mem::take(&mut st.rows);
-        drop(st);
+        let mut rows = shared.rows.lock().unwrap_or_else(|e| e.into_inner());
+        let rows = std::mem::take(&mut *rows);
         Ok(Value::collection(kind, rows))
     }
 
     /// Progress, without blocking.
     pub fn status(&self) -> QueryStatus {
-        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.finished {
-            QueryStatus::Finished
-        } else {
-            QueryStatus::Running
+        match self.shared.done.poll() {
+            PromiseState::Pending => QueryStatus::Running,
+            PromiseState::Ready | PromiseState::Taken => QueryStatus::Finished,
         }
     }
 
     /// Block until evaluation completes and return the full result.
     pub fn wait(self) -> KResult<Value> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        while !st.finished {
-            st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-        st.result
-            .take()
+        self.shared
+            .done
+            .wait()
             .unwrap_or_else(|| Err(KError::eval("query result already taken")))
     }
 
     /// Take the result if evaluation has finished; `None` while running.
     pub fn try_wait(&mut self) -> Option<KResult<Value>> {
-        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-        if st.finished {
-            Some(
-                st.result
-                    .take()
+        match self.shared.done.poll() {
+            PromiseState::Pending => None,
+            PromiseState::Ready | PromiseState::Taken => Some(
+                self.shared
+                    .done
+                    .try_wait()
                     .unwrap_or_else(|| Err(KError::eval("query result already taken"))),
-            )
-        } else {
-            None
+            ),
         }
     }
 
@@ -303,51 +291,83 @@ impl QueryHandle {
     /// duplicate-free — duplicates do not count toward `n`. An
     /// evaluation error arriving before `n` rows propagates.
     pub fn first_n(self, n: usize) -> KResult<Vec<Value>> {
-        let prefix;
+        // Block until enough rows arrived or the promise resolved. The
+        // worker pushes each row (releasing the rows lock) and then
+        // pulses the promise, so the predicate re-runs per row. The
+        // wakeup check only needs a count (capped at `n`), maintained
+        // *incrementally* across pulses: each wakeup scans only the rows
+        // that arrived since the last one, so a long stream of
+        // duplicates costs O(rows) hashing total, not O(rows^2).
         {
-            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
-            // The wakeup check only needs a count (capped at `n`), not
-            // the prefix itself — no Value clones per wakeup.
-            let available = |rows: &[Value]| -> usize {
-                if self.dedup {
-                    distinct_count(rows, n)
-                } else {
-                    rows.len().min(n)
+            let mut seen: HashSet<Value> = HashSet::new();
+            let mut scanned = 0usize;
+            self.shared.done.wait_until(|| {
+                let rows = self.shared.rows.lock().unwrap_or_else(|e| e.into_inner());
+                if !self.dedup {
+                    return rows.len() >= n;
                 }
-            };
-            while available(&st.rows) < n && !st.finished {
-                st = self.shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
-            }
-            if available(&st.rows) < n && st.finished {
-                // The query ended before `n` rows streamed in.
-                match st.result.take() {
-                    // Eager fallback: serve the prefix from the final
-                    // value (streamed rows are empty on this path).
-                    Some(Ok(v)) if st.rows.is_empty() => {
-                        return match v.elements() {
-                            Some(es) => Ok(if self.dedup {
-                                distinct_prefix(es, n)
-                            } else {
-                                es.iter().take(n).cloned().collect()
-                            }),
-                            None => Err(KError::eval(format!(
-                                "cannot take a row prefix of a non-collection ({})",
-                                v.kind_name()
-                            ))),
-                        };
+                while scanned < rows.len() && seen.len() < n {
+                    // contains-before-insert bounds the deep clones to
+                    // at most `n` distinct values; duplicate rows (the
+                    // common case on this path) cost only a hash.
+                    if !seen.contains(&rows[scanned]) {
+                        seen.insert(rows[scanned].clone());
                     }
-                    // An error arriving before `n` rows propagates.
-                    Some(Err(e)) => return Err(e),
-                    // Finished clean with fewer than n rows: fall through
-                    // and return what streamed in.
-                    _ => {}
+                    scanned += 1;
                 }
-            }
-            prefix = if self.dedup {
-                distinct_prefix(&st.rows, n)
+                seen.len() >= n
+            });
+        }
+        // Snapshot the streamed prefix *before* inspecting the result:
+        // the worker's completion path moves its rows into the final
+        // collection, and deciding on a stale count here would race that
+        // move and return a short (even empty) prefix for a query that
+        // streamed plenty.
+        let prefix = {
+            let rows = self.shared.rows.lock().unwrap_or_else(|e| e.into_inner());
+            if self.dedup {
+                distinct_prefix(&rows, n)
             } else {
-                st.rows.iter().take(n).cloned().collect()
+                rows.iter().take(n).cloned().collect::<Vec<_>>()
+            }
+        };
+        if prefix.len() < n {
+            // Not enough in the stream buffer. Either the promise has
+            // resolved (wait_until only returns early on promise set),
+            // or the worker is mid-completion: it has already moved its
+            // rows into the final collection but not yet set the promise
+            // (the take and the set are separate steps). In the latter
+            // case the set is imminent — block for it; the row count is
+            // monotone until the take, so a short snapshot proves the
+            // take happened.
+            let result = match self.shared.done.try_wait() {
+                some @ Some(_) => some,
+                None => self.shared.done.wait(),
             };
+            match result {
+                Some(Ok(v)) => {
+                    // Serve the prefix from the final value: the eager
+                    // fallback, and the streaming worker's completion
+                    // path (whose collection holds every streamed row,
+                    // superseding whatever snapshot we took above).
+                    return match v.elements() {
+                        Some(es) => Ok(if self.dedup {
+                            distinct_prefix(es, n)
+                        } else {
+                            es.iter().take(n).cloned().collect()
+                        }),
+                        None => Err(KError::eval(format!(
+                            "cannot take a row prefix of a non-collection ({})",
+                            v.kind_name()
+                        ))),
+                    };
+                }
+                // An error arriving before `n` rows propagates.
+                Some(Err(e)) => return Err(e),
+                // Result already taken (impossible for an owned handle):
+                // serve the streamed rows.
+                None => {}
+            }
         }
         // Enough rows arrived (or the stream ended): the rest of the
         // evaluation is wasted work.
@@ -358,7 +378,7 @@ impl QueryHandle {
     /// Stop the evaluation cooperatively (see the type docs). Idempotent.
     pub fn cancel(&self) {
         self.shared.cancel.store(true, Ordering::Release);
-        self.shared.cv.notify_all();
+        self.shared.done.pulse();
     }
 }
 
@@ -381,19 +401,6 @@ fn distinct_prefix(rows: &[Value], n: usize) -> Vec<Value> {
         }
     }
     out
-}
-
-/// How many distinct rows are available, counting no further than `cap`
-/// (clone-free: hashes references only).
-fn distinct_count(rows: &[Value], cap: usize) -> usize {
-    let mut seen: HashSet<&Value> = HashSet::new();
-    for v in rows {
-        if seen.len() >= cap {
-            break;
-        }
-        seen.insert(v);
-    }
-    seen.len().min(cap)
 }
 
 /// A CPL/Kleisli session. Drivers are registered once; `define`s

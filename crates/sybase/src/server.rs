@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestGate, RequestHandle, TableStats, Value, ValueStream,
+    MetricsSnapshot, RequestHandle, TableStats, Value, ValueStream, WorkerPool,
 };
 
 use crate::sql::{self, CmpOp, ColRef, Operand, Pred, Query, SelectList};
@@ -360,13 +360,16 @@ fn compare(a: &Datum, op: CmpOp, b: &Datum) -> bool {
 /// latency model per request and per shipped row, and counts traffic in
 /// its metrics — the observables for the pushdown experiments.
 ///
-/// Implements the two-phase driver API: `submit` spawns the request onto
-/// a worker gated by the server's admission budget
-/// (`max_concurrent_requests`), so submission never blocks the caller on
-/// the latency model and in-flight requests never exceed the budget.
+/// Implements the two-phase driver API: `submit` queues the request on
+/// the server's worker pool (at most `max_concurrent_requests` threads,
+/// reused across requests), so submission never blocks the caller on the
+/// latency model and in-flight requests never exceed the budget. The
+/// pool worker that performed a request also prefetches up to
+/// [`SYBASE_PREFETCH_ROWS`] rows ahead of the consumer, pipelining the
+/// per-row transfer latency.
 pub struct SybaseServer {
     core: Arc<SybaseCore>,
-    gate: Arc<RequestGate>,
+    pool: WorkerPool,
 }
 
 /// The server's shared state, `Arc`'d so request workers can outlive the
@@ -386,8 +389,12 @@ impl SybaseServer {
             latency: Arc::new(latency),
             metrics: Arc::new(DriverMetrics::default()),
         });
-        let gate = RequestGate::new(SYBASE_CONCURRENT_REQUESTS);
-        SybaseServer { core, gate }
+        let pool = WorkerPool::new(
+            "sybase",
+            SYBASE_CONCURRENT_REQUESTS,
+            Some(Arc::clone(&core.metrics)),
+        );
+        SybaseServer { core, pool }
     }
 
     /// Mutable access for loading data (not part of the driver surface).
@@ -403,6 +410,14 @@ impl SybaseServer {
 /// The paper-era Sybase front end tolerated a moderate number of open
 /// connections; this is the enforced admission budget.
 const SYBASE_CONCURRENT_REQUESTS: usize = 8;
+
+/// How many rows a pool worker pulls ahead of the consumer per request
+/// (bounded laziness traded for row pipelining; see
+/// `Capabilities::prefetch_rows`). Small: SQL result rows are wide.
+/// Advertised only when the server's latency model charges a per-row
+/// transfer cost — with instant rows there is no latency to hide, and
+/// the buffer handoff would be pure overhead.
+pub const SYBASE_PREFETCH_ROWS: usize = 32;
 
 impl SybaseCore {
     /// One full request round-trip: charge the request latency, run the
@@ -471,6 +486,9 @@ impl Driver for SybaseServer {
             path_extraction: false,
             links: false,
             max_concurrent_requests: SYBASE_CONCURRENT_REQUESTS,
+            // 0 unless the latency model realizes a real per-row sleep:
+            // prefetch pipelines wall-clock transfer latency only.
+            prefetch_rows: self.core.latency.effective_prefetch(SYBASE_PREFETCH_ROWS),
         }
     }
 
@@ -481,9 +499,8 @@ impl Driver for SybaseServer {
     fn submit(&self, req: &DriverRequest) -> KResult<RequestHandle> {
         let core = Arc::clone(&self.core);
         let req = req.clone();
-        Ok(RequestHandle::spawn(Arc::clone(&self.gate), move || {
-            core.perform(&req)
-        }))
+        let prefetch = self.capabilities().prefetch_rows;
+        Ok(self.pool.submit(prefetch, move || core.perform(&req)))
     }
 
     fn nonblocking_submit(&self) -> bool {
@@ -688,6 +705,10 @@ mod tests {
             let rows: Vec<_> = h.wait().unwrap().collect::<KResult<_>>().unwrap();
             assert_eq!(rows.len(), 20);
         }
-        assert_eq!(server.gate.in_flight(), 0, "all tickets released");
+        assert_eq!(server.pool.gate().in_flight(), 0, "all tickets released");
+        assert!(
+            server.pool.threads_spawned() <= SYBASE_CONCURRENT_REQUESTS,
+            "pool threads bounded by the admission budget"
+        );
     }
 }

@@ -113,8 +113,10 @@ fn cancelled_handle_frees_the_driver_budget_for_later_queries() {
         .wait()
         .expect("wait");
     assert_eq!(v.len(), Some(2));
-    // Every ticket drains.
+    // Every ticket drains (bounded: a leak must fail, not hang).
+    let t0 = Instant::now();
     while gate.in_flight() != 0 {
+        assert!(t0.elapsed() < Duration::from_secs(2), "admission ticket leaked");
         std::thread::sleep(Duration::from_millis(1));
     }
 }
@@ -194,4 +196,33 @@ fn two_queries_in_flight_on_one_session() {
         elapsed < 2 * delay - delay / 6,
         "two overlapped queries must beat back-to-back execution: {elapsed:?}"
     );
+}
+
+#[test]
+fn session_queries_prefetch_rows_on_latency_charging_drivers() {
+    // End-to-end through the real federation: with a per-row transfer
+    // cost the drivers advertise a prefetch depth, so a session query's
+    // rows are pulled ahead by pool workers — visible in the new
+    // rows_prefetched counter — and the answer matches the instant
+    // (fully lazy, prefetch-0) federation's.
+    use bench_harness::{latency_federation, latency_federation_rows};
+    use std::time::Duration as D;
+
+    let q = r#"{[s = l.locus_symbol] | \l <- GDB-Tab("locus")}"#;
+    let (pre_session, _pre_fed) =
+        latency_federation_rows(25, D::from_millis(1), D::from_micros(200));
+    let (lazy_session, _lazy_fed) = latency_federation(25, D::from_millis(1));
+
+    let pre = pre_session.query(q).expect("prefetching query");
+    let lazy = lazy_session.query(q).expect("lazy query");
+    assert_eq!(pre, lazy, "row prefetch must not change the answer");
+
+    let m = pre_session.driver_metrics("GDB").unwrap();
+    assert!(
+        m.rows_prefetched > 0,
+        "a per-row-latency driver must prefetch rows ahead of the consumer"
+    );
+    assert!(m.rows_pulled >= m.rows_prefetched);
+    let m0 = lazy_session.driver_metrics("GDB").unwrap();
+    assert_eq!(m0.rows_prefetched, 0, "instant rows must not be prefetched");
 }
