@@ -9,7 +9,7 @@
 //! machinery ("bulk load").
 //!
 //! * [`store`] — classes, named objects with OIDs, tag-value trees.
-//! * [`format`] — the `.ace` bulk-load text format (parse and print).
+//! * [`mod@format`] — the `.ace` bulk-load text format (parse and print).
 //! * [`server`] — the ACE `Driver` for `[class = ..., name = ...]`
 //!   requests.
 

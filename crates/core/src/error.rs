@@ -7,7 +7,14 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum KError {
     /// Surface-syntax error with 1-based position information.
-    Parse { msg: String, line: u32, col: u32 },
+    Parse {
+        /// What went wrong.
+        msg: String,
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+    },
     /// Static type error.
     Type(String),
     /// An unbound variable or undefined function name.
@@ -15,16 +22,27 @@ pub enum KError {
     /// Runtime evaluation error (wrong shapes, missing fields, ...).
     Eval(String),
     /// A data-source driver failed.
-    Driver { driver: String, msg: String },
+    Driver {
+        /// The registered name of the failing driver.
+        driver: String,
+        /// What the driver reported.
+        msg: String,
+    },
     /// Malformed token stream / exchange text.
     Exchange(String),
     /// Malformed native-format data (SQL, ASN.1, ACE, FASTA, ...).
-    Format { format: String, msg: String },
+    Format {
+        /// Which format was being read (e.g. `"fasta"`).
+        format: String,
+        /// What was malformed.
+        msg: String,
+    },
     /// A submitted request or query was cancelled before completion.
     Cancelled(String),
 }
 
 impl KError {
+    /// A [`KError::Parse`] at the given 1-based position.
     pub fn parse(msg: impl Into<String>, line: u32, col: u32) -> KError {
         KError::Parse {
             msg: msg.into(),
@@ -33,14 +51,17 @@ impl KError {
         }
     }
 
+    /// A runtime [`KError::Eval`].
     pub fn eval(msg: impl Into<String>) -> KError {
         KError::Eval(msg.into())
     }
 
+    /// A static [`KError::Type`] error.
     pub fn ty(msg: impl Into<String>) -> KError {
         KError::Type(msg.into())
     }
 
+    /// A [`KError::Driver`] failure attributed to `driver`.
     pub fn driver(driver: impl Into<String>, msg: impl Into<String>) -> KError {
         KError::Driver {
             driver: driver.into(),
@@ -48,10 +69,12 @@ impl KError {
         }
     }
 
+    /// A malformed-exchange-stream [`KError::Exchange`] error.
     pub fn exchange(msg: impl Into<String>) -> KError {
         KError::Exchange(msg.into())
     }
 
+    /// A [`KError::Format`] error in the named native format.
     pub fn format(format: impl Into<String>, msg: impl Into<String>) -> KError {
         KError::Format {
             format: format.into(),
@@ -59,6 +82,7 @@ impl KError {
         }
     }
 
+    /// A [`KError::Cancelled`] resolution for an abandoned request/query.
     pub fn cancelled(msg: impl Into<String>) -> KError {
         KError::Cancelled(msg.into())
     }

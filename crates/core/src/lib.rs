@@ -12,18 +12,26 @@
 //!   homogeneous-projection fast path (Section 4 of the paper).
 //! * [`token`] — token streams and the textual exchange format used
 //!   between the system and its drivers.
-//! * [`print`] — CPL-syntax, HTML, and tabular printers.
+//! * [`mod@print`] — CPL-syntax, HTML, and tabular printers.
 //! * [`driver`] — the driver trait, request language, capabilities,
 //!   statistics, and traffic metrics.
-//! * [`pool`] — per-driver worker pools and the bounded row-prefetch
+//! * [`pool`] — per-driver worker pools and the adaptive row-prefetch
 //!   buffer (row-pipelined execution).
+//! * [`executor`] — the shared session-level compute executor behind
+//!   query workers and `ParExt` chunk evaluation.
 //! * [`oneshot`] — the shared one-shot promise behind every
 //!   submit-now/redeem-later handle.
 //! * [`latency`] — the simulated wide-area latency model.
 //! * [`error`] — the shared error type.
 
+// Every public item of the concurrency stack (and the data model under
+// it) is contributor-facing API: keep it documented. ARCHITECTURE.md at
+// the repo root links into these module docs.
+#![warn(missing_docs)]
+
 pub mod driver;
 pub mod error;
+pub mod executor;
 pub mod latency;
 pub mod oneshot;
 pub mod pool;
@@ -39,6 +47,7 @@ pub use driver::{
     RequestGate, RequestHandle, RequestStatus, TableStats, ValueStream,
 };
 pub use error::{KError, KResult};
+pub use executor::Executor;
 pub use latency::LatencyModel;
 pub use oneshot::{OneShot, PromiseState};
 pub use pool::WorkerPool;

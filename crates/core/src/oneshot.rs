@@ -48,6 +48,27 @@ struct Slot<T> {
 }
 
 /// A set-once / take-once promise cell (see the module docs).
+///
+/// ```
+/// use std::sync::Arc;
+/// use kleisli_core::{OneShot, PromiseState};
+///
+/// let promise: Arc<OneShot<i64>> = Arc::new(OneShot::new());
+/// assert_eq!(promise.poll(), PromiseState::Pending);
+///
+/// // A producer (here: another thread) fulfils the promise exactly once.
+/// let producer = Arc::clone(&promise);
+/// let worker = std::thread::spawn(move || {
+///     assert!(producer.set(42));
+///     assert!(!producer.set(7), "second set is rejected, not overwritten");
+/// });
+///
+/// // The consumer blocks until the value is parked, then takes it.
+/// assert_eq!(promise.wait(), Some(42));
+/// assert_eq!(promise.poll(), PromiseState::Taken);
+/// assert_eq!(promise.wait(), None, "take-once: the value moved out");
+/// worker.join().unwrap();
+/// ```
 pub struct OneShot<T> {
     state: Mutex<Slot<T>>,
     cv: Condvar,

@@ -24,7 +24,7 @@
 //! driver advertises [`crate::driver::Capabilities::prefetch_rows`] `> 0`, the pool
 //! worker that performed a request keeps going after parking the result:
 //! it eagerly pulls up to `prefetch_rows` rows from the driver stream
-//! into a bounded [`RowBuf`], ahead of the consumer. The consumer drains
+//! into a bounded `RowBuf`, ahead of the consumer. The consumer drains
 //! the buffer (waking refill work as it goes — backpressure is the
 //! buffer bound itself: a full buffer parks the stream and frees the
 //! worker), and falls back to pulling inline whenever no prefetched row
@@ -37,11 +37,40 @@
 //! parks the driver's stream untouched and the consumer pulls every row
 //! on its own clock — byte-identical to the fully-lazy behavior, which
 //! is what strictly-lazy consumers (and the laziness tests) rely on.
+//!
+//! # Adaptive depth
+//!
+//! [`crate::driver::Capabilities::prefetch_rows`] is a **ceiling**, not
+//! the working depth: each request's `RowBuf` adapts its *effective*
+//! depth between `0` and that ceiling to the consumer it is actually
+//! serving. The buffer compares the consumer's drain rate against the
+//! per-row latency it observes (an EWMA over its own pulls):
+//!
+//! * a **starved** consumer — one that found the buffer empty and had
+//!   to wait for a mid-pull worker or pull inline itself — is draining
+//!   faster than rows arrive, so the depth doubles (up to the ceiling):
+//!   bursty consumers get the full pipeline;
+//! * a consumer that keeps finding the buffer **full**, with more time
+//!   between its pulls than a row costs to fetch, is slower than the
+//!   source, so the depth halves — all the way to `0`, at which point
+//!   refills stop entirely and every remaining row ships lazily on
+//!   demand: slow consumers stop paying buffer memory, worker time, and
+//!   rows-shipped-but-never-read for pipelining they cannot use;
+//! * a collapsed (`0`-depth) buffer re-opens to depth `1` only when the
+//!   demand pulls themselves prove the consumer is latency-bound again
+//!   (pull-to-pull gap within twice the observed row cost).
+//!
+//! A depth clamped to `0` behaves byte-identically to the fully-lazy
+//! `prefetch_rows = 0` path from that point on — the regression tests
+//! assert both the equivalence and that refill traffic stops. Every
+//! depth change is counted in [`DriverMetrics`]
+//! (`prefetch_grows` / `prefetch_shrinks`).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::driver::{DriverMetrics, ReqShared, RequestGate, RequestHandle, ValueStream};
 use crate::error::{KError, KResult};
@@ -142,8 +171,10 @@ impl WorkerPool {
     /// handle immediately. The request queues as data until a pool
     /// worker picks it up, acquires an admission ticket, and runs it; a
     /// panic in `work` parks a driver error for every waiter. With
-    /// `prefetch > 0`, the worker keeps pulling up to `prefetch` rows
-    /// into a bounded buffer after the request completes (module docs).
+    /// `prefetch > 0`, the worker keeps pulling rows into a bounded
+    /// buffer after the request completes — `prefetch` is the ceiling;
+    /// the buffer's effective depth adapts to the consumer (module
+    /// docs).
     pub fn submit<F>(&self, prefetch: usize, work: F) -> RequestHandle
     where
         F: FnOnce() -> KResult<ValueStream> + Send + 'static,
@@ -377,6 +408,12 @@ fn guarded_drop(s: ValueStream) {
     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(s)));
 }
 
+/// How much longer than a row's fetch cost the consumer's pull-to-pull
+/// gap must be before a full buffer counts as evidence the consumer is
+/// slow (shrink signal). The absolute floor keeps near-instant rows —
+/// whose EWMA cost is ~0 — from shrinking on scheduler noise.
+const SHRINK_GAP_FLOOR: Duration = Duration::from_micros(200);
+
 struct BufState {
     rows: VecDeque<KResult<Value>>,
     /// The underlying driver stream, parked here whenever nobody is
@@ -388,13 +425,36 @@ struct BufState {
     refill_queued: bool,
     exhausted: bool,
     closed: bool,
+    /// The effective prefetch depth right now, adapted between `0` and
+    /// `RowBuf::max_depth` (module docs, "Adaptive depth").
+    depth: usize,
+    /// EWMA of the observed cost of pulling one row from the driver
+    /// stream, in nanoseconds — the latency side of the drain-rate
+    /// comparison.
+    ewma_pull_ns: u64,
+    /// When the consumer last took a row — the drain-rate side.
+    last_pop: Option<Instant>,
+}
+
+impl BufState {
+    /// Fold one observed pull duration into the per-row cost EWMA.
+    fn observe_pull(&mut self, took: Duration) {
+        let sample = took.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.ewma_pull_ns = if self.ewma_pull_ns == 0 {
+            sample
+        } else {
+            (3 * self.ewma_pull_ns + sample) / 4
+        };
+    }
 }
 
 /// A bounded buffer of rows pulled ahead of the consumer (module docs).
 pub(crate) struct RowBuf {
     state: Mutex<BufState>,
     cv: Condvar,
-    capacity: usize,
+    /// The advertised `Capabilities::prefetch_rows` — the ceiling the
+    /// adaptive depth may grow back up to.
+    max_depth: usize,
     pool: Weak<PoolCore>,
     metrics: Option<Arc<DriverMetrics>>,
 }
@@ -402,21 +462,27 @@ pub(crate) struct RowBuf {
 impl RowBuf {
     fn new(
         stream: ValueStream,
-        capacity: usize,
+        max_depth: usize,
         pool: Weak<PoolCore>,
         metrics: Option<Arc<DriverMetrics>>,
     ) -> Arc<RowBuf> {
         Arc::new(RowBuf {
             state: Mutex::new(BufState {
-                rows: VecDeque::with_capacity(capacity.min(1024)),
+                rows: VecDeque::with_capacity(max_depth.min(1024)),
                 stream: Some(stream),
                 pulling: false,
                 refill_queued: false,
                 exhausted: false,
                 closed: false,
+                // Start at the ceiling: the first consumer impression
+                // is full pipelining, and only observed slowness gives
+                // it up (bursty consumers never pay a warm-up).
+                depth: max_depth,
+                ewma_pull_ns: 0,
+                last_pop: None,
             }),
             cv: Condvar::new(),
-            capacity,
+            max_depth,
             pool,
             metrics,
         })
@@ -440,8 +506,11 @@ impl RowBuf {
         st: std::sync::MutexGuard<'b, BufState>,
     ) -> (std::sync::MutexGuard<'b, BufState>, Option<KResult<Value>>) {
         drop(st);
+        let t0 = Instant::now();
         let item = guarded_next(&mut s);
+        let took = t0.elapsed();
         let mut st = buf.lock();
+        st.observe_pull(took);
         st.pulling = false;
         let row = match item {
             Ok(None) => {
@@ -470,10 +539,12 @@ impl RowBuf {
         (st, row)
     }
 
-    /// Pull rows from the parked stream until the buffer is full, the
-    /// stream ends (or errors, or panics), or the consumer closes it.
-    /// Runs on a pool worker; the buffer lock is *not* held across
-    /// pulls, so the consumer drains concurrently.
+    /// Pull rows from the parked stream until the buffer holds the
+    /// current *effective* depth, the stream ends (or errors, or
+    /// panics), or the consumer closes it. Runs on a pool worker; the
+    /// buffer lock is *not* held across pulls, so the consumer drains
+    /// concurrently (and may shrink the depth mid-refill — the bound is
+    /// re-read every iteration).
     fn refill(buf: &Arc<RowBuf>) {
         let mut st = buf.lock();
         st.refill_queued = false;
@@ -482,7 +553,7 @@ impl RowBuf {
                 st.stream = None; // drop the driver stream: rows stop here
                 break;
             }
-            if st.pulling || st.exhausted || st.rows.len() >= buf.capacity {
+            if st.pulling || st.exhausted || st.rows.len() >= st.depth {
                 break;
             }
             let Some(s) = st.stream.take() else { break };
@@ -504,14 +575,16 @@ impl RowBuf {
     }
 
     /// Queue a refill if one is useful and none is active. Called with
-    /// the state lock held (lock order: buffer, then pool queue).
+    /// the state lock held (lock order: buffer, then pool queue). A
+    /// depth clamped to `0` schedules nothing — the collapsed buffer is
+    /// in fully-lazy demand-pull mode.
     fn maybe_schedule(buf: &Arc<RowBuf>, st: &mut BufState) {
         if st.refill_queued
             || st.pulling
             || st.exhausted
             || st.closed
             || st.stream.is_none()
-            || st.rows.len() >= buf.capacity
+            || st.rows.len() >= st.depth
         {
             return;
         }
@@ -519,6 +592,48 @@ impl RowBuf {
         st.refill_queued = true;
         let b = Arc::clone(buf);
         core.spawn_task(Box::new(move || RowBuf::refill(&b)));
+    }
+
+    /// The adaptive-depth decision, taken once per row handed to the
+    /// consumer (module docs, "Adaptive depth"). `starved` — the
+    /// consumer found the buffer empty on this pull (it waited for a
+    /// mid-pull worker or pulled inline itself); `was_full` — the
+    /// buffer held a full effective depth when the consumer arrived.
+    fn note_pop(&self, st: &mut BufState, starved: bool, was_full: bool) {
+        let now = Instant::now();
+        let gap = st.last_pop.map(|t| now.duration_since(t));
+        st.last_pop = Some(now);
+        let ewma = Duration::from_nanos(st.ewma_pull_ns);
+        if starved {
+            if st.depth == 0 {
+                // Collapsed buffer: re-open only when the demand pulls
+                // prove the consumer is latency-bound again — back-to-
+                // back pulls separated by little more than the row cost.
+                let hungry = matches!(gap, Some(g) if ewma > Duration::ZERO && g <= 2 * ewma);
+                if hungry {
+                    st.depth = 1;
+                    if let Some(m) = &self.metrics {
+                        m.record_prefetch_grow();
+                    }
+                }
+            } else if st.depth < self.max_depth {
+                st.depth = (st.depth * 2).min(self.max_depth);
+                if let Some(m) = &self.metrics {
+                    m.record_prefetch_grow();
+                }
+            }
+        } else if was_full && st.depth > 0 {
+            // The producer refilled the whole window while the consumer
+            // was away; only treat that as slowness once the consumer's
+            // gap clearly exceeds what a row costs to fetch.
+            let slow = matches!(gap, Some(g) if g > (4 * ewma).max(SHRINK_GAP_FLOOR));
+            if slow {
+                st.depth /= 2;
+                if let Some(m) = &self.metrics {
+                    m.record_prefetch_shrink();
+                }
+            }
+        }
     }
 }
 
@@ -541,8 +656,13 @@ impl Iterator for PrefetchedStream {
     fn next(&mut self) -> Option<Self::Item> {
         let buf = &self.buf;
         let mut st = buf.lock();
+        // Whether this pull ever found the buffer empty — the grow
+        // signal for the adaptive depth.
+        let mut starved = false;
         loop {
+            let was_full = st.depth > 0 && st.rows.len() >= st.depth;
             if let Some(row) = st.rows.pop_front() {
+                buf.note_pop(&mut st, starved, was_full);
                 // Keep the worker ahead of us now that there is space.
                 RowBuf::maybe_schedule(buf, &mut st);
                 if row.is_ok() {
@@ -552,6 +672,7 @@ impl Iterator for PrefetchedStream {
                 }
                 return Some(row);
             }
+            starved = true;
             if st.exhausted || st.closed {
                 return None;
             }
@@ -562,8 +683,9 @@ impl Iterator for PrefetchedStream {
                     return None;
                 };
                 // Demand pull on the consumer's clock — the fallback that
-                // keeps the stream alive without any pool worker. Same
-                // pull protocol as the refill worker (RowBuf::pull_one).
+                // keeps the stream alive without any pool worker (and the
+                // only path a depth-0 buffer ships rows on). Same pull
+                // protocol as the refill worker (RowBuf::pull_one).
                 st.pulling = true;
                 let (st2, row) = RowBuf::pull_one(buf, s, st);
                 st = st2;
@@ -572,6 +694,7 @@ impl Iterator for PrefetchedStream {
                         if let Some(m) = &buf.metrics {
                             m.record_pulled_row();
                         }
+                        buf.note_pop(&mut st, true, false);
                         RowBuf::maybe_schedule(buf, &mut st);
                     }
                 }
@@ -871,6 +994,111 @@ mod tests {
         let rows: Vec<_> = h.wait().unwrap().collect();
         assert_eq!(rows.len(), 4, "three rows, the panic as an error, then end");
         assert!(rows[3].is_err());
+    }
+
+    /// A stream of `n` rows, each costing `row_delay` of real latency,
+    /// counting how many ever left the driver.
+    fn slow_rows(n: i64, row_delay: Duration, pulled: &Arc<AtomicU64>) -> ValueStream {
+        let pulled = Arc::clone(pulled);
+        Box::new((0..n).map(move |i| {
+            thread::sleep(row_delay);
+            pulled.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::Int(i))
+        }))
+    }
+
+    #[test]
+    fn a_slow_consumer_shrinks_the_depth_until_prefetch_stops() {
+        // Rows cost ~1 ms; the consumer takes ~10 ms per row. The buffer
+        // keeps refilling to a full window the consumer cannot use, so
+        // the adaptive depth must halve its way to 0, after which the
+        // remaining rows ship strictly on demand — the clamped-to-0
+        // state is byte-identical to the fully-lazy path.
+        let metrics = Arc::new(DriverMetrics::default());
+        let pool = WorkerPool::new("t", 1, Some(Arc::clone(&metrics)));
+        let pulled = Arc::new(AtomicU64::new(0));
+        let h = {
+            let pulled = Arc::clone(&pulled);
+            pool.submit(8, move || Ok(slow_rows(60, Duration::from_millis(1), &pulled)))
+        };
+        let mut stream = h.wait().unwrap();
+        let mut rows = Vec::new();
+        for _ in 0..20 {
+            rows.push(stream.next().unwrap().unwrap());
+            thread::sleep(Duration::from_millis(10));
+        }
+        let snap = metrics.snapshot();
+        assert!(
+            snap.prefetch_shrinks >= 4,
+            "a consumer 10x slower than the source must collapse the depth \
+             (shrinks: {})",
+            snap.prefetch_shrinks
+        );
+        // Once collapsed, refills stop: from here on, rows leave the
+        // driver only when the consumer asks for them.
+        let shipped_at_collapse = pulled.load(Ordering::SeqCst);
+        let consumed = rows.len() as u64;
+        for _ in 0..10 {
+            rows.push(stream.next().unwrap().unwrap());
+            thread::sleep(Duration::from_millis(10));
+        }
+        let shipped_now = pulled.load(Ordering::SeqCst);
+        assert!(
+            shipped_now <= shipped_at_collapse.max(consumed) + 10 + 1,
+            "a collapsed buffer must ship rows on demand only \
+             ({shipped_at_collapse} shipped at collapse, {shipped_now} after 10 more pulls)"
+        );
+        assert_eq!(rows, (0..30).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_fast_consumer_regrows_a_collapsed_depth() {
+        let metrics = Arc::new(DriverMetrics::default());
+        let pool = WorkerPool::new("t", 1, Some(Arc::clone(&metrics)));
+        let pulled = Arc::new(AtomicU64::new(0));
+        let h = {
+            let pulled = Arc::clone(&pulled);
+            pool.submit(8, move || Ok(slow_rows(200, Duration::from_millis(1), &pulled)))
+        };
+        let mut stream = h.wait().unwrap();
+        // Phase 1: drain slowly until the depth has collapsed.
+        let mut rows = Vec::new();
+        let t0 = std::time::Instant::now();
+        while metrics.snapshot().prefetch_shrinks < 4 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "depth never collapsed (shrinks: {})",
+                metrics.snapshot().prefetch_shrinks
+            );
+            rows.push(stream.next().unwrap().unwrap());
+            thread::sleep(Duration::from_millis(10));
+        }
+        // Phase 2: drain as fast as the rows arrive. The demand pulls
+        // prove the consumer is latency-bound and the depth re-opens.
+        // Every pull is a fresh chance at the hungry condition (gap
+        // within 2x the ~1 ms row cost), so one descheduled gap on a
+        // loaded runner costs a retry, not the test — only a window
+        // that never re-opens across the whole remaining stream fails.
+        loop {
+            match stream.next() {
+                Some(row) => rows.push(row.unwrap()),
+                None => break,
+            }
+            if metrics.snapshot().prefetch_grows >= 1 {
+                break;
+            }
+        }
+        let snap = metrics.snapshot();
+        assert!(
+            snap.prefetch_grows >= 1,
+            "a consumer pulling at row speed must re-open the window \
+             (grows: {}, shrinks: {}, rows seen: {})",
+            snap.prefetch_grows,
+            snap.prefetch_shrinks,
+            rows.len()
+        );
+        let n = rows.len() as i64;
+        assert_eq!(rows, (0..n).map(Value::Int).collect::<Vec<_>>());
     }
 
     #[test]

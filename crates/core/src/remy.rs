@@ -261,6 +261,7 @@ pub struct CachedProjector {
 }
 
 impl CachedProjector {
+    /// A projector for the named field with a cold offset cache.
     pub fn new(field: impl AsRef<str>) -> CachedProjector {
         CachedProjector {
             field: Arc::from(field.as_ref()),

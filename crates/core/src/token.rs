@@ -15,20 +15,31 @@ use crate::value::{CollKind, Oid, Value};
 /// One token of the exchange stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Token {
+    /// The unit value `()`.
     Unit,
+    /// A boolean literal.
     Bool(bool),
+    /// An integer literal.
     Int(i64),
+    /// A float literal.
     Float(f64),
+    /// A string literal.
     Str(Arc<str>),
+    /// Opens a collection of the given kind; closed by [`Token::EndColl`].
     StartColl(CollKind),
+    /// Closes the innermost open collection.
     EndColl,
+    /// Opens a record; closed by [`Token::EndRecord`].
     StartRecord,
     /// Introduces the next record field; followed by that field's value.
     Field(Arc<str>),
+    /// Closes the innermost open record.
     EndRecord,
     /// Introduces a variant; followed by the payload value.
     StartVariant(Arc<str>),
+    /// Closes the innermost open variant.
     EndVariant,
+    /// An object reference by identity.
     Ref(Oid),
 }
 
@@ -44,6 +55,7 @@ enum Frame {
 }
 
 impl Tokenizer {
+    /// A tokenizer that will emit `v`'s token stream.
     pub fn new(v: Value) -> Tokenizer {
         Tokenizer {
             stack: vec![Frame::Value(v)],

@@ -21,17 +21,25 @@ use crate::value::{CollKind, Value};
 /// A CPL type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Type {
+    /// The boolean type.
     Bool,
+    /// The integer type.
     Int,
+    /// The float type.
     Float,
+    /// The string type.
     Str,
+    /// The unit type `()`.
     Unit,
+    /// A collection type: set `{t}`, bag `{|t|}`, or list `[|t|]`.
     Coll(CollKind, Box<Type>),
     /// Record type; `open` means additional unlisted fields are allowed.
     Record(Vec<(Arc<str>, Type)>, bool),
     /// Variant type; `open` means additional unlisted tags are allowed.
     Variant(Vec<(Arc<str>, Type)>, bool),
+    /// A reference to an object of the given type.
     Ref(Box<Type>),
+    /// A function type (CPL functions are not first-class data).
     Fun(Box<Type>, Box<Type>),
     /// Unknown/dynamic: conforms to everything. Used where static
     /// information is unavailable (e.g. data fresh off a driver).
@@ -39,12 +47,15 @@ pub enum Type {
 }
 
 impl Type {
+    /// The set type `{t}`.
     pub fn set(t: Type) -> Type {
         Type::Coll(CollKind::Set, Box::new(t))
     }
+    /// The bag type `{|t|}`.
     pub fn bag(t: Type) -> Type {
         Type::Coll(CollKind::Bag, Box::new(t))
     }
+    /// The list type `[|t|]`.
     pub fn list(t: Type) -> Type {
         Type::Coll(CollKind::List, Box::new(t))
     }

@@ -17,8 +17,11 @@ use crate::remy::RemyRecord;
 /// `{t}` (set), `{|t|}` (bag / multiset) and `[|t|]` (list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CollKind {
+    /// `{t}` — no duplicates, canonical element order.
     Set,
+    /// `{|t|}` — duplicates kept, canonical element order.
     Bag,
+    /// `[|t|]` — element order is data.
     List,
 }
 
@@ -68,9 +71,13 @@ impl fmt::Display for Oid {
 pub enum Value {
     /// The unit value `()`.
     Unit,
+    /// A boolean.
     Bool(bool),
+    /// A 64-bit integer.
     Int(i64),
+    /// A 64-bit float.
     Float(f64),
+    /// A string.
     Str(Arc<str>),
     /// Canonical set: elements sorted by the total order, no duplicates.
     Set(Arc<Vec<Value>>),
@@ -78,6 +85,7 @@ pub enum Value {
     Bag(Arc<Vec<Value>>),
     /// List: element order is significant.
     List(Arc<Vec<Value>>),
+    /// A record in Rémy directory+array representation.
     Record(RemyRecord),
     /// A variant (tagged union) value `<tag = v>`.
     Variant(Arc<str>, Arc<Value>),

@@ -5,7 +5,7 @@
 //! with pattern matching (including the `...` record ellipsis), function
 //! definition with pattern alternatives, and `define` bindings.
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`desugar`] → NRC.
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`mod@desugar`] → NRC.
 //!
 //! ```
 //! use cpl::{parse_expr, desugar::{desugar, Definitions}};

@@ -1,5 +1,6 @@
 //! Execution context: the driver registry, the object store used by
-//! `deref`, and the subquery cache.
+//! `deref`, the subquery cache, and the compute executor query
+//! evaluation runs on.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -7,7 +8,7 @@ use std::thread::{self, ThreadId};
 
 use parking_lot::Mutex;
 
-use kleisli_core::{DriverRef, DriverRequest, KError, KResult, Oid, Value};
+use kleisli_core::{DriverRef, DriverRequest, Executor, KError, KResult, Oid, Value};
 
 /// A memoization slot for one `Cached { id }` subquery, with *single-
 /// flight* population: the first evaluator to find the slot empty becomes
@@ -133,40 +134,94 @@ pub trait ObjectStore: Send + Sync {
 }
 
 /// Everything the evaluators need besides the expression itself.
-#[derive(Default)]
+///
+/// A `Context` is a cheap handle (one `Arc` bump to clone) over shared
+/// registry state, so the parallel evaluators can hand owned copies to
+/// executor tasks. Registration (`register_driver` /
+/// `register_object_store`) requires the handle to be *uniquely* owned
+/// — register every source before cloning the context or sharing it
+/// with in-flight queries, exactly the discipline `kleisli::Session`
+/// already enforces at its own `Arc<Context>` layer.
+#[derive(Clone)]
 pub struct Context {
+    inner: Arc<CtxInner>,
+}
+
+struct CtxInner {
     drivers: HashMap<String, DriverRef>,
     object_stores: Vec<Arc<dyn ObjectStore>>,
     cache: Mutex<HashMap<u64, Arc<CacheCell>>>,
+    /// The compute pool `ParExt` chunks (and the session's query
+    /// workers) run on.
+    executor: Arc<Executor>,
+}
+
+impl Default for Context {
+    fn default() -> Context {
+        Context::new()
+    }
 }
 
 impl Context {
+    /// A context running its compute tasks on the process-wide
+    /// [`Executor::shared`] pool.
     pub fn new() -> Context {
-        Context::default()
+        Context::with_executor(Executor::shared())
+    }
+
+    /// A context running its compute tasks on a caller-supplied
+    /// executor — for embedders that want their own sizing, and for
+    /// tests that assert on worker counts in isolation.
+    pub fn with_executor(executor: Arc<Executor>) -> Context {
+        Context {
+            inner: Arc::new(CtxInner {
+                drivers: HashMap::new(),
+                object_stores: Vec::new(),
+                cache: Mutex::new(HashMap::new()),
+                executor,
+            }),
+        }
+    }
+
+    /// The compute executor query evaluation and `ParExt` chunks are
+    /// scheduled on.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.inner.executor
+    }
+
+    fn inner_mut(&mut self) -> &mut CtxInner {
+        Arc::get_mut(&mut self.inner)
+            .expect("context must be uniquely owned while registering sources")
     }
 
     /// Register a driver under its own name.
     pub fn register_driver(&mut self, driver: DriverRef) {
-        self.drivers.insert(driver.name().to_string(), driver);
+        self.inner_mut()
+            .drivers
+            .insert(driver.name().to_string(), driver);
     }
 
     /// Register an object store consulted by `deref`.
     pub fn register_object_store(&mut self, store: Arc<dyn ObjectStore>) {
-        self.object_stores.push(store);
+        self.inner_mut().object_stores.push(store);
     }
 
+    /// Look up a registered driver by name.
     pub fn driver(&self, name: &str) -> KResult<&DriverRef> {
-        self.drivers
+        self.inner
+            .drivers
             .get(name)
             .ok_or_else(|| KError::driver(name, "no such driver registered"))
     }
 
+    /// Every registered driver, in no particular order.
     pub fn drivers(&self) -> impl Iterator<Item = &DriverRef> {
-        self.drivers.values()
+        self.inner.drivers.values()
     }
 
+    /// Resolve an object reference through the registered stores.
     pub fn deref(&self, oid: &Oid) -> KResult<Value> {
-        for store in &self.object_stores {
+        for store in &self.inner.object_stores {
             match store.deref(oid) {
                 Ok(v) => return Ok(v),
                 Err(_) => continue,
@@ -182,7 +237,7 @@ impl Context {
     /// commits, later ones read — even when racing inside a parallel loop
     /// (single-flight).
     pub fn cache_cell(&self, id: u64) -> Arc<CacheCell> {
-        Arc::clone(self.cache.lock().entry(id).or_default())
+        Arc::clone(self.inner.cache.lock().entry(id).or_default())
     }
 
     /// Look up a memoized subquery result (testing convenience).
@@ -197,7 +252,7 @@ impl Context {
 
     /// Drop all memoized results (between queries).
     pub fn cache_clear(&self) {
-        self.cache.lock().clear();
+        self.inner.cache.lock().clear();
     }
 }
 

@@ -3,8 +3,11 @@
 //! Kleisli's evaluation mechanism "is basically eager, with rules used to
 //! introduce a limited amount of laziness in strategic places" (Section 4).
 //! This module is the eager core; the strategic laziness lives in
-//! [`crate::stream`] and the bounded concurrency in the `ParExt` case
-//! below.
+//! [`crate::stream`], and the `ParExt` case below overlaps its
+//! per-element driver round-trips by scheduling each chunk on the
+//! context's shared [`kleisli_core::Executor`] — bounded by the plan's
+//! `max_in_flight` on top of the executor's own worker limit, with no
+//! per-chunk OS threads.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -281,10 +284,20 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
 /// parallel-retrieval primitive of Section 4 ("Laziness, Latency, and
 /// Concurrency"): requests to remote servers overlap, but no more than the
 /// server's tolerated number run at once.
+///
+/// Each chunk runs as a batch on the context's shared
+/// [`kleisli_core::Executor`] — tasks own cheap clones of the body
+/// `Arc`, the environment, and the context handle, so no OS thread is
+/// ever created per element. The submitting thread helps drain its own
+/// batch, which both caps in-flight work at `max_in_flight` and keeps
+/// nested parallel loops deadlock-free on the bounded pool (see
+/// `kleisli_core::executor`). A task that panics surfaces as an
+/// evaluation error, and an error stops later chunks from being
+/// submitted at all.
 pub fn eval_parallel(
     elems: &[Value],
     var: &nrc::Name,
-    body: &Expr,
+    body: &Arc<Expr>,
     env: &Env,
     ctx: &Context,
     max_in_flight: usize,
@@ -296,26 +309,23 @@ pub fn eval_parallel(
             .map(|el| eval(body, &env.bind(Arc::clone(var), Rt::Val(el.clone())), ctx))
             .collect();
     }
-    let mut results: Vec<Option<KResult<Value>>> = (0..elems.len()).map(|_| None).collect();
-    for (chunk_idx, chunk) in elems.chunks(width).enumerate() {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(chunk.len());
-            for el in chunk {
+    let mut out = Vec::with_capacity(elems.len());
+    for chunk in elems.chunks(width) {
+        let tasks: Vec<Box<dyn FnOnce() -> KResult<Value> + Send>> = chunk
+            .iter()
+            .map(|el| {
                 let env2 = env.bind(Arc::clone(var), Rt::Val(el.clone()));
-                handles.push(scope.spawn(move || eval(body, &env2, ctx)));
-            }
-            for (i, h) in handles.into_iter().enumerate() {
-                let r = h
-                    .join()
-                    .unwrap_or_else(|_| Err(KError::eval("worker thread panicked")));
-                results[chunk_idx * width + i] = Some(r);
-            }
-        });
+                let body = Arc::clone(body);
+                let ctx = ctx.clone();
+                Box::new(move || eval(&body, &env2, &ctx))
+                    as Box<dyn FnOnce() -> KResult<Value> + Send>
+            })
+            .collect();
+        for r in ctx.executor().run_all(tasks) {
+            out.push(r.unwrap_or_else(|| Err(KError::eval("worker thread panicked")))?);
+        }
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    Ok(out)
 }
 
 fn emit_join_pair(

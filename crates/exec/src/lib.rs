@@ -2,7 +2,7 @@
 //!
 //! Query execution for the Kleisli reproduction:
 //!
-//! * [`eval`] — the eager recursive evaluator, including the two local
+//! * [`mod@eval`] — the eager recursive evaluator, including the two local
 //!   join operators of Section 4 (blocked nested-loop and indexed blocked
 //!   nested-loop with an on-the-fly index), subquery caching, and the
 //!   bounded-concurrency parallel retrieval primitive.
@@ -10,7 +10,7 @@
 //!   laziness: `first_n` produces initial output without materializing
 //!   the full result.
 //! * [`context`] — the driver registry, object store, and subquery cache.
-//! * [`env`] — runtime environments and closures.
+//! * [`mod@env`] — runtime environments and closures.
 
 pub mod context;
 pub mod env;

@@ -63,6 +63,82 @@ fn admission_limit_is_enforced_beyond_plan_parallelism() {
 }
 
 #[test]
+fn par_ext_runs_on_the_shared_executor_with_bounded_workers() {
+    // 64 elements through a width-8 ParExt on a private 4-worker
+    // executor: the chunk evaluators are executor tasks, not ad-hoc
+    // scoped threads, so the worker count is bounded by the executor
+    // limit and does not grow with the element count.
+    use kleisli_core::Executor;
+
+    let executor = Executor::new("test-exec", 4);
+    let mut ctx = Context::with_executor(Arc::clone(&executor));
+    ctx.register_driver(SlowDriver::new("slow", 2, Duration::from_millis(1), 8));
+    let ctx = Arc::new(ctx);
+
+    let e = Expr::ParExt {
+        kind: CollKind::Set,
+        var: name("i"),
+        body: Arc::new(wrap_ext(scan("slow"))),
+        source: Arc::new(Expr::Const(Value::set((0..64).map(Value::Int).collect()))),
+        max_in_flight: 8,
+    };
+    let v = eval(&e, &Env::empty(), &ctx).unwrap();
+    assert_eq!(v.len(), Some(2));
+    assert!(
+        executor.threads_spawned() <= 4,
+        "executor workers must stay bounded: {} spawned for a limit of 4",
+        executor.threads_spawned()
+    );
+    assert!(
+        executor.threads_spawned() >= 1,
+        "chunks must actually run on the executor"
+    );
+}
+
+#[test]
+fn nested_par_ext_completes_on_a_one_worker_executor() {
+    // A ParExt body containing another ParExt, on an executor with a
+    // single worker: caller-help in the batch runner means progress
+    // never depends on free pool capacity — this must complete, not
+    // deadlock, and still agree with the sequential answer.
+    use kleisli_core::Executor;
+
+    let executor = Executor::new("tiny", 1);
+    let ctx = Arc::new(Context::with_executor(Arc::clone(&executor)));
+
+    let inner = Expr::ParExt {
+        kind: CollKind::Set,
+        var: name("j"),
+        body: Arc::new(Expr::single(
+            CollKind::Set,
+            Expr::prim(
+                nrc::Prim::Add,
+                vec![
+                    Expr::prim(nrc::Prim::Mul, vec![Expr::var("i"), Expr::int(10)]),
+                    Expr::var("j"),
+                ],
+            ),
+        )),
+        source: Arc::new(Expr::Const(Value::set((0..4).map(Value::Int).collect()))),
+        max_in_flight: 3,
+    };
+    let outer = Expr::ParExt {
+        kind: CollKind::Set,
+        var: name("i"),
+        body: Arc::new(inner),
+        source: Arc::new(Expr::Const(Value::set((0..4).map(Value::Int).collect()))),
+        max_in_flight: 3,
+    };
+    let v = eval(&outer, &Env::empty(), &ctx).unwrap();
+    let mut expect: Vec<Value> = (0..4)
+        .flat_map(|i| (0..4).map(move |j| Value::Int(i * 10 + j)))
+        .collect();
+    expect.sort();
+    assert_eq!(v, Value::set(expect));
+    assert!(executor.threads_spawned() <= 1);
+}
+
+#[test]
 fn union_arms_overlap_their_round_trips() {
     // Two sources, 60 ms per request. Blocking both sequentially costs
     // ~120 ms; the streaming executor submits the right arm while the

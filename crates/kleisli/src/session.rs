@@ -5,12 +5,17 @@
 //! # Concurrency
 //!
 //! Queries are *submitted*, not executed: [`Session::submit`] compiles
-//! and returns a [`QueryHandle`] while evaluation proceeds on a worker
-//! thread, shipping its driver requests through the two-phase
-//! submit/handle API so round-trips to independent sources overlap
-//! (Section 4, "Laziness, Latency, and Concurrency"). [`Session::query`]
-//! is simply submit-then-wait. Several handles may be in flight on one
-//! session at once, each bounded by the per-driver admission budgets.
+//! and returns a [`QueryHandle`] while evaluation proceeds as a task on
+//! the session's shared compute [`Executor`] (no per-query OS thread),
+//! shipping its driver requests through the two-phase submit/handle API
+//! so round-trips to independent sources overlap (Section 4, "Laziness,
+//! Latency, and Concurrency"). [`Session::query`] is simply
+//! submit-then-wait. Several handles may be in flight on one session at
+//! once, each bounded by the per-driver admission budgets; submissions
+//! beyond the executor's worker bound queue as data, never as parked
+//! threads. Sessions share the process-wide [`Executor::shared`] pool by
+//! default — construct with [`Session::with_executor`] to isolate or
+//! resize it.
 //!
 //! # Plan caching
 //!
@@ -32,12 +37,11 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
-use std::thread;
 
 use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
 use kleisli_core::{
-    Capabilities, CollKind, DriverRef, KError, KResult, MetricsSnapshot, OneShot, PromiseState,
-    TableStats, Type, Value,
+    Capabilities, CollKind, DriverRef, Executor, KError, KResult, MetricsSnapshot, OneShot,
+    PromiseState, TableStats, Type, Value,
 };
 use kleisli_exec::{eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore};
 use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
@@ -161,9 +165,10 @@ struct QueryShared {
 /// A query in flight: the public face of the two-phase execution API.
 ///
 /// Obtained from [`Session::submit`], which returns as soon as the plan
-/// is compiled — evaluation proceeds on a worker thread, submitting its
-/// driver requests through the non-blocking handle machinery (bounded by
-/// each driver's admission budget). Redeem it with:
+/// is compiled — evaluation proceeds as a task on the session's shared
+/// compute executor, submitting its driver requests through the
+/// non-blocking handle machinery (bounded by each driver's admission
+/// budget). Redeem it with:
 ///
 /// * [`QueryHandle::wait`] — block until the full result is ready;
 /// * [`QueryHandle::try_wait`] — non-blocking poll that takes the result
@@ -182,6 +187,26 @@ struct QueryShared {
 /// back to the eager evaluator check the flag only between driver
 /// round-trips of the streaming spine, i.e. cancellation is cooperative,
 /// not preemptive.
+///
+/// ```
+/// use kleisli::{QueryStatus, Session};
+/// use kleisli_core::Value;
+///
+/// let mut session = Session::new();
+/// session.bind_value("DB", Value::set((0..10).map(Value::Int).collect()));
+/// let mut handle = session.submit(r"sum({x | \x <- DB})").unwrap();
+///
+/// // Poll without blocking until the result is in (a real caller
+/// // would do other work between polls; see `wait` to just block).
+/// let result = loop {
+///     if let Some(r) = handle.try_wait() {
+///         break r.unwrap();
+///     }
+///     std::thread::yield_now();
+/// };
+/// assert_eq!(result, Value::Int(45));
+/// assert_eq!(handle.status(), QueryStatus::Finished);
+/// ```
 pub struct QueryHandle {
     shared: Arc<QueryShared>,
     /// Deduplicate the streamed prefix (set-typed plans).
@@ -189,7 +214,11 @@ pub struct QueryHandle {
 }
 
 impl QueryHandle {
-    /// Spawn the evaluation of `compiled` against `ctx` on a worker.
+    /// Submit the evaluation of `compiled` against `ctx` as a task on
+    /// the context's shared [`Executor`] — no ad-hoc OS thread exists
+    /// per query; a burst of submissions beyond the executor's worker
+    /// bound queues as data and runs as workers free up. The task
+    /// resolves the handle's [`OneShot`] promise when it finishes.
     fn spawn(compiled: Arc<Compiled>, ctx: Arc<Context>) -> QueryHandle {
         // The same kind/dedup decisions as the synchronous query paths:
         // stream when the plan's collection kind is syntactically
@@ -205,18 +234,16 @@ impl QueryHandle {
             cancel: AtomicBool::new(false),
         });
         let worker = Arc::clone(&shared);
-        thread::Builder::new()
-            .name("query-eval".into())
-            .spawn(move || {
-                // A panic in evaluation must park an error, never leave
-                // the handle unfinished (the caller is blocked in wait).
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    QueryHandle::run(&worker, &compiled, &ctx, kind)
-                }))
-                .unwrap_or_else(|_| Err(KError::eval("query evaluation panicked")));
-                worker.done.set(result);
-            })
-            .expect("spawn query worker");
+        let executor = Arc::clone(ctx.executor());
+        executor.spawn(move || {
+            // A panic in evaluation must park an error, never leave
+            // the handle unfinished (the caller is blocked in wait).
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                QueryHandle::run(&worker, &compiled, &ctx, kind)
+            }))
+            .unwrap_or_else(|_| Err(KError::eval("query evaluation panicked")));
+            worker.done.set(result);
+        });
         QueryHandle { shared, dedup }
     }
 
@@ -437,14 +464,31 @@ impl SourceCatalog for CtxCatalog<'_> {
 const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 
 impl Session {
+    /// A session evaluating its queries on the process-wide shared
+    /// compute executor ([`Executor::shared`]).
     pub fn new() -> Session {
+        Session::with_executor(Executor::shared())
+    }
+
+    /// A session evaluating its queries (and `ParExt` chunks) on a
+    /// caller-supplied [`Executor`] — for embedders that want their own
+    /// worker sizing or an isolated pool, and for tests that assert on
+    /// executor thread counts.
+    pub fn with_executor(executor: Arc<Executor>) -> Session {
         Session {
-            ctx: Arc::new(Context::new()),
+            ctx: Arc::new(Context::with_executor(executor)),
             defs: Definitions::new(),
             config: OptConfig::default(),
             plan_cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
             interner: Mutex::new(Interner::new()),
         }
+    }
+
+    /// The compute executor this session's queries run on (observable:
+    /// [`Executor::threads_spawned`] stays bounded by
+    /// [`Executor::limit`] no matter how many queries are submitted).
+    pub fn executor(&self) -> &Arc<Executor> {
+        self.ctx.executor()
     }
 
     /// Tune the optimizer (e.g. to ablate one optimization in a bench).
@@ -597,9 +641,31 @@ impl Session {
 
     /// Submit one CPL expression for evaluation without waiting for it:
     /// compilation (and any compile error) happens here, then evaluation
-    /// proceeds on a worker thread that ships its driver requests through
-    /// the non-blocking submit/handle machinery. Returns a
-    /// [`QueryHandle`] exposing wait / try_wait / cancel / first_n.
+    /// proceeds as a task on the session's shared compute executor,
+    /// shipping its driver requests through the non-blocking
+    /// submit/handle machinery. Returns a [`QueryHandle`] exposing
+    /// wait / try_wait / cancel / first_n.
+    ///
+    /// ```
+    /// use kleisli::Session;
+    /// use kleisli_core::Value;
+    ///
+    /// let mut session = Session::new();
+    /// session.bind_value("DB", Value::set((0..100).map(Value::Int).collect()));
+    ///
+    /// // Both queries are in flight at once; neither submit blocks.
+    /// let doubles = session.submit(r"{x * 2 | \x <- DB}").unwrap();
+    /// let evens = session.submit(r"{x | \x <- DB, x mod 2 = 0}").unwrap();
+    ///
+    /// // A streamed prefix: blocks only until 5 rows have arrived,
+    /// // then cancels the rest of that query's evaluation.
+    /// let five = evens.first_n(5).unwrap();
+    /// assert_eq!(five.len(), 5);
+    ///
+    /// // The full result of the other query.
+    /// let all = doubles.wait().unwrap();
+    /// assert_eq!(all.len(), Some(100));
+    /// ```
     ///
     /// Note: like every query entry point, submission clears the
     /// session's subquery cache, so results of queries *currently in

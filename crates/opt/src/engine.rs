@@ -167,7 +167,7 @@ impl RuleSet {
     /// With `config.enable_rewrite_memo` (the default), per-subplan
     /// results are additionally memoized on `Arc` identity for the whole
     /// fixpoint, so a subtree shared by many parents is rewritten once —
-    /// see [`RewriteMemo`]. A memo hit also skips re-recording trace
+    /// see `RewriteMemo` (private to this module). A memo hit also skips re-recording trace
     /// entries: the trace reports rewrites per distinct subplan, not per
     /// occurrence.
     pub fn run(

@@ -177,6 +177,36 @@ fn dedup_applies_to_set_typed_prefixes() {
 }
 
 #[test]
+fn query_workers_run_on_a_bounded_shared_executor() {
+    // 20 submitted queries on a session whose executor allows 3 workers:
+    // every query completes correctly, yet at most 3 OS threads are ever
+    // created — submissions beyond the bound queue as data. This is the
+    // observable for "no ad-hoc thread per query" (PR-4 spawned one
+    // thread per submit, i.e. 20 here).
+    use kleisli_core::Executor;
+
+    let executor = Executor::new("session-test", 3);
+    let driver = SlowDriver::new("SRC", 2, Duration::from_millis(1), 4);
+    let mut s = Session::with_executor(Arc::clone(&executor));
+    s.register_driver(driver);
+    s.bind_value("IDS", Value::set((0..3).map(Value::Int).collect()));
+
+    let q = r#"{[n = x.n] | \x <- SRC([table = "t"])}"#;
+    let handles: Vec<_> = (0..20).map(|_| s.submit(q).expect("submit")).collect();
+    let mut results = Vec::new();
+    for h in handles {
+        results.push(h.wait().expect("wait"));
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    assert!(
+        executor.threads_spawned() <= 3,
+        "query workers must stay bounded by the executor limit: {} spawned",
+        executor.threads_spawned()
+    );
+    assert!(executor.threads_spawned() >= 1);
+}
+
+#[test]
 fn two_queries_in_flight_on_one_session() {
     // Generous margins: sequential would cost >= 2 x 60 ms, so anything
     // clearly under that proves the two queries overlapped even on a
