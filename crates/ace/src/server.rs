@@ -4,13 +4,14 @@
 //! `ACE_CONCURRENT_REQUESTS` threads, reused across requests) and rows
 //! prefetched a bounded distance ahead of the consumer.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, Oid, RequestHandle, Value, ValueStream, WorkerPool,
+    MetricsSnapshot, Oid, RequestHandle, ResiliencePolicy, Value, ValueStream, WorkerPool,
 };
 
 use crate::store::AceStore;
@@ -27,6 +28,10 @@ struct AceCore {
     store: RwLock<AceStore>,
     latency: Arc<LatencyModel>,
     metrics: Arc<DriverMetrics>,
+    /// Reachability knob: `false` simulates the lab workstation being
+    /// down — requests fail with a retryable `KError::Transport` so the
+    /// resilience layer can retry them and the breaker counts them.
+    available: AtomicBool,
 }
 
 /// ACE servers of the era tolerated only a few concurrent clients.
@@ -47,6 +52,7 @@ impl AceServer {
             store: RwLock::new(store),
             latency: Arc::new(latency),
             metrics: Arc::new(DriverMetrics::default()),
+            available: AtomicBool::new(true),
         });
         let pool = WorkerPool::new(
             "ace",
@@ -64,11 +70,21 @@ impl AceServer {
     pub fn deref(&self, oid: &Oid) -> KResult<Value> {
         self.core.store.read().deref(oid)
     }
+
+    /// Simulate the server (un)reachable: while `false`, every request
+    /// fails with a retryable transport error. Fault injection for the
+    /// resilience tests and benchmarks.
+    pub fn set_available(&self, up: bool) {
+        self.core.available.store(up, Ordering::Release);
+    }
 }
 
 impl AceCore {
     fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
         self.metrics.record_request();
+        if !self.available.load(Ordering::Acquire) {
+            return Err(KError::transport(&self.name, "connection refused"));
+        }
         self.latency.charge_request();
         let rows: Vec<Value> = match req {
             DriverRequest::AceFetch { class, name } => {
@@ -114,6 +130,8 @@ impl Driver for AceServer {
             // 0 unless the latency model realizes a real per-row sleep:
             // prefetch pipelines wall-clock transfer latency only.
             prefetch_rows: self.core.latency.effective_prefetch(ACE_PREFETCH_ROWS),
+            // a remote source: advertise retry + circuit breaking
+            resilience: ResiliencePolicy::standard(),
             ..Capabilities::default()
         }
     }

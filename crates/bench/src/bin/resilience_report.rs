@@ -1,0 +1,225 @@
+//! Measure the resilience layer's wins and record them in
+//! `BENCH_resilience.json` at the repo root:
+//!
+//! ```sh
+//! cargo run -p bench-harness --bin resilience_report --release
+//! cargo run -p bench-harness --bin resilience_report --release -- --smoke
+//! ```
+//!
+//! Three experiments over a fault-injecting `SlowDriver`:
+//!
+//! * **healthy baseline** — per-query p50/p99 with the whole resilience
+//!   layer active but every policy off: the all-`None` default must cost
+//!   nothing worth seeing next to a 2 ms round-trip.
+//! * **tail-latency hedging** — every 10th request takes an extra 40 ms
+//!   (the straggler scenario). Unhedged, the straggler *is* the p99.
+//!   Hedged, a duplicate request fires once the EWMA-derived delay
+//!   passes and its answer wins, so the hedged p99 must undercut the
+//!   unhedged p99.
+//! * **breaker fail-fast** — the source stops answering entirely and
+//!   every request burns its full deadline. With a circuit breaker the
+//!   first `failure_threshold` timeouts trip it open and the rest fail
+//!   in microseconds, so the breaker's total must undercut the
+//!   queue-and-time-out total.
+//!
+//! `--smoke` shrinks the workload and loosens the floors for CI runners.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kleisli::{BreakerPolicy, HedgePolicy, ResiliencePolicy, Session};
+use kleisli_core::testutil::{Fault, SlowDriver};
+
+const SCAN: &str = r#"{x.n | \x <- SRC([class = "any"])}"#;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// The `q`-quantile (nearest-rank) of an unsorted sample.
+fn percentile(samples: &mut [Duration], q: f64) -> Duration {
+    samples.sort();
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// A fresh session over a fresh `SlowDriver` advertising `policy`.
+fn session(rows: i64, delay: Duration, limit: usize, policy: ResiliencePolicy) -> (Session, Arc<SlowDriver>) {
+    let drv = SlowDriver::new("SRC", rows, delay, limit);
+    drv.set_resilience(policy);
+    let mut s = Session::new();
+    s.register_driver(drv.clone());
+    (s, drv)
+}
+
+/// Run the compiled scan `n` times, returning per-query latencies.
+fn run_queries(s: &Session, n: usize) -> Vec<Duration> {
+    let compiled = s.compile(SCAN).expect("compile");
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            s.run_compiled(&compiled).expect("query");
+            t0.elapsed()
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup, queries, breaker_queries, hedge_floor) = if smoke {
+        (10usize, 30usize, 5usize, 1.0f64)
+    } else {
+        (20, 60, 6, 2.0)
+    };
+    let delay = Duration::from_millis(2);
+    let spike = Duration::from_millis(40);
+
+    // --- healthy baseline: the all-None default policy ------------------
+    let (s, _drv) = session(4, delay, 4, ResiliencePolicy::default());
+    let mut base = run_queries(&s, queries);
+    let (base_p50, base_p99) = (percentile(&mut base, 0.5), percentile(&mut base, 0.99));
+
+    // --- tail-latency hedging over a 10%-straggler workload -------------
+    let straggler = Fault::SpikeEvery {
+        every: 10,
+        extra: spike,
+    };
+
+    let (s, drv) = session(4, delay, 4, ResiliencePolicy::default());
+    run_queries(&s, warmup); // same warmup as the hedged run
+    drv.set_fault(straggler.clone());
+    let mut unhedged = run_queries(&s, queries);
+    let (unhedged_p50, unhedged_p99) =
+        (percentile(&mut unhedged, 0.5), percentile(&mut unhedged, 0.99));
+
+    let (s, drv) = session(
+        4,
+        delay,
+        4,
+        ResiliencePolicy {
+            hedge: Some(HedgePolicy::default()),
+            ..ResiliencePolicy::default()
+        },
+    );
+    run_queries(&s, warmup); // teach the RTT estimator the healthy shape
+    drv.set_fault(straggler);
+    let mut hedged = run_queries(&s, queries);
+    let (hedged_p50, hedged_p99) = (percentile(&mut hedged, 0.5), percentile(&mut hedged, 0.99));
+    let hedge_metrics = s.driver_metrics("SRC").expect("metrics");
+    let p99_speedup = ms(unhedged_p99) / ms(hedged_p99);
+    assert!(
+        p99_speedup >= hedge_floor,
+        "hedging stopped cutting the tail: unhedged p99 {unhedged_p99:?} vs \
+         hedged p99 {hedged_p99:?} ({p99_speedup:.2}x < {hedge_floor}x floor)"
+    );
+    assert!(
+        hedge_metrics.hedge_wins > 0,
+        "no hedge ever won against a 40 ms straggler: {hedge_metrics:?}"
+    );
+
+    // --- breaker fail-fast against a dead source ------------------------
+    let deadline = Duration::from_millis(30);
+    let dead = |breaker: Option<BreakerPolicy>| {
+        session(
+            4,
+            delay,
+            4,
+            ResiliencePolicy {
+                deadline: Some(deadline),
+                breaker,
+                ..ResiliencePolicy::default()
+            },
+        )
+    };
+
+    let (s, drv) = dead(None);
+    drv.set_fault(Fault::NeverRespond);
+    let compiled = s.compile(SCAN).expect("compile");
+    let t0 = Instant::now();
+    for _ in 0..breaker_queries {
+        s.run_compiled(&compiled).expect_err("the source is dead");
+    }
+    let timeout_total = t0.elapsed();
+    drv.release_wedged();
+
+    let (s, drv) = dead(Some(BreakerPolicy {
+        failure_threshold: 2,
+        cooldown: Duration::from_secs(5),
+    }));
+    drv.set_fault(Fault::NeverRespond);
+    let compiled = s.compile(SCAN).expect("compile");
+    let t0 = Instant::now();
+    for _ in 0..breaker_queries {
+        s.run_compiled(&compiled).expect_err("the source is dead");
+    }
+    let breaker_total = t0.elapsed();
+    let breaker_metrics = s.driver_metrics("SRC").expect("metrics");
+    drv.release_wedged();
+    assert!(
+        breaker_total < timeout_total,
+        "the breaker must fail faster than burning every deadline: \
+         {breaker_total:?} vs {timeout_total:?}"
+    );
+    assert!(
+        breaker_metrics.breaker_opens >= 1,
+        "the breaker never opened: {breaker_metrics:?}"
+    );
+    let fail_fast_speedup = ms(timeout_total) / ms(breaker_total);
+
+    let json = format!(
+        r#"{{
+  "bench": "resilience",
+  "description": "Production resilience: per-request deadlines, tail-latency hedging after an EWMA-p99-derived delay, and per-driver circuit breakers, measured end to end through the session layer against a fault-injecting driver. The all-None default policy is the baseline; hedging must cut the p99 of a 10%-straggler workload; a tripped breaker must fail faster than burning every request's deadline against a dead source.",
+  "command": "cargo run -p bench-harness --bin resilience_report --release",
+  "smoke": {smoke},
+  "healthy_baseline": {{
+    "workload": "{queries} sequential 4-row queries, {delay_ms} ms per request (real sleeps), all policies off",
+    "p50_ms": {base_p50:.2},
+    "p99_ms": {base_p99:.2}
+  }},
+  "hedging": {{
+    "workload": "{queries} sequential queries, every 10th request +{spike_ms} ms, after {warmup} healthy warmup queries",
+    "unhedged": {{ "p50_ms": {unhedged_p50:.2}, "p99_ms": {unhedged_p99:.2} }},
+    "hedged": {{
+      "p50_ms": {hedged_p50:.2},
+      "p99_ms": {hedged_p99:.2},
+      "hedges_fired": {hedges_fired},
+      "hedge_wins": {hedge_wins}
+    }},
+    "p99_speedup": {p99_speedup:.2}
+  }},
+  "breaker_fail_fast": {{
+    "workload": "{breaker_queries} sequential queries against a never-responding source, {deadline_ms} ms deadline each",
+    "without_breaker_total_ms": {timeout_total:.2},
+    "with_breaker_total_ms": {breaker_total:.2},
+    "breaker_opens": {breaker_opens},
+    "fail_fast_speedup": {fail_fast_speedup:.2}
+  }}
+}}
+"#,
+        delay_ms = delay.as_millis(),
+        spike_ms = spike.as_millis(),
+        deadline_ms = deadline.as_millis(),
+        base_p50 = ms(base_p50),
+        base_p99 = ms(base_p99),
+        unhedged_p50 = ms(unhedged_p50),
+        unhedged_p99 = ms(unhedged_p99),
+        hedged_p50 = ms(hedged_p50),
+        hedged_p99 = ms(hedged_p99),
+        hedges_fired = hedge_metrics.hedges_fired,
+        hedge_wins = hedge_metrics.hedge_wins,
+        timeout_total = ms(timeout_total),
+        breaker_total = ms(breaker_total),
+        breaker_opens = breaker_metrics.breaker_opens,
+    );
+    std::fs::write("BENCH_resilience.json", &json).expect("write BENCH_resilience.json");
+    println!("{json}");
+    println!(
+        "hedging: p99 {:.2} ms -> {:.2} ms ({p99_speedup:.2}x); \
+         breaker: {:.2} ms -> {:.2} ms ({fail_fast_speedup:.2}x)",
+        ms(unhedged_p99),
+        ms(hedged_p99),
+        ms(timeout_total),
+        ms(breaker_total),
+    );
+}

@@ -39,6 +39,32 @@ pub enum KError {
     },
     /// A submitted request or query was cancelled before completion.
     Cancelled(String),
+    /// A request missed its deadline: the waiter gave up, released the
+    /// admission ticket, and abandoned whatever worker was still wedged.
+    Timeout {
+        /// The driver (or `"query"` for session-level deadlines) that
+        /// failed to answer in time.
+        driver: String,
+        /// What the waiter was doing when the deadline passed.
+        msg: String,
+    },
+    /// The per-driver circuit breaker is open: recent consecutive
+    /// failures mean the request was failed fast instead of queued
+    /// behind a source presumed down.
+    CircuitOpen {
+        /// The driver whose breaker is open.
+        driver: String,
+    },
+    /// A *transient* transport-level failure talking to a driver
+    /// (connection refused/reset, server marked unavailable). Unlike the
+    /// semantic [`KError::Driver`] variant this is presumed retryable:
+    /// repeating the identical request may succeed.
+    Transport {
+        /// The registered name of the unreachable driver.
+        driver: String,
+        /// What the transport layer reported.
+        msg: String,
+    },
 }
 
 impl KError {
@@ -86,6 +112,51 @@ impl KError {
     pub fn cancelled(msg: impl Into<String>) -> KError {
         KError::Cancelled(msg.into())
     }
+
+    /// A [`KError::Timeout`] for a request that missed its deadline.
+    pub fn timeout(driver: impl Into<String>, msg: impl Into<String>) -> KError {
+        KError::Timeout {
+            driver: driver.into(),
+            msg: msg.into(),
+        }
+    }
+
+    /// A [`KError::CircuitOpen`] fail-fast rejection for `driver`.
+    pub fn circuit_open(driver: impl Into<String>) -> KError {
+        KError::CircuitOpen {
+            driver: driver.into(),
+        }
+    }
+
+    /// A transient [`KError::Transport`] failure attributed to `driver`.
+    pub fn transport(driver: impl Into<String>, msg: impl Into<String>) -> KError {
+        KError::Transport {
+            driver: driver.into(),
+            msg: msg.into(),
+        }
+    }
+
+    /// Whether retrying the *identical* request may succeed.
+    ///
+    /// Only [`KError::Transport`] qualifies: a connection that was refused
+    /// or reset says nothing about the request itself. Semantic failures
+    /// ([`KError::Driver`], [`KError::Format`], ...) would fail again,
+    /// [`KError::Timeout`] already consumed the caller's patience, and
+    /// [`KError::CircuitOpen`] means retries are being shed on purpose —
+    /// the retry loop in `resilience` treats all of those as final.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, KError::Transport { .. })
+    }
+
+    /// Whether this is a deadline miss ([`KError::Timeout`]).
+    ///
+    /// Timeouts are *not* [`KError::is_retryable`] — the deadline already
+    /// bounds the caller's total wait — but they do count as failures for
+    /// the per-driver circuit breaker, which this predicate lets callers
+    /// classify without matching variant fields.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, KError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for KError {
@@ -101,6 +172,15 @@ impl fmt::Display for KError {
             KError::Exchange(m) => write!(f, "exchange format error: {m}"),
             KError::Format { format, msg } => write!(f, "{format} format error: {msg}"),
             KError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            KError::Timeout { driver, msg } => {
+                write!(f, "timeout waiting on '{driver}': {msg}")
+            }
+            KError::CircuitOpen { driver } => {
+                write!(f, "circuit open for '{driver}': failing fast")
+            }
+            KError::Transport { driver, msg } => {
+                write!(f, "transport error reaching '{driver}': {msg}")
+            }
         }
     }
 }
@@ -122,5 +202,33 @@ mod tests {
         assert!(e.to_string().contains("GDB"));
         let e = KError::format("fasta", "missing header");
         assert!(e.to_string().contains("fasta"));
+        let e = KError::timeout("GDB", "deadline exceeded");
+        assert!(e.to_string().contains("GDB"));
+        let e = KError::circuit_open("ENTREZ");
+        assert!(e.to_string().contains("failing fast"));
+        let e = KError::transport("ACE", "connection reset");
+        assert!(e.to_string().contains("ACE"));
+    }
+
+    #[test]
+    fn only_transport_errors_are_retryable() {
+        assert!(KError::transport("GDB", "connection refused").is_retryable());
+        for e in [
+            KError::driver("GDB", "no such table"),
+            KError::timeout("GDB", "deadline exceeded"),
+            KError::circuit_open("GDB"),
+            KError::cancelled("dropped"),
+            KError::eval("bad shape"),
+            KError::format("sql", "syntax"),
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn timeout_classification() {
+        assert!(KError::timeout("GDB", "x").is_timeout());
+        assert!(!KError::transport("GDB", "x").is_timeout());
+        assert!(!KError::cancelled("x").is_timeout());
     }
 }

@@ -21,7 +21,10 @@
 //!   query workers and `ParExt` chunk evaluation.
 //! * [`oneshot`] — the shared one-shot promise behind every
 //!   submit-now/redeem-later handle.
-//! * [`latency`] — the simulated wide-area latency model.
+//! * [`resilience`] — request deadlines, bounded retry with backoff,
+//!   hedged requests, and per-driver circuit breakers.
+//! * [`latency`] — the simulated wide-area latency model and the EWMA
+//!   round-trip estimator feeding the hedge delay.
 //! * [`error`] — the shared error type.
 
 // Every public item of the concurrency stack (and the data model under
@@ -37,6 +40,7 @@ pub mod oneshot;
 pub mod pool;
 pub mod print;
 pub mod remy;
+pub mod resilience;
 pub mod testutil;
 pub mod token;
 pub mod types;
@@ -48,10 +52,14 @@ pub use driver::{
 };
 pub use error::{KError, KResult};
 pub use executor::Executor;
-pub use latency::LatencyModel;
-pub use oneshot::{OneShot, PromiseState};
+pub use latency::{LatencyModel, RttEstimator};
+pub use oneshot::{OneShot, PromiseState, Pulsable, WaitFor};
 pub use pool::WorkerPool;
 pub use remy::{CachedProjector, Directory, RemyRecord};
+pub use resilience::{
+    BreakerPolicy, BreakerState, CancelToken, CircuitBreaker, DriverResilience, HedgePolicy,
+    ResiliencePolicy, ResilientHandle, RetryPolicy,
+};
 pub use token::{detokenize, read_exchange, tokenize, write_exchange, Token};
 pub use types::Type;
 pub use value::{CollKind, Oid, Value};

@@ -29,7 +29,8 @@
 //!   just checked its predicate and is about to sleep cannot miss the
 //!   wakeup (no lost-wakeup window).
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, Weak};
+use std::time::Instant;
 
 /// Observed lifecycle stage of a [`OneShot`] cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,9 +43,37 @@ pub enum PromiseState {
     Taken,
 }
 
+/// Why a deadline-aware [`OneShot::wait_for`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitFor {
+    /// The promise was set (possibly already taken by an earlier waiter).
+    Ready,
+    /// The deadline passed with the promise still pending.
+    TimedOut,
+    /// The caller's interrupt predicate fired (cancellation, a hedge
+    /// completing, ...) with the promise still pending.
+    Interrupted,
+}
+
+/// Something that can be nudged awake when an event it watches fires.
+///
+/// The resilience layer wires cells together with this: a hedged request
+/// mirrors its completion into the primary request's promise (via
+/// [`OneShot::add_mirror`]), and a `CancelToken` pulses every in-flight
+/// request promise it watches, so a waiter blocked in
+/// [`OneShot::wait_for`] re-checks its interrupt predicate the moment the
+/// external event happens instead of spinning on short timeouts.
+pub trait Pulsable: Send + Sync {
+    /// Wake any waiters so they re-check their predicates. Must not
+    /// block and must be safe to call from any thread; implementations
+    /// typically delegate to [`OneShot::pulse`].
+    fn pulse_now(&self);
+}
+
 struct Slot<T> {
     value: Option<T>,
     set: bool,
+    mirrors: Vec<Weak<dyn Pulsable>>,
 }
 
 /// A set-once / take-once promise cell (see the module docs).
@@ -87,6 +116,7 @@ impl<T> OneShot<T> {
             state: Mutex::new(Slot {
                 value: None,
                 set: false,
+                mirrors: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -99,6 +129,7 @@ impl<T> OneShot<T> {
             state: Mutex::new(Slot {
                 value: Some(value),
                 set: true,
+                mirrors: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -117,9 +148,33 @@ impl<T> OneShot<T> {
         }
         st.value = Some(value);
         st.set = true;
+        let mirrors = std::mem::take(&mut st.mirrors);
         drop(st);
         self.cv.notify_all();
+        // Pulse mirrors only after releasing our own lock: each mirror
+        // takes its own cell lock, and the one-directional registration
+        // (hedge -> primary) keeps the ordering acyclic.
+        for m in mirrors {
+            if let Some(m) = m.upgrade() {
+                m.pulse_now();
+            }
+        }
         true
+    }
+
+    /// Register a watcher to be pulsed (once) when this promise is set.
+    /// If the promise is already set the watcher is pulsed immediately.
+    /// Watchers are held weakly, so a dropped watcher costs nothing.
+    pub fn add_mirror(&self, mirror: Weak<dyn Pulsable>) {
+        let mut st = self.lock();
+        if st.set {
+            drop(st);
+            if let Some(m) = mirror.upgrade() {
+                m.pulse_now();
+            }
+            return;
+        }
+        st.mirrors.push(mirror);
     }
 
     /// Where the promise is in its lifecycle, without blocking.
@@ -169,6 +224,48 @@ impl<T> OneShot<T> {
                 return;
             }
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the promise is set, the optional `deadline` passes, or
+    /// the `interrupt` predicate fires — whichever comes first. Does
+    /// **not** take the value; on [`WaitFor::Ready`] redeem it with
+    /// [`OneShot::wait`] / [`OneShot::try_wait`].
+    ///
+    /// The interrupt predicate is evaluated under the cell lock on every
+    /// wakeup (set, [`OneShot::pulse`], mirror pulse, timeout slice, or
+    /// spurious), with the same caveat as [`OneShot::wait_until`]: it
+    /// must not take a lock that a producer holds while setting/pulsing.
+    /// A deadline of `None` waits indefinitely (until set/interrupt).
+    pub fn wait_for<F: FnMut() -> bool>(
+        &self,
+        deadline: Option<Instant>,
+        mut interrupt: F,
+    ) -> WaitFor {
+        let mut st = self.lock();
+        loop {
+            if st.set {
+                return WaitFor::Ready;
+            }
+            if interrupt() {
+                return WaitFor::Interrupted;
+            }
+            match deadline {
+                None => {
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return WaitFor::TimedOut;
+                    }
+                    let (guard, _timeout) = self
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
         }
     }
 }
@@ -236,6 +333,67 @@ mod tests {
         assert!(progress.load(Ordering::SeqCst) >= 3);
         t.join().unwrap();
         assert_eq!(p.poll(), PromiseState::Pending, "pulse never sets");
+    }
+
+    #[test]
+    fn wait_for_times_out_then_sees_a_late_set() {
+        let p: Arc<OneShot<i32>> = Arc::new(OneShot::new());
+        let t0 = std::time::Instant::now();
+        let deadline = t0 + Duration::from_millis(20);
+        assert_eq!(p.wait_for(Some(deadline), || false), WaitFor::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        p.set(9);
+        assert_eq!(p.wait_for(Some(deadline), || false), WaitFor::Ready);
+        assert_eq!(p.try_wait(), Some(9));
+    }
+
+    #[test]
+    fn wait_for_interrupt_beats_deadline() {
+        let p: Arc<OneShot<i32>> = Arc::new(OneShot::new());
+        let hit = Arc::new(AtomicUsize::new(0));
+        let (p2, hit2) = (Arc::clone(&p), Arc::clone(&hit));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            hit2.store(1, Ordering::SeqCst);
+            p2.pulse();
+        });
+        let out = p.wait_for(Some(std::time::Instant::now() + Duration::from_secs(5)), || {
+            hit.load(Ordering::SeqCst) == 1
+        });
+        assert_eq!(out, WaitFor::Interrupted);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mirrors_are_pulsed_on_set_and_on_late_registration() {
+        struct Flag(OneShot<()>, AtomicUsize);
+        impl Pulsable for Flag {
+            fn pulse_now(&self) {
+                self.1.fetch_add(1, Ordering::SeqCst);
+                self.0.pulse();
+            }
+        }
+        let watcher = Arc::new(Flag(OneShot::new(), AtomicUsize::new(0)));
+        let dyn_watcher: Arc<dyn Pulsable> = watcher.clone() as Arc<dyn Pulsable>;
+        let p: Arc<OneShot<i32>> = Arc::new(OneShot::new());
+        p.add_mirror(Arc::downgrade(&dyn_watcher));
+        let (p2, w2) = (Arc::clone(&p), Arc::clone(&watcher));
+        let t = std::thread::spawn(move || {
+            // the watcher's own wait is interrupted by the mirror pulse
+            let out = w2
+                .0
+                .wait_for(Some(std::time::Instant::now() + Duration::from_secs(5)), || {
+                    w2.1.load(Ordering::SeqCst) > 0
+                });
+            assert_eq!(out, WaitFor::Interrupted);
+            p2.try_wait()
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        p.set(11);
+        assert_eq!(t.join().unwrap(), Some(11));
+        // registering on an already-set promise pulses immediately
+        p.add_mirror(Arc::downgrade(&dyn_watcher));
+        assert_eq!(watcher.1.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -90,6 +90,19 @@ struct RequestJob {
     prefetch: usize,
 }
 
+/// What a worker learns about its own request at completion time.
+#[derive(PartialEq)]
+enum WorkerFate {
+    /// Normal completion: the worker resolved the request and keeps
+    /// serving the queue.
+    Kept,
+    /// An abandoning waiter stole the request's ticket mid-flight (see
+    /// [`PoolCore::abandon_running`]): the result was discarded, the
+    /// worker's accounting was already transferred to a replacement, and
+    /// the thread must retire without touching `busy`/`live`.
+    Abandoned,
+}
+
 struct PoolState {
     queue: VecDeque<Job>,
     /// Workers currently parked in the condvar waiting for work.
@@ -98,6 +111,10 @@ struct PoolState {
     busy: usize,
     /// Worker threads currently alive.
     live: usize,
+    /// Abandoned workers still wedged in a request that was timed out
+    /// from under them. They are outside `live` (a replacement may have
+    /// been spawned) and bounded by `PoolCore::orphan_budget`.
+    orphans: usize,
     shutdown: bool,
     next_id: u64,
 }
@@ -109,6 +126,11 @@ pub(crate) struct PoolCore {
     state: Mutex<PoolState>,
     cv: Condvar,
     limit: usize,
+    /// How many abandoned-but-still-wedged workers the pool tolerates at
+    /// once. At the budget, `abandon_running` declines: the ticket stays
+    /// with the wedged worker (capacity temporarily shrinks) instead of
+    /// the pool growing an unbounded thread herd against a dead source.
+    orphan_budget: usize,
     /// Total worker threads ever created (monotonic) — the observable
     /// for "no thread growth across sequential requests".
     threads_spawned: AtomicUsize,
@@ -138,11 +160,15 @@ impl WorkerPool {
                     idle: 0,
                     busy: 0,
                     live: 0,
+                    orphans: 0,
                     shutdown: false,
                     next_id: 0,
                 }),
                 cv: Condvar::new(),
                 limit,
+                // enough headroom that every in-flight request can be
+                // abandoned twice over before capacity starts shrinking
+                orphan_budget: 2 * limit + 2,
                 threads_spawned: AtomicUsize::new(0),
             }),
         }
@@ -167,6 +193,22 @@ impl WorkerPool {
         self.core.threads_spawned.load(Ordering::SeqCst)
     }
 
+    /// Abandoned workers still wedged in a timed-out request right now.
+    /// Rises when a deadline steals a ticket from a running worker,
+    /// falls back to zero as the wedged work eventually returns (or the
+    /// process exits). Bounded by [`WorkerPool::orphan_budget`].
+    pub fn orphans(&self) -> usize {
+        self.core.lock_state().orphans
+    }
+
+    /// The most abandoned-but-wedged workers this pool tolerates at
+    /// once; beyond it, timed-out requests keep their ticket with the
+    /// wedged worker (capacity temporarily shrinks) rather than
+    /// spawning replacements without bound.
+    pub fn orphan_budget(&self) -> usize {
+        self.core.orphan_budget
+    }
+
     /// Submit `work` (one blocking request round-trip) and return a
     /// handle immediately. The request queues as data until a pool
     /// worker picks it up, acquires an admission ticket, and runs it; a
@@ -179,7 +221,10 @@ impl WorkerPool {
     where
         F: FnOnce() -> KResult<ValueStream> + Send + 'static,
     {
-        let shared = Arc::new(ReqShared::pending(Some(Arc::clone(&self.core.gate))));
+        let shared = Arc::new(ReqShared::pending(
+            &self.core.name,
+            Some(Arc::clone(&self.core.gate)),
+        ));
         let mut st = self.core.lock_state();
         if st.shutdown {
             drop(st);
@@ -315,17 +360,31 @@ impl PoolCore {
                     // leaked — wedging the pool forever. Catch, and make
                     // sure the waiter is never left pending.
                     let shared = Arc::clone(&rj.shared);
-                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let fate = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         core.run_request(rj)
                     }))
-                    .is_err()
-                    {
+                    .unwrap_or_else(|_| {
                         // Set-once: a no-op if the request already
                         // resolved before the panic.
                         shared.resolve_stream(Err(KError::driver(
                             &core.name,
                             "driver panicked while performing the request",
                         )));
+                        // Release the ticket if the unwind left it
+                        // parked; this worker is still accounted for.
+                        drop(shared.steal_ticket());
+                        WorkerFate::Kept
+                    });
+                    if fate == WorkerFate::Abandoned {
+                        // An abandoning waiter already transferred this
+                        // worker's busy/live accounting to a replacement
+                        // (`abandon_running`); retire the thread without
+                        // touching the counters again.
+                        let mut st = core.lock_state();
+                        st.orphans = st.orphans.saturating_sub(1);
+                        drop(st);
+                        core.cv.notify_all();
+                        return;
                     }
                 }
             }
@@ -333,7 +392,7 @@ impl PoolCore {
         }
     }
 
-    fn run_request(self: &Arc<Self>, rj: RequestJob) {
+    fn run_request(self: &Arc<Self>, rj: RequestJob) -> WorkerFate {
         let RequestJob {
             shared,
             work,
@@ -342,20 +401,31 @@ impl PoolCore {
         } = rj;
         if shared.is_cancelled() {
             shared.resolve_cancelled();
-            return;
+            return WorkerFate::Kept;
         }
         // The admission ticket is taken by this worker at pickup time —
         // never by a parked thread — and covers the request round-trip
         // (not the row stream, whose transfer the prefetch buffer
-        // pipelines separately).
+        // pipelines separately). It is *parked* on the shared state for
+        // the duration of the round-trip so a waiter whose deadline
+        // passes can steal it back (`abandon_running`) instead of
+        // blocking on this worker.
         let Some(ticket) = self.gate.acquire_unless(shared.cancelled_flag()) else {
             shared.resolve_cancelled();
-            return;
+            return WorkerFate::Kept;
         };
+        shared.park_ticket(ticket);
         if shared.is_cancelled() {
-            drop(ticket);
-            shared.resolve_cancelled();
-            return;
+            match shared.steal_ticket() {
+                Some(ticket) => {
+                    drop(ticket);
+                    shared.resolve_cancelled();
+                    return WorkerFate::Kept;
+                }
+                // An abandoner raced us between park and this check; it
+                // already resolved the promise and replaced us.
+                None => return WorkerFate::Abandoned,
+            }
         }
         // A panicking driver must park an error, not leave the handle
         // pending forever (the caller may be blocked in wait()).
@@ -366,6 +436,16 @@ impl PoolCore {
                     "driver panicked while performing the request",
                 ))
             });
+        // Reclaim the parked ticket. An empty slot means a deadline (or
+        // cancellation) stole it mid-flight: the waiter is gone, the
+        // promise already resolved, a replacement worker may already be
+        // running — discard the result and retire.
+        let Some(ticket) = shared.steal_ticket() else {
+            if let Ok(stream) = result {
+                guarded_drop(stream);
+            }
+            return WorkerFate::Abandoned;
+        };
         drop(ticket); // release the admission slot
         match result {
             // A request cancelled while it performed gets its raw stream
@@ -386,6 +466,44 @@ impl PoolCore {
             }
             other => shared.resolve_stream(other),
         }
+        WorkerFate::Kept
+    }
+
+    /// Steal a mid-flight request's parked admission ticket and release
+    /// it, orphaning the worker that is (perhaps forever) running it and
+    /// spawning a replacement so pool capacity is restored. Called by an
+    /// abandoning waiter (deadline passed, hedge lost, query cancelled);
+    /// never blocks on the worker. Returns `false` — leaving the ticket
+    /// with the worker — if the request is not mid-flight (not yet
+    /// picked up, or already finished) or the orphan budget is spent, in
+    /// which case capacity temporarily shrinks instead of the pool
+    /// growing an unbounded thread herd against a dead source.
+    ///
+    /// Lock order: pool state, then the ticket slot. The finishing
+    /// worker takes only the ticket slot; no path takes them in the
+    /// opposite order.
+    pub(crate) fn abandon_running(self: &Arc<Self>, shared: &Arc<ReqShared>) -> bool {
+        let mut st = self.lock_state();
+        if st.shutdown {
+            return false;
+        }
+        let mut slot = shared.lock_ticket_slot();
+        if slot.is_none() || st.orphans >= self.orphan_budget {
+            return false;
+        }
+        let ticket = slot.take();
+        drop(slot);
+        // Transfer the wedged worker's accounting to a replacement: it
+        // leaves busy/live (the abandoned thread will retire via
+        // `WorkerFate::Abandoned` without touching them again) and is
+        // counted as an orphan until it actually returns.
+        st.orphans += 1;
+        st.busy = st.busy.saturating_sub(1);
+        st.live = st.live.saturating_sub(1);
+        self.ensure_worker(&mut st);
+        drop(st);
+        drop(ticket); // releases the gate slot — the caller's goal
+        true
     }
 }
 
@@ -1117,5 +1235,170 @@ mod tests {
         assert_eq!(rows.len(), 3, "two rows, one error, then end-of-stream");
         assert!(rows[0].is_ok() && rows[1].is_ok());
         assert!(rows[2].is_err());
+    }
+
+    /// A latch the resilience tests wedge pool work on: `wedge` blocks
+    /// until `release`, which is sticky.
+    fn wedge_latch() -> Arc<(Mutex<bool>, Condvar)> {
+        Arc::new((Mutex::new(false), Condvar::new()))
+    }
+
+    fn submit_wedged(pool: &WorkerPool, latch: &Arc<(Mutex<bool>, Condvar)>) -> RequestHandle {
+        let latch = Arc::clone(latch);
+        pool.submit(0, move || {
+            let (lock, cv) = &*latch;
+            let mut released = lock.lock().unwrap();
+            while !*released {
+                released = cv.wait(released).unwrap();
+            }
+            Ok(rows_stream(1))
+        })
+    }
+
+    fn release(latch: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**latch;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn await_in_flight(pool: &WorkerPool, n: usize) {
+        let t0 = std::time::Instant::now();
+        while pool.gate().in_flight() != n {
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "gate never reached {n} in-flight"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        // in_flight counts the ticket acquisition; give the worker a
+        // beat to park the ticket where an abandoner can steal it.
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    fn await_orphans(pool: &WorkerPool, n: usize) {
+        let t0 = std::time::Instant::now();
+        while pool.orphans() != n {
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "orphans never drained to {n} (now {})",
+                pool.orphans()
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn deadline_on_wedged_work_times_out_and_releases_the_ticket() {
+        let pool = WorkerPool::new("t", 1, None);
+        let latch = wedge_latch();
+        let h = submit_wedged(&pool, &latch);
+        await_in_flight(&pool, 1);
+        let t0 = std::time::Instant::now();
+        let out = h.wait_deadline(std::time::Instant::now() + Duration::from_millis(50));
+        let elapsed = t0.elapsed();
+        match out {
+            Err(e) => assert!(e.is_timeout(), "{e}"),
+            Ok(_) => panic!("wedged work must not yield a stream"),
+        }
+        assert!(elapsed < Duration::from_millis(300), "timed out in {elapsed:?}");
+        assert_eq!(pool.gate().in_flight(), 0, "ticket stolen back on timeout");
+        assert_eq!(pool.orphans(), 1, "the wedged worker was orphaned");
+        // The pool still serves: a replacement worker takes new work
+        // while the orphan sits on the latch.
+        let h2 = pool.submit(0, move || Ok(rows_stream(2)));
+        assert_eq!(collect(h2).len(), 2);
+        assert_eq!(pool.threads_spawned(), 2, "one replacement spawned");
+        // Unwedge: the orphan notices its stolen ticket and retires.
+        release(&latch);
+        await_orphans(&pool, 0);
+        assert_eq!(pool.gate().in_flight(), 0);
+    }
+
+    #[test]
+    fn wait_deadline_returns_rows_when_the_work_beats_the_clock() {
+        let pool = WorkerPool::new("t", 1, None);
+        let h = pool.submit(0, move || {
+            thread::sleep(Duration::from_millis(2));
+            Ok(rows_stream(3))
+        });
+        let stream = h
+            .wait_deadline(std::time::Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(stream.collect::<KResult<Vec<_>>>().unwrap().len(), 3);
+        assert_eq!(pool.orphans(), 0, "no abandonment on the happy path");
+    }
+
+    #[test]
+    fn abandonment_is_bounded_by_the_orphan_budget() {
+        let pool = WorkerPool::new("t", 1, None);
+        assert_eq!(pool.orphan_budget(), 4, "2 * limit + 2");
+        let latch = wedge_latch();
+        for i in 0..4 {
+            let h = submit_wedged(&pool, &latch);
+            await_in_flight(&pool, 1);
+            assert!(h.abandon(KError::timeout("t", "test abandon")));
+            assert_eq!(pool.gate().in_flight(), 0, "ticket stolen on abandon {i}");
+            assert_eq!(pool.orphans(), i + 1);
+        }
+        // The budget is spent: a fifth abandonment resolves the waiter
+        // but must NOT orphan another worker — the ticket stays with the
+        // wedged worker (degrading admission instead of leaking threads).
+        let h = submit_wedged(&pool, &latch);
+        await_in_flight(&pool, 1);
+        h.abandon(KError::timeout("t", "over budget"));
+        assert_eq!(pool.orphans(), 4, "budget caps the orphan count");
+        assert_eq!(pool.gate().in_flight(), 1, "ticket rides out the wedge");
+        // Releasing the latch drains everything: orphans retire, the
+        // over-budget worker finishes and frees its ticket normally.
+        release(&latch);
+        await_orphans(&pool, 0);
+        let t0 = std::time::Instant::now();
+        while pool.gate().in_flight() != 0 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "ticket never freed");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.threads_spawned() <= 1 + 4, "one per orphan plus the original");
+    }
+
+    #[test]
+    fn dropping_a_handle_on_a_wedged_worker_never_blocks_the_dropper() {
+        let pool = WorkerPool::new("t", 1, None);
+        let latch = wedge_latch();
+        let h = submit_wedged(&pool, &latch);
+        await_in_flight(&pool, 1);
+        let t0 = std::time::Instant::now();
+        drop(h);
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "dropping must not wait for the wedged worker"
+        );
+        release(&latch);
+        // The worker finishes its cancelled round-trip and frees the
+        // ticket; nothing leaks.
+        let t0 = std::time::Instant::now();
+        while pool.gate().in_flight() != 0 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "ticket never freed");
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.orphans(), 0, "a plain drop cancels, it does not abandon");
+    }
+
+    #[test]
+    fn abandoning_a_queued_request_needs_no_orphan() {
+        let pool = WorkerPool::new("t", 1, None);
+        let latch = wedge_latch();
+        let running = submit_wedged(&pool, &latch);
+        await_in_flight(&pool, 1);
+        let queued = pool.submit(0, move || Ok(rows_stream(1)));
+        // Still queued: abandoning it is pure queue removal.
+        assert!(queued.abandon(KError::timeout("t", "queued abandon")));
+        match queued.wait() {
+            Err(e) => assert!(e.is_timeout(), "{e}"),
+            Ok(_) => panic!("abandoned request must not yield a stream"),
+        }
+        assert_eq!(pool.orphans(), 0, "no worker held the queued request");
+        assert_eq!(pool.threads_spawned(), 1);
+        release(&latch);
+        assert_eq!(collect(running).len(), 1);
     }
 }

@@ -1,0 +1,862 @@
+//! The resilience layer: deadlines, bounded retry, hedged requests, and
+//! per-driver circuit breakers for the two-phase driver API.
+//!
+//! The paper's sources — GDB's Sybase at Johns Hopkins, GenBank's Entrez
+//! in Bethesda, ACE servers on lab workstations — were reached over 1995
+//! wide-area links: slow, flaky, and sometimes simply gone. The request
+//! path built in `crate::driver`/`crate::pool` makes requests *fast*
+//! (non-blocking submission, admission control, row prefetch); this
+//! module makes them *survivable*. Four mechanisms, composed per
+//! request by [`DriverResilience::submit`] and all disabled by the
+//! default [`ResiliencePolicy`]:
+//!
+//! 1. **Deadlines.** A waiter blocks at most until its deadline, then
+//!    resolves [`crate::KError::Timeout`] through the request's one-shot
+//!    promise, steals the parked admission ticket back from the (maybe
+//!    wedged) worker, and returns — never blocking on the worker. The
+//!    pool replaces the abandoned worker up to a bounded orphan budget
+//!    (`crate::pool`).
+//! 2. **Bounded retry.** Failures classified retryable by
+//!    [`crate::KError::is_retryable`] are resubmitted up to
+//!    [`RetryPolicy::max_retries`] times with exponential backoff and
+//!    jitter, never past the deadline.
+//! 3. **Hedged requests.** After a delay derived from the driver's
+//!    EWMA-p99 round-trip estimate ([`crate::latency::RttEstimator`]), a
+//!    second identical submit is issued; the first answer wins and the
+//!    loser is abandoned, its ticket released. Duplicating only the
+//!    slowest ~1% of requests cuts tail latency to roughly the median.
+//! 4. **Circuit breaking.** A per-driver breaker counts consecutive
+//!    failures; at the threshold it *opens* and subsequent submissions
+//!    fail fast with [`crate::KError::CircuitOpen`] instead of queueing
+//!    doomed work behind a dead source. After a cooldown the breaker
+//!    goes *half-open* and admits one probe: success closes it,
+//!    failure re-opens it.
+//!
+//! Everything observable is counted in [`crate::DriverMetrics`]
+//! (`timeouts`, `retries`, `hedges_fired`, `hedge_wins`,
+//! `breaker_opens`); the session layer merges these resilience-side
+//! counters with the driver's own traffic counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use crate::driver::{DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, RequestHandle};
+use crate::error::{KError, KResult};
+use crate::latency::RttEstimator;
+use crate::oneshot::{Pulsable, WaitFor};
+use crate::ValueStream;
+
+// ------------------------------------------------------------------------
+// Policies
+// ------------------------------------------------------------------------
+
+/// Bounded-retry configuration: how many *extra* submissions a request
+/// may spend on retryable failures, and the exponential-backoff window
+/// between them (each attempt doubles the delay, capped at
+/// `max_backoff`, with up to 50% random jitter subtracted to decorrelate
+/// retry storms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum extra submissions after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling the doubling backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Hedged-request configuration. The hedge delay itself is derived per
+/// request from the driver's observed latency (EWMA + 3 deviations, ~p99
+/// — see [`RttEstimator`]), clamped into `[min_delay, max_delay]`; the
+/// clamp is the policy's protection against a cold or skewed estimator
+/// hedging everything (too small) or never (too large).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Never hedge sooner than this after the primary submit.
+    pub min_delay: Duration,
+    /// Always hedge by this point, whatever the estimator says.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            min_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Circuit-breaker configuration (see [`CircuitBreaker`] for the state
+/// machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before going half-open.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// A driver's failure-handling configuration, carried in
+/// [`crate::Capabilities::resilience`] (the driver's advertisement) and
+/// overridable per session. The default disables every mechanism, making
+/// the request path byte-identical to the pre-resilience behavior —
+/// drivers and tests that don't opt in observe no change in request
+/// counts, thread counts, or admission behavior.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResiliencePolicy {
+    /// Per-request deadline measured from submission, or `None` for
+    /// unbounded waits. A session-level deadline, when tighter, wins.
+    pub deadline: Option<Duration>,
+    /// Bounded retry for [`KError::is_retryable`] failures, or `None`
+    /// to fail on the first error.
+    pub retry: Option<RetryPolicy>,
+    /// Tail-latency hedging, or `None` to never duplicate requests.
+    pub hedge: Option<HedgePolicy>,
+    /// Circuit breaking, or `None` to keep submitting to a dead source.
+    pub breaker: Option<BreakerPolicy>,
+}
+
+impl ResiliencePolicy {
+    /// The recommended advertisement for simulated *remote* drivers:
+    /// bounded retry and a circuit breaker, hedging and deadlines left
+    /// to the session (hedging duplicates requests, which perturbs the
+    /// request-count experiments unless asked for; deadlines are the
+    /// caller's latency budget, not the driver's to guess).
+    pub fn standard() -> ResiliencePolicy {
+        ResiliencePolicy {
+            deadline: None,
+            retry: Some(RetryPolicy::default()),
+            hedge: None,
+            breaker: Some(BreakerPolicy::default()),
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Circuit breaker
+// ------------------------------------------------------------------------
+
+/// Observable circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests pass, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe request is admitted; its outcome
+    /// closes or re-opens the breaker.
+    HalfOpen,
+}
+
+enum BreakerInner {
+    Closed {
+        consecutive_failures: u32,
+    },
+    Open {
+        until: Instant,
+    },
+    HalfOpen {
+        probe_in_flight: bool,
+        /// When the half-open state was entered; a probe that never
+        /// reports back (abandoned handle) blocks the next probe only
+        /// for one further cooldown, not forever.
+        since: Instant,
+    },
+}
+
+/// A per-driver circuit breaker: `closed → open` on
+/// [`BreakerPolicy::failure_threshold`] consecutive failures, `open →
+/// half-open` after [`BreakerPolicy::cooldown`], and `half-open →
+/// closed`/`open` on the probe's outcome. Timeouts and transport errors
+/// count as failures; semantic errors (bad SQL, missing tables) do not —
+/// they say nothing about the source's health.
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            state: Mutex::new(BreakerInner::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The observable state right now (an `Open` breaker whose cooldown
+    /// has elapsed reports `HalfOpen`, since that is what the next
+    /// admission will see).
+    pub fn state(&self) -> BreakerState {
+        match &*self.lock() {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { until } => {
+                if Instant::now() >= *until {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+            BreakerInner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a request may pass right now. Open→half-open transitions
+    /// happen here (on the admission attempt after the cooldown), and a
+    /// half-open breaker admits one probe at a time.
+    pub fn try_admit(&self) -> bool {
+        let mut st = self.lock();
+        match &mut *st {
+            BreakerInner::Closed { .. } => true,
+            BreakerInner::Open { until } => {
+                if Instant::now() >= *until {
+                    *st = BreakerInner::HalfOpen {
+                        probe_in_flight: true,
+                        since: Instant::now(),
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerInner::HalfOpen {
+                probe_in_flight,
+                since,
+            } => {
+                if !*probe_in_flight || since.elapsed() >= self.policy.cooldown {
+                    *probe_in_flight = true;
+                    *since = Instant::now();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful request: closes the breaker (and resets the
+    /// consecutive-failure count).
+    pub fn record_success(&self) {
+        *self.lock() = BreakerInner::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Record a failed request. Returns `true` when this failure
+    /// *tripped* the breaker open (closed at threshold, or a failed
+    /// half-open probe) so the caller can count `breaker_opens`.
+    pub fn record_failure(&self) -> bool {
+        let mut st = self.lock();
+        match &mut *st {
+            BreakerInner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.policy.failure_threshold {
+                    *st = BreakerInner::Open {
+                        until: Instant::now() + self.policy.cooldown,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerInner::Open { .. } => false,
+            BreakerInner::HalfOpen { .. } => {
+                *st = BreakerInner::Open {
+                    until: Instant::now() + self.policy.cooldown,
+                };
+                true
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Cancellation
+// ------------------------------------------------------------------------
+
+/// A cooperative cancellation token shared by everything serving one
+/// query: the session's `QueryHandle` cancels it (explicitly or on
+/// drop), and every in-flight driver request registered via
+/// [`CancelToken::watch`] is pulsed awake so its waiter abandons the
+/// round-trip *immediately* — stealing the parked admission ticket back
+/// from a wedged worker — instead of discovering the flag at the next
+/// row boundary. This is what makes dropping a query against a
+/// never-responding driver release the gate width without blocking the
+/// dropper.
+#[derive(Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+    watchers: Mutex<Vec<Weak<dyn Pulsable>>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Cancel: set the flag, then pulse every registered watcher so
+    /// blocked waiters re-check it. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+        let watchers = std::mem::take(
+            &mut *self.watchers.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for w in watchers {
+            if let Some(p) = w.upgrade() {
+                p.pulse_now();
+            }
+        }
+    }
+
+    /// Register a waker to be pulsed on cancellation. If the token is
+    /// already cancelled the waker is pulsed immediately. Watchers are
+    /// held weakly; dead ones are pruned as the list grows.
+    pub fn watch(&self, watcher: Weak<dyn Pulsable>) {
+        if self.is_cancelled() {
+            if let Some(p) = watcher.upgrade() {
+                p.pulse_now();
+            }
+            return;
+        }
+        let mut ws = self.watchers.lock().unwrap_or_else(|e| e.into_inner());
+        if ws.len() >= 32 {
+            ws.retain(|w| w.strong_count() > 0);
+        }
+        ws.push(watcher);
+    }
+}
+
+// ------------------------------------------------------------------------
+// Jitter
+// ------------------------------------------------------------------------
+
+/// A tiny xorshift PRNG for backoff jitter — decorrelating retry storms
+/// needs "not synchronized", not cryptographic quality, and core takes
+/// no RNG dependency.
+static JITTER_STATE: AtomicU64 = AtomicU64::new(0);
+
+fn jittered(backoff: Duration) -> Duration {
+    let ns = backoff.as_nanos().min(u64::MAX as u128) as u64;
+    if ns == 0 {
+        return Duration::ZERO;
+    }
+    let mut x = JITTER_STATE.load(Ordering::Relaxed);
+    if x == 0 {
+        x = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 | 1)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    JITTER_STATE.store(x, Ordering::Relaxed);
+    // Subtract up to 50%: jitter shortens waits, never lengthens them,
+    // so the policy's backoff remains the worst case.
+    Duration::from_nanos(ns - (x % (ns / 2 + 1)))
+}
+
+// ------------------------------------------------------------------------
+// Per-driver resilience state
+// ------------------------------------------------------------------------
+
+/// One driver's resilience state: its effective [`ResiliencePolicy`],
+/// circuit breaker, RTT estimator (feeding the hedge delay), and the
+/// resilience-side metrics counters. The execution context keeps one of
+/// these per registered driver and routes every remote submission
+/// through [`DriverResilience::submit`].
+pub struct DriverResilience {
+    name: String,
+    policy: ResiliencePolicy,
+    breaker: Option<CircuitBreaker>,
+    rtt: RttEstimator,
+    metrics: Arc<DriverMetrics>,
+}
+
+impl DriverResilience {
+    /// Resilience state for driver `name` under `policy`.
+    pub fn new(name: impl Into<String>, policy: ResiliencePolicy) -> DriverResilience {
+        let breaker = policy.breaker.clone().map(CircuitBreaker::new);
+        DriverResilience {
+            name: name.into(),
+            policy,
+            breaker,
+            rtt: RttEstimator::new(),
+            metrics: Arc::new(DriverMetrics::default()),
+        }
+    }
+
+    /// The driver name this state belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The effective policy.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// The breaker's observable state, when one is configured.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
+    }
+
+    /// The RTT estimator feeding the hedge delay.
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// A snapshot of the resilience-side counters (timeouts, retries,
+    /// hedges, breaker opens; the traffic counters stay zero here —
+    /// merge with the driver's own snapshot for the full picture).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Zero the resilience-side counters.
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    fn record_failure(&self, err: &KError) {
+        // Only failures that speak to the *source's health* trip the
+        // breaker: timeouts and transport errors. Semantic errors (bad
+        // SQL, unknown tables) and cancellations do not.
+        if !(err.is_retryable() || err.is_timeout()) {
+            return;
+        }
+        if let Some(b) = &self.breaker {
+            if b.record_failure() {
+                self.metrics.record_breaker_open();
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        if let Some(b) = &self.breaker {
+            b.record_success();
+        }
+    }
+
+    /// Submit `req` to `driver` under this policy: breaker check first
+    /// (fail-fast with [`KError::CircuitOpen`]), then a real
+    /// [`crate::Driver::submit`], wrapped in a [`ResilientHandle`] that
+    /// enforces the deadline and runs the hedge/retry loops when
+    /// redeemed. `deadline` is the caller's absolute budget (the
+    /// policy's own [`ResiliencePolicy::deadline`] tightens it);
+    /// `cancel` aborts in-flight waits promptly when cancelled.
+    ///
+    /// A synchronous submit error (inline drivers) is captured into the
+    /// handle rather than returned, so the retry loop can still
+    /// resubmit it; breaker rejection is returned immediately.
+    pub fn submit(
+        self: &Arc<Self>,
+        driver: &DriverRef,
+        req: &DriverRequest,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<CancelToken>>,
+    ) -> KResult<ResilientHandle> {
+        let deadline = match (deadline, self.policy.deadline) {
+            (Some(d), Some(p)) => Some(d.min(Instant::now() + p)),
+            (Some(d), None) => Some(d),
+            (None, Some(p)) => Some(Instant::now() + p),
+            (None, None) => None,
+        };
+        if let Some(b) = &self.breaker {
+            if !b.try_admit() {
+                return Err(KError::circuit_open(&self.name));
+            }
+        }
+        let attempt = driver.submit(req).map_err(|e| {
+            self.record_failure(&e);
+            e
+        });
+        // A retryable submit error is carried into the handle so wait()
+        // can spend the retry budget on it; anything else fails now.
+        let attempt = match attempt {
+            Ok(h) => Ok(h),
+            Err(e) if e.is_retryable() && self.policy.retry.is_some() => Err(e),
+            Err(e) => return Err(e),
+        };
+        Ok(ResilientHandle {
+            res: Arc::clone(self),
+            driver: Arc::clone(driver),
+            req: req.clone(),
+            deadline,
+            cancel,
+            attempt: Some(attempt),
+        })
+    }
+}
+
+// ------------------------------------------------------------------------
+// The resilient handle
+// ------------------------------------------------------------------------
+
+/// The caller's half of one *resilient* submission: a
+/// [`RequestHandle`] plus the deadline, hedge, retry, and cancellation
+/// behavior of the driver's policy, applied when the handle is redeemed
+/// with [`ResilientHandle::wait`]. Dropping the handle unredeemed
+/// abandons whatever round-trip is still in flight (ticket reclaimed,
+/// wedged worker orphaned) — nobody will ever take its result.
+pub struct ResilientHandle {
+    res: Arc<DriverResilience>,
+    driver: DriverRef,
+    req: DriverRequest,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<CancelToken>>,
+    /// The primary attempt (or its synchronous submit error, kept for
+    /// the retry loop). `None` once redeemed.
+    attempt: Option<Result<RequestHandle, KError>>,
+}
+
+impl ResilientHandle {
+    /// Whether the current attempt has resolved (without blocking).
+    /// `true` also for captured submit errors and redeemed handles —
+    /// "a wait would not block".
+    pub fn is_ready(&self) -> bool {
+        match &self.attempt {
+            Some(Ok(h)) => h.poll() != crate::driver::RequestStatus::Pending,
+            _ => true,
+        }
+    }
+
+    /// The deadline this handle enforces, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Block until the request resolves under the policy: deadline
+    /// enforced (with the ticket stolen back from a wedged worker on
+    /// expiry), hedge fired after the EWMA-p99 delay, retryable errors
+    /// resubmitted with jittered exponential backoff, cancellation
+    /// honored promptly. Consumes the handle.
+    pub fn wait(mut self) -> KResult<ValueStream> {
+        let first = match self.attempt.take() {
+            Some(a) => a,
+            None => return Err(KError::eval("request result already taken")),
+        };
+        let retry = self.res.policy.retry.clone();
+        let mut retries_left = retry.as_ref().map_or(0, |r| r.max_retries);
+        let mut backoff = retry.as_ref().map_or(Duration::ZERO, |r| r.base_backoff);
+        let mut attempt = first;
+        loop {
+            let started = Instant::now();
+            let outcome = match attempt {
+                Ok(handle) => self.wait_round(handle),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(stream) => {
+                    self.res.rtt.observe(started.elapsed());
+                    self.res.record_success();
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    self.res.record_failure(&e);
+                    if !e.is_retryable() || retries_left == 0 || self.cancelled() {
+                        return Err(e);
+                    }
+                    // Retry only if the backoff still fits the deadline.
+                    let pause = jittered(backoff);
+                    if let Some(d) = self.deadline {
+                        if Instant::now() + pause >= d {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(pause);
+                    if let Some(r) = &retry {
+                        backoff = (backoff * 2).min(r.max_backoff);
+                    }
+                    retries_left -= 1;
+                    if let Some(b) = &self.res.breaker {
+                        if !b.try_admit() {
+                            return Err(KError::circuit_open(&self.res.name));
+                        }
+                    }
+                    self.res.metrics.record_retry();
+                    attempt = self.driver.submit(&self.req);
+                }
+            }
+        }
+    }
+
+    /// One round: wait on `primary` until it resolves, the hedge delay
+    /// elapses (then race a second submit against it), the deadline
+    /// passes (abandon everything, `Timeout`), or cancellation fires
+    /// (abandon everything, `Cancelled`).
+    fn wait_round(&self, primary: RequestHandle) -> KResult<ValueStream> {
+        if let Some(t) = &self.cancel {
+            t.watch(primary.watcher());
+        }
+        // Phase 1: wait for the primary alone until the hedge point.
+        let hedge_at = self.hedge_fire_at(&primary);
+        let phase1 = match (hedge_at, self.deadline) {
+            (Some(h), Some(d)) => Some(h.min(d)),
+            (Some(h), None) => Some(h),
+            (None, d) => d,
+        };
+        match primary.wait_for_ref(phase1, || self.cancelled()) {
+            WaitFor::Ready => return primary.wait(),
+            WaitFor::Interrupted => return self.abandon_cancelled(primary, None),
+            WaitFor::TimedOut => {}
+        }
+        let hedging_now = match (hedge_at, self.deadline) {
+            (Some(h), Some(d)) => h < d,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !hedging_now {
+            return self.timeout(primary, None);
+        }
+        // Phase 2: fire the hedge and wait for either handle.
+        self.res.metrics.record_hedge_fired();
+        let mut hedge = match self.driver.submit(&self.req) {
+            Ok(h) => {
+                h.mirror_into(&primary);
+                if let Some(t) = &self.cancel {
+                    t.watch(h.watcher());
+                }
+                Some(h)
+            }
+            // A failed hedge submit never fails the round — the primary
+            // is still in flight.
+            Err(_) => None,
+        };
+        loop {
+            let hedge_ready = || {
+                hedge.as_ref().is_some_and(|h| {
+                    h.poll() != crate::driver::RequestStatus::Pending
+                })
+            };
+            match primary.wait_for_ref(self.deadline, || self.cancelled() || hedge_ready()) {
+                WaitFor::Ready => {
+                    if let Some(h) = hedge.take() {
+                        h.abandon(KError::cancelled("hedged request lost the race"));
+                    }
+                    return primary.wait();
+                }
+                WaitFor::TimedOut => return self.timeout(primary, hedge.take()),
+                WaitFor::Interrupted => {
+                    if self.cancelled() {
+                        return self.abandon_cancelled(primary, hedge.take());
+                    }
+                    // The hedge resolved first.
+                    if let Some(h) = hedge.take() {
+                        match h.wait() {
+                            Ok(stream) => {
+                                self.res.metrics.record_hedge_win();
+                                primary.abandon(KError::cancelled(
+                                    "primary request lost to its hedge",
+                                ));
+                                return Ok(stream);
+                            }
+                            // A failed hedge: keep waiting on the
+                            // primary alone (hedge stays taken/None).
+                            Err(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Where the hedge should fire, if this round hedges at all:
+    /// policy present, and the driver's submission genuinely
+    /// non-blocking (hedging through an inline adapter would *run* the
+    /// duplicate on this thread instead of putting it in flight).
+    fn hedge_fire_at(&self, _primary: &RequestHandle) -> Option<Instant> {
+        let h = self.res.policy.hedge.as_ref()?;
+        if !self.driver.nonblocking_submit() {
+            return None;
+        }
+        let est = self
+            .res
+            .rtt
+            .p99_estimate()
+            .unwrap_or(h.max_delay)
+            .clamp(h.min_delay, h.max_delay);
+        Some(Instant::now() + est)
+    }
+
+    fn timeout(
+        &self,
+        primary: RequestHandle,
+        hedge: Option<RequestHandle>,
+    ) -> KResult<ValueStream> {
+        if let Some(h) = hedge {
+            h.abandon(KError::timeout(&self.res.name, "request deadline exceeded"));
+        }
+        let err = KError::timeout(&self.res.name, "request deadline exceeded");
+        if primary.abandon(err.clone()) {
+            self.res.metrics.record_timeout();
+            Err(err)
+        } else {
+            // The worker's answer won the set-once race: use it.
+            primary.wait()
+        }
+    }
+
+    fn abandon_cancelled(
+        &self,
+        primary: RequestHandle,
+        hedge: Option<RequestHandle>,
+    ) -> KResult<ValueStream> {
+        if let Some(h) = hedge {
+            h.abandon(KError::cancelled("query cancelled"));
+        }
+        let err = KError::cancelled("query cancelled while the request was in flight");
+        if primary.abandon(err.clone()) {
+            Err(err)
+        } else {
+            primary.wait()
+        }
+    }
+}
+
+impl Drop for ResilientHandle {
+    fn drop(&mut self) {
+        // An unredeemed in-flight attempt has no future consumer: don't
+        // just flag it cancelled (the worker would hold the admission
+        // ticket until the — possibly wedged — work returns), abandon it
+        // so the ticket is reclaimed now.
+        if let Some(Ok(h)) = self.attempt.take() {
+            h.abandon(KError::cancelled("resilient handle dropped unredeemed"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn default_policy_disables_everything() {
+        let p = ResiliencePolicy::default();
+        assert!(p.deadline.is_none());
+        assert!(p.retry.is_none());
+        assert!(p.hedge.is_none());
+        assert!(p.breaker.is_none());
+        let s = ResiliencePolicy::standard();
+        assert!(s.retry.is_some() && s.breaker.is_some() && s.hedge.is_none());
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third failure trips the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_admit(), "open breaker fails fast");
+        thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_admit(), "cooldown elapsed: one probe passes");
+        assert!(!b.try_admit(), "second probe is held back");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        assert!(b.record_failure());
+        thread::sleep(Duration::from_millis(15));
+        assert!(b.try_admit());
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_admit());
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        });
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure(), "count restarted after success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn jitter_shortens_never_lengthens() {
+        let base = Duration::from_millis(10);
+        for _ in 0..100 {
+            let j = jittered(base);
+            assert!(j <= base);
+            assert!(j >= base / 2 - Duration::from_nanos(1));
+        }
+        assert_eq!(jittered(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn cancel_token_pulses_watchers_and_prunes() {
+        struct Counter(AtomicU64);
+        impl Pulsable for Counter {
+            fn pulse_now(&self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let t = CancelToken::new();
+        let c = Arc::new(Counter(AtomicU64::new(0)));
+        let dy: Arc<dyn Pulsable> = c.clone() as Arc<dyn Pulsable>;
+        t.watch(Arc::downgrade(&dy));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(c.0.load(Ordering::SeqCst), 1);
+        // watching after cancellation pulses immediately
+        t.watch(Arc::downgrade(&dy));
+        assert_eq!(c.0.load(Ordering::SeqCst), 2);
+    }
+}

@@ -8,19 +8,96 @@
 //! same structure as the real Sybase/Entrez/ACE servers. Construct with
 //! [`SlowDriver::pipelined`] to also advertise a row-prefetch depth and
 //! exercise the row-pipelined execution path.
+//!
+//! For the resilience test suites the driver can also be put into a
+//! [`Fault`] mode: never answering, stalling mid-stream, failing the
+//! next N requests with transport errors, or spiking the latency of
+//! every k-th request. Wedged workers block on an internal latch until
+//! [`SlowDriver::release_wedged`] lets them finish, so tests can assert
+//! that abandoning a wedged round-trip neither blocks the caller nor
+//! leaks the admission ticket — and still exit with every thread joined.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::driver::{
     Capabilities, Driver, DriverMetrics, DriverRequest, MetricsSnapshot, RequestGate,
     RequestHandle, ValueStream,
 };
-use crate::error::KResult;
+use crate::error::{KError, KResult};
 use crate::latency::LatencyModel;
 use crate::pool::WorkerPool;
+use crate::resilience::ResiliencePolicy;
 use crate::value::Value;
+
+/// An injectable failure mode for [`SlowDriver`].
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Healthy: behave exactly as configured (the default).
+    None,
+    /// Requests wedge before producing any rows and hold their worker
+    /// until [`SlowDriver::release_wedged`] — the "source fell off the
+    /// network mid-round-trip" scenario deadlines exist for.
+    NeverRespond,
+    /// Requests answer normally but the *stream* wedges after yielding
+    /// this many rows — the mid-stream stall scenario.
+    StallAfterRows(usize),
+    /// The next N requests fail with a retryable [`KError::Transport`]
+    /// error, then the driver recovers — the retry-then-succeed
+    /// scenario. (The counter is armed by [`SlowDriver::set_fault`].)
+    FailRequests(u32),
+    /// Every `every`-th request (1-based) takes `extra` longer — the
+    /// straggler scenario hedging exists for.
+    SpikeEvery {
+        /// Spike period: request numbers divisible by this spike.
+        every: u64,
+        /// Additional wall-clock latency charged to a spiked request.
+        extra: Duration,
+    },
+}
+
+/// The latch wedged work blocks on. Sticky: once released, every
+/// current and future wedge passes straight through.
+struct WedgeLatch {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WedgeLatch {
+    fn new() -> WedgeLatch {
+        WedgeLatch {
+            released: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wedge(&self) {
+        let mut released = self.released.lock().unwrap_or_else(|e| e.into_inner());
+        while !*released {
+            released = self
+                .cv
+                .wait(released)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Fault-injection state shared between the driver facade and the work
+/// closures already queued on pool workers.
+struct FaultState {
+    fault: Mutex<Fault>,
+    /// Requests still owed a transport failure under `FailRequests`.
+    fail_remaining: AtomicU64,
+    /// Monotonic request number (1-based), for `SpikeEvery`.
+    seq: AtomicU64,
+    wedge: WedgeLatch,
+}
 
 /// A simulated slow source for concurrency tests. The instrumentation
 /// counters are public so tests can assert on them directly.
@@ -44,6 +121,9 @@ pub struct SlowDriver {
     pub performs: Arc<AtomicU64>,
     /// Traffic counters (rows shipped, rows prefetched/pulled, ...).
     pub metrics: Arc<DriverMetrics>,
+    faults: Arc<FaultState>,
+    /// The resilience policy advertised in `Capabilities`.
+    policy: Mutex<ResiliencePolicy>,
 }
 
 impl SlowDriver {
@@ -82,26 +162,102 @@ impl SlowDriver {
             max_seen: Arc::new(AtomicUsize::new(0)),
             performs: Arc::new(AtomicU64::new(0)),
             metrics,
+            faults: Arc::new(FaultState {
+                fault: Mutex::new(Fault::None),
+                fail_remaining: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                wedge: WedgeLatch::new(),
+            }),
+            policy: Mutex::new(ResiliencePolicy::default()),
         })
     }
 
+    /// Arm (or clear, with [`Fault::None`]) a failure mode. Applies to
+    /// requests *started* after this call; `FailRequests(n)` arms a
+    /// countdown of `n` transport failures.
+    pub fn set_fault(&self, fault: Fault) {
+        if let Fault::FailRequests(n) = fault {
+            self.faults.fail_remaining.store(n as u64, Ordering::SeqCst);
+        } else {
+            self.faults.fail_remaining.store(0, Ordering::SeqCst);
+        }
+        *self.faults.fault.lock().unwrap_or_else(|e| e.into_inner()) = fault;
+    }
+
+    /// Release every wedged request (current and future): the
+    /// never-responding / stalled work completes normally from here on.
+    /// Tests call this before dropping the driver so abandoned workers
+    /// finish, notice their stolen tickets, and retire — leaving the
+    /// process with no leaked threads.
+    pub fn release_wedged(&self) {
+        self.faults.wedge.release();
+    }
+
+    /// How many requests have *started* running (includes wedged and
+    /// failed ones, unlike `performs` which they also count — this is
+    /// the `SpikeEvery` sequence number).
+    pub fn requests_started(&self) -> u64 {
+        self.faults.seq.load(Ordering::SeqCst)
+    }
+
+    /// Override the [`ResiliencePolicy`] this driver advertises in its
+    /// [`Capabilities`] (the default advertises everything off).
+    pub fn set_resilience(&self, policy: ResiliencePolicy) {
+        *self.policy.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
     fn run(
+        name: &str,
         rows: i64,
         latency: &Arc<LatencyModel>,
         current: &AtomicUsize,
         max_seen: &AtomicUsize,
         performs: &AtomicU64,
         metrics: &Arc<DriverMetrics>,
+        faults: &Arc<FaultState>,
     ) -> KResult<ValueStream> {
+        let seq = faults.seq.fetch_add(1, Ordering::SeqCst) + 1;
         performs.fetch_add(1, Ordering::SeqCst);
         metrics.record_request();
+        let fault = faults.fault.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match &fault {
+            Fault::FailRequests(_) => {
+                let owed = faults
+                    .fail_remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok();
+                if owed {
+                    return Err(KError::transport(name, "injected transport failure"));
+                }
+            }
+            Fault::NeverRespond => {
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                faults.wedge.wedge();
+                current.fetch_sub(1, Ordering::SeqCst);
+            }
+            Fault::SpikeEvery { every, extra } => {
+                if *every > 0 && seq % *every == 0 {
+                    std::thread::sleep(*extra);
+                }
+            }
+            Fault::None | Fault::StallAfterRows(_) => {}
+        }
         let now = current.fetch_add(1, Ordering::SeqCst) + 1;
         max_seen.fetch_max(now, Ordering::SeqCst);
         latency.charge_request();
         current.fetch_sub(1, Ordering::SeqCst);
+        let stall_at = match fault {
+            Fault::StallAfterRows(n) => Some(n as i64),
+            _ => None,
+        };
         let latency = Arc::clone(latency);
         let metrics = Arc::clone(metrics);
+        let faults = Arc::clone(faults);
         Ok(Box::new((0..rows).map(move |i| {
+            if stall_at == Some(i) {
+                faults.wedge.wedge();
+            }
             latency.charge_row();
             let v = Value::record_from(vec![("n", Value::Int(i))]);
             metrics.record_row(v.approx_size());
@@ -119,30 +275,37 @@ impl Driver for SlowDriver {
         Capabilities {
             max_concurrent_requests: self.limit,
             prefetch_rows: self.prefetch,
+            resilience: self.policy.lock().unwrap_or_else(|e| e.into_inner()).clone(),
             ..Capabilities::default()
         }
     }
 
     fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
         SlowDriver::run(
+            &self.name,
             self.rows,
             &self.latency,
             &self.current,
             &self.max_seen,
             &self.performs,
             &self.metrics,
+            &self.faults,
         )
     }
 
     fn submit(&self, _req: &DriverRequest) -> KResult<RequestHandle> {
+        let name = self.name.clone();
         let rows = self.rows;
         let latency = Arc::clone(&self.latency);
         let current = Arc::clone(&self.current);
         let max_seen = Arc::clone(&self.max_seen);
         let performs = Arc::clone(&self.performs);
         let metrics = Arc::clone(&self.metrics);
+        let faults = Arc::clone(&self.faults);
         Ok(self.pool.submit(self.prefetch, move || {
-            SlowDriver::run(rows, &latency, &current, &max_seen, &performs, &metrics)
+            SlowDriver::run(
+                &name, rows, &latency, &current, &max_seen, &performs, &metrics, &faults,
+            )
         }))
     }
 

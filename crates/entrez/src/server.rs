@@ -9,13 +9,14 @@
 //! during the parse of each hit so only the pruned value crosses the wire.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, Value, ValueStream, WorkerPool,
+    MetricsSnapshot, RequestHandle, ResiliencePolicy, Value, ValueStream, WorkerPool,
 };
 
 use crate::path::Path;
@@ -128,6 +129,11 @@ struct EntrezCore {
     divisions: RwLock<HashMap<String, Division>>,
     latency: Arc<LatencyModel>,
     metrics: Arc<DriverMetrics>,
+    /// Reachability knob: `false` simulates the wide-area link being
+    /// down — requests fail with a retryable `KError::Transport` rather
+    /// than a semantic driver error, so the resilience layer can retry
+    /// them and the circuit breaker counts them against the source.
+    available: AtomicBool,
 }
 
 /// The paper's example: an Entrez server tolerating ~5 requests at once.
@@ -148,6 +154,7 @@ impl EntrezServer {
             divisions: RwLock::new(HashMap::new()),
             latency: Arc::new(latency),
             metrics: Arc::new(DriverMetrics::default()),
+            available: AtomicBool::new(true),
         });
         let pool = WorkerPool::new(
             "entrez",
@@ -166,11 +173,21 @@ impl EntrezServer {
         let mut divs = self.core.divisions.write();
         f(divs.entry(db.to_string()).or_default())
     }
+
+    /// Simulate the server (un)reachable: while `false`, every request
+    /// fails with a retryable transport error. Fault injection for the
+    /// resilience tests and benchmarks.
+    pub fn set_available(&self, up: bool) {
+        self.core.available.store(up, Ordering::Release);
+    }
 }
 
 impl EntrezCore {
     fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
         self.metrics.record_request();
+        if !self.available.load(Ordering::Acquire) {
+            return Err(KError::transport(&self.name, "connection refused"));
+        }
         self.latency.charge_request();
         let rows = match req {
             DriverRequest::EntrezFetch { db, query, path } => self.fetch(db, query, path)?,
@@ -261,6 +278,8 @@ impl Driver for EntrezServer {
             // 0 unless the latency model realizes a real per-row sleep:
             // prefetch pipelines wall-clock transfer latency only.
             prefetch_rows: self.core.latency.effective_prefetch(ENTREZ_PREFETCH_ROWS),
+            // a remote source: advertise retry + circuit breaking
+            resilience: ResiliencePolicy::standard(),
         }
     }
 

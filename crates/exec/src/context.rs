@@ -5,10 +5,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, ThreadId};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use kleisli_core::{DriverRef, DriverRequest, Executor, KError, KResult, Oid, Value};
+use kleisli_core::resilience::{CancelToken, DriverResilience, ResiliencePolicy, ResilientHandle};
+use kleisli_core::{
+    DriverRef, DriverRequest, Executor, KError, KResult, MetricsSnapshot, Oid, Value,
+};
 
 /// A memoization slot for one `Cached { id }` subquery, with *single-
 /// flight* population: the first evaluator to find the slot empty becomes
@@ -145,10 +149,22 @@ pub trait ObjectStore: Send + Sync {
 #[derive(Clone)]
 pub struct Context {
     inner: Arc<CtxInner>,
+    /// Per-query latency budget: remote waits and row-boundary checks
+    /// resolve `KError::Timeout` past this instant. Carried *outside*
+    /// the shared inner so one query's deadline never leaks into
+    /// another's clone of the same registry.
+    deadline: Option<Instant>,
+    /// Per-query cooperative cancellation; see [`CancelToken`].
+    cancel: Option<Arc<CancelToken>>,
 }
 
 struct CtxInner {
     drivers: HashMap<String, DriverRef>,
+    /// Per-driver resilience state (policy, breaker, RTT estimator,
+    /// resilience counters), built at registration from the driver's
+    /// advertised `Capabilities::resilience` and replaced wholesale by
+    /// [`Context::set_resilience_policy`].
+    resilience: HashMap<String, Arc<DriverResilience>>,
     object_stores: Vec<Arc<dyn ObjectStore>>,
     cache: Mutex<HashMap<u64, Arc<CacheCell>>>,
     /// The compute pool `ParExt` chunks (and the session's query
@@ -176,10 +192,13 @@ impl Context {
         Context {
             inner: Arc::new(CtxInner {
                 drivers: HashMap::new(),
+                resilience: HashMap::new(),
                 object_stores: Vec::new(),
                 cache: Mutex::new(HashMap::new()),
                 executor,
             }),
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -194,11 +213,32 @@ impl Context {
             .expect("context must be uniquely owned while registering sources")
     }
 
-    /// Register a driver under its own name.
+    /// Register a driver under its own name. Its advertised
+    /// `Capabilities::resilience` becomes the driver's effective policy
+    /// until [`Context::set_resilience_policy`] overrides it.
     pub fn register_driver(&mut self, driver: DriverRef) {
-        self.inner_mut()
-            .drivers
-            .insert(driver.name().to_string(), driver);
+        let name = driver.name().to_string();
+        let policy = driver.capabilities().resilience;
+        let inner = self.inner_mut();
+        inner
+            .resilience
+            .insert(name.clone(), Arc::new(DriverResilience::new(&name, policy)));
+        inner.drivers.insert(name, driver);
+    }
+
+    /// Replace a registered driver's resilience policy (session-level
+    /// override of the driver's advertisement). Resets that driver's
+    /// breaker, RTT estimate, and resilience counters. Requires the
+    /// context to be uniquely owned, like registration.
+    pub fn set_resilience_policy(&mut self, name: &str, policy: ResiliencePolicy) -> KResult<()> {
+        let inner = self.inner_mut();
+        if !inner.drivers.contains_key(name) {
+            return Err(KError::driver(name, "no such driver registered"));
+        }
+        inner
+            .resilience
+            .insert(name.to_string(), Arc::new(DriverResilience::new(name, policy)));
+        Ok(())
     }
 
     /// Register an object store consulted by `deref`.
@@ -217,6 +257,93 @@ impl Context {
     /// Every registered driver, in no particular order.
     pub fn drivers(&self) -> impl Iterator<Item = &DriverRef> {
         self.inner.drivers.values()
+    }
+
+    /// A clone of this context whose remote waits and row-boundary
+    /// checks observe `deadline` (an existing tighter deadline wins).
+    pub fn with_deadline(&self, deadline: Instant) -> Context {
+        let mut c = self.clone();
+        c.deadline = Some(match c.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        c
+    }
+
+    /// A clone of this context whose remote waits abort promptly when
+    /// `token` is cancelled.
+    pub fn with_cancel_token(&self, token: Arc<CancelToken>) -> Context {
+        let mut c = self.clone();
+        c.cancel = Some(token);
+        c
+    }
+
+    /// The query deadline this clone carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The cancellation token this clone carries, if any.
+    pub fn cancel_token(&self) -> Option<&Arc<CancelToken>> {
+        self.cancel.as_ref()
+    }
+
+    /// The row-boundary budget check: `Err(KError::Cancelled)` once the
+    /// token fires, `Err(KError::Timeout)` once the deadline passes.
+    /// Evaluators call this between rows so a query over a stalled
+    /// stream resolves at the next row boundary instead of hanging.
+    pub fn check_budget(&self) -> KResult<()> {
+        if let Some(t) = &self.cancel {
+            if t.is_cancelled() {
+                return Err(KError::cancelled("query cancelled"));
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(KError::timeout("query", "deadline exceeded at row boundary"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The resilience state for a registered driver.
+    pub fn resilience(&self, name: &str) -> Option<&Arc<DriverResilience>> {
+        self.inner.resilience.get(name)
+    }
+
+    /// Submit a request through the driver's resilience layer: breaker
+    /// admission, the context's deadline (tightened by the policy's own),
+    /// and the context's cancellation token all apply; retry and hedging
+    /// run when the returned handle is redeemed.
+    pub fn submit_resilient(&self, name: &str, req: &DriverRequest) -> KResult<ResilientHandle> {
+        let driver = self.driver(name)?;
+        let res = self
+            .inner
+            .resilience
+            .get(name)
+            .ok_or_else(|| KError::driver(name, "no resilience state registered"))?;
+        res.submit(driver, req, self.deadline, self.cancel.clone())
+    }
+
+    /// A driver's full metrics picture: its own traffic counters merged
+    /// with the resilience-side counters (timeouts, retries, hedges,
+    /// breaker opens) kept outside the driver.
+    pub fn driver_metrics(&self, name: &str) -> KResult<MetricsSnapshot> {
+        let traffic = self.driver(name)?.metrics();
+        Ok(match self.inner.resilience.get(name) {
+            Some(res) => traffic.merged(&res.metrics_snapshot()),
+            None => traffic,
+        })
+    }
+
+    /// Reset every driver's traffic *and* resilience counters.
+    pub fn reset_metrics(&self) {
+        for d in self.inner.drivers.values() {
+            d.reset_metrics();
+        }
+        for r in self.inner.resilience.values() {
+            r.reset_metrics();
+        }
     }
 
     /// Resolve an object reference through the registered stores.

@@ -357,12 +357,15 @@ fn emit_join_pair(
 }
 
 fn run_remote(driver: &str, req: &kleisli_core::DriverRequest, ctx: &Context) -> KResult<Rt> {
-    let d = ctx.driver(driver)?;
     // Submit-then-wait: the eager evaluator is the blocking consumer of
     // the two-phase driver API (overlap lives in the streaming executor).
-    let stream = d.submit(req)?.wait()?;
+    // The wait enforces the driver's resilience policy and the query
+    // deadline; the collect loop re-checks the budget at row boundaries
+    // so a mid-stream stall resolves as Timeout, not a hang.
+    let stream = ctx.submit_resilient(driver, req)?.wait()?;
     let mut out = Vec::new();
     for item in stream {
+        ctx.check_budget()?;
         out.push(item?);
     }
     Ok(Rt::Val(Value::set(out)))

@@ -97,18 +97,21 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             eval_stream(body, &env.bind(Arc::clone(var), d), ctx)
         }
         Expr::Remote { driver, request } => {
-            let d = ctx.driver(driver)?;
             // Two-phase: the request is in flight from this moment; the
             // stream blocks only when the first row is actually pulled,
             // so independent scans submitted while assembling one pull
-            // chain overlap their round-trips.
-            Ok(PendingStream::new(d.submit(request)?))
+            // chain overlap their round-trips. Submission goes through
+            // the driver's resilience layer: breaker admission here,
+            // deadline/retry/hedging when the first pull redeems it.
+            Ok(PendingStream::new(
+                ctx.submit_resilient(driver, request)?,
+                ctx,
+            ))
         }
         Expr::RemoteApp { driver, arg } => {
             let argv = eval(arg, env, ctx)?;
             let req = request_from_value(&argv)?;
-            let d = ctx.driver(driver)?;
-            Ok(PendingStream::new(d.submit(&req)?))
+            Ok(PendingStream::new(ctx.submit_resilient(driver, &req)?, ctx))
         }
         Expr::Join {
             strategy,
@@ -403,18 +406,42 @@ fn prefetchable(e: &Expr, ctx: &Context) -> bool {
 /// request's admission ticket — nothing leaks. A join's inner collection
 /// simply drains the buffer to exhaustion.
 struct PendingStream {
-    handle: Option<kleisli_core::RequestHandle>,
+    handle: Option<kleisli_core::resilience::ResilientHandle>,
     inner: Option<RowStream>,
+    /// Query budget, checked at every row boundary so a mid-stream stall
+    /// resolves as `Timeout`/`Cancelled` at the next pull instead of
+    /// silently hanging the consumer forever.
+    deadline: Option<std::time::Instant>,
+    cancel: Option<Arc<kleisli_core::CancelToken>>,
     failed: bool,
 }
 
 impl PendingStream {
-    fn new(handle: kleisli_core::RequestHandle) -> RowStream {
+    fn new(handle: kleisli_core::resilience::ResilientHandle, ctx: &Context) -> RowStream {
         Box::new(PendingStream {
+            deadline: handle.deadline(),
+            cancel: ctx.cancel_token().cloned(),
             handle: Some(handle),
             inner: None,
             failed: false,
         })
+    }
+
+    fn over_budget(&self) -> Option<KError> {
+        if let Some(t) = &self.cancel {
+            if t.is_cancelled() {
+                return Some(KError::cancelled("query cancelled"));
+            }
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return Some(KError::timeout(
+                    "query",
+                    "deadline exceeded at row boundary",
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -432,6 +459,13 @@ impl Iterator for PendingStream {
                     return Some(Err(e));
                 }
             }
+        }
+        if let Some(e) = self.over_budget() {
+            self.failed = true;
+            // Drop the redeemed stream now: over a prefetching driver
+            // this closes the row buffer and stops refill work.
+            self.inner = None;
+            return Some(Err(e));
         }
         self.inner.as_mut()?.next()
     }

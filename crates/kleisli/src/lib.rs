@@ -27,6 +27,9 @@
 pub mod session;
 pub mod sources;
 
+pub use kleisli_core::{
+    BreakerPolicy, BreakerState, HedgePolicy, ResiliencePolicy, RetryPolicy,
+};
 pub use session::{Compiled, QueryHandle, QueryStatus, Session, StmtResult};
 pub use sources::{bio_federation, AceObjects, BioFederation};
 

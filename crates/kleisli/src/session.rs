@@ -35,13 +35,13 @@
 //! `Context` cache slots.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 use cpl::{desugar_stmt, parse_expr, parse_program, Definitions, Stmt};
 use kleisli_core::{
-    Capabilities, CollKind, DriverRef, Executor, KError, KResult, MetricsSnapshot, OneShot,
-    PromiseState, TableStats, Type, Value,
+    CancelToken, Capabilities, CollKind, DriverRef, Executor, KError, KResult, MetricsSnapshot,
+    OneShot, PromiseState, ResiliencePolicy, TableStats, Type, Value,
 };
 use kleisli_exec::{eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore};
 use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
@@ -159,7 +159,11 @@ struct QueryShared {
     rows: StdMutex<Vec<Value>>,
     /// The final result, set exactly once when evaluation completes.
     done: OneShot<KResult<Value>>,
-    cancel: AtomicBool,
+    /// Cooperative cancellation, shared with the evaluation context so
+    /// in-flight driver round-trips are woken and abandoned immediately
+    /// (their admission tickets reclaimed) rather than discovered at the
+    /// next row boundary.
+    cancel: Arc<CancelToken>,
 }
 
 /// A query in flight: the public face of the two-phase execution API.
@@ -219,7 +223,11 @@ impl QueryHandle {
     /// per query; a burst of submissions beyond the executor's worker
     /// bound queues as data and runs as workers free up. The task
     /// resolves the handle's [`OneShot`] promise when it finishes.
-    fn spawn(compiled: Arc<Compiled>, ctx: Arc<Context>) -> QueryHandle {
+    fn spawn(
+        compiled: Arc<Compiled>,
+        ctx: Arc<Context>,
+        deadline: Option<Duration>,
+    ) -> QueryHandle {
         // The same kind/dedup decisions as the synchronous query paths:
         // stream when the plan's collection kind is syntactically
         // evident, else fall back to the eager evaluator on the worker.
@@ -228,10 +236,19 @@ impl QueryHandle {
             Type::Coll(k, _) => *k == CollKind::Set,
             _ => kind == Some(CollKind::Set),
         };
+        let cancel = Arc::new(CancelToken::new());
+        // Thread the query budget into the evaluation context: every
+        // remote wait and row-boundary check below this clone observes
+        // the deadline and the cancellation token.
+        let mut qctx = ctx.with_cancel_token(Arc::clone(&cancel));
+        if let Some(budget) = deadline {
+            qctx = qctx.with_deadline(Instant::now() + budget);
+        }
+        let ctx = Arc::new(qctx);
         let shared = Arc::new(QueryShared {
             rows: StdMutex::new(Vec::new()),
             done: OneShot::new(),
-            cancel: AtomicBool::new(false),
+            cancel,
         });
         let worker = Arc::clone(&shared);
         let executor = Arc::clone(ctx.executor());
@@ -262,9 +279,10 @@ impl QueryHandle {
         };
         let stream = eval_stream(&compiled.optimized, &Env::empty(), ctx)?;
         for item in stream {
-            if shared.cancel.load(Ordering::Acquire) {
-                return Err(KError::cancelled("query cancelled"));
-            }
+            // Cancelled -> KError::Cancelled; past the query deadline ->
+            // KError::Timeout, even when every individual round-trip was
+            // fast (the budget is end-to-end).
+            ctx.check_budget()?;
             let v = item?;
             let mut rows = shared.rows.lock().unwrap_or_else(|e| e.into_inner());
             rows.push(v);
@@ -402,9 +420,14 @@ impl QueryHandle {
         Ok(prefix)
     }
 
-    /// Stop the evaluation cooperatively (see the type docs). Idempotent.
+    /// Stop the evaluation cooperatively (see the type docs). Driver
+    /// round-trips in flight are woken through the cancellation token
+    /// and abandoned — their admission tickets reclaimed at once, even
+    /// from a wedged worker — so cancelling (or dropping) a handle never
+    /// blocks on, or leaks gate width to, an unresponsive source.
+    /// Idempotent.
     pub fn cancel(&self) {
-        self.shared.cancel.store(true, Ordering::Release);
+        self.shared.cancel.cancel();
         self.shared.done.pulse();
     }
 }
@@ -673,13 +696,29 @@ impl Session {
     pub fn submit(&self, src: &str) -> KResult<QueryHandle> {
         let compiled = self.compile_shared(src)?;
         self.ctx.cache_clear();
-        Ok(QueryHandle::spawn(compiled, Arc::clone(&self.ctx)))
+        Ok(QueryHandle::spawn(compiled, Arc::clone(&self.ctx), None))
+    }
+
+    /// [`Session::submit`] with an end-to-end latency budget: once
+    /// `budget` has elapsed (measured from submission), remote waits
+    /// resolve `KError::Timeout` — abandoning wedged round-trips and
+    /// reclaiming their admission tickets — and the evaluation aborts at
+    /// the next row boundary. A driver policy's own deadline, when
+    /// tighter, still wins for that driver's requests.
+    pub fn submit_with_deadline(&self, src: &str, budget: Duration) -> KResult<QueryHandle> {
+        let compiled = self.compile_shared(src)?;
+        self.ctx.cache_clear();
+        Ok(QueryHandle::spawn(
+            compiled,
+            Arc::clone(&self.ctx),
+            Some(budget),
+        ))
     }
 
     /// [`Session::submit`] for an already-compiled plan.
     pub fn submit_compiled(&self, compiled: &Compiled) -> QueryHandle {
         self.ctx.cache_clear();
-        QueryHandle::spawn(Arc::new(compiled.clone()), Arc::clone(&self.ctx))
+        QueryHandle::spawn(Arc::new(compiled.clone()), Arc::clone(&self.ctx), None)
     }
 
     /// Compile and evaluate one CPL expression: submit-then-wait through
@@ -786,16 +825,36 @@ impl Session {
         Ok(out)
     }
 
-    /// Traffic counters of a registered driver.
+    /// Traffic *and* resilience counters of a registered driver: the
+    /// driver's own request/row counts merged with the timeouts,
+    /// retries, hedges, and breaker opens recorded by the resilience
+    /// layer on its behalf.
     pub fn driver_metrics(&self, name: &str) -> KResult<MetricsSnapshot> {
-        Ok(self.ctx.driver(name)?.metrics())
+        self.ctx.driver_metrics(name)
     }
 
-    /// Reset every driver's traffic counters.
+    /// Reset every driver's traffic and resilience counters.
     pub fn reset_metrics(&self) {
-        for d in self.ctx.drivers() {
-            d.reset_metrics();
-        }
+        self.ctx.reset_metrics();
+    }
+
+    /// Override a registered driver's resilience policy (deadline,
+    /// retry, hedging, circuit breaker), replacing its advertised
+    /// default. Resets that driver's breaker state, latency estimate,
+    /// and resilience counters. Like driver registration, this requires
+    /// no queries in flight on the session.
+    pub fn set_resilience_policy(
+        &mut self,
+        name: &str,
+        policy: ResiliencePolicy,
+    ) -> KResult<()> {
+        self.ctx_mut().set_resilience_policy(name, policy)
+    }
+
+    /// A registered driver's circuit-breaker state, when its policy
+    /// configures a breaker.
+    pub fn breaker_state(&self, name: &str) -> Option<kleisli_core::BreakerState> {
+        self.ctx.resilience(name).and_then(|r| r.breaker_state())
     }
 
     /// The execution context (for advanced embedding). Register all

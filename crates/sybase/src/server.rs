@@ -2,13 +2,15 @@
 //! `Driver` implementation the Kleisli system registers as "GDB").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, TableStats, Value, ValueStream, WorkerPool,
+    MetricsSnapshot, RequestHandle, ResiliencePolicy, TableStats, Value, ValueStream,
+    WorkerPool,
 };
 
 use crate::sql::{self, CmpOp, ColRef, Operand, Pred, Query, SelectList};
@@ -379,6 +381,10 @@ struct SybaseCore {
     db: RwLock<Database>,
     latency: Arc<LatencyModel>,
     metrics: Arc<DriverMetrics>,
+    /// Reachability knob: `false` simulates the wide-area link being
+    /// down — requests fail with a retryable `KError::Transport` so the
+    /// resilience layer can retry them and the breaker counts them.
+    available: AtomicBool,
 }
 
 impl SybaseServer {
@@ -388,6 +394,7 @@ impl SybaseServer {
             db: RwLock::new(db),
             latency: Arc::new(latency),
             metrics: Arc::new(DriverMetrics::default()),
+            available: AtomicBool::new(true),
         });
         let pool = WorkerPool::new(
             "sybase",
@@ -404,6 +411,13 @@ impl SybaseServer {
 
     pub fn latency(&self) -> &Arc<LatencyModel> {
         &self.core.latency
+    }
+
+    /// Simulate the server (un)reachable: while `false`, every request
+    /// fails with a retryable transport error. Fault injection for the
+    /// resilience tests and benchmarks.
+    pub fn set_available(&self, up: bool) {
+        self.core.available.store(up, Ordering::Release);
     }
 }
 
@@ -427,6 +441,9 @@ impl SybaseCore {
     /// query, and hand back a stream that charges/counts per pulled row.
     fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
         self.metrics.record_request();
+        if !self.available.load(Ordering::Acquire) {
+            return Err(KError::transport(&self.name, "connection refused"));
+        }
         self.latency.charge_request();
         let rows = self.run(req)?;
         let latency = Arc::clone(&self.latency);
@@ -492,6 +509,8 @@ impl Driver for SybaseServer {
             // 0 unless the latency model realizes a real per-row sleep:
             // prefetch pipelines wall-clock transfer latency only.
             prefetch_rows: self.core.latency.effective_prefetch(SYBASE_PREFETCH_ROWS),
+            // a remote source: advertise retry + circuit breaking
+            resilience: ResiliencePolicy::standard(),
         }
     }
 

@@ -176,3 +176,192 @@ fn malformed_formats_error_with_format_name() {
         Err(KError::Format { format, .. }) if format == "ace"
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Resilience: deadlines, retries, and circuit breakers, end to end through
+// the session layer against an instrumented fault-injecting driver.
+// ---------------------------------------------------------------------------
+
+use std::time::{Duration, Instant};
+
+use kleisli::{BreakerPolicy, BreakerState, ResiliencePolicy, RetryPolicy};
+use kleisli_core::testutil::{Fault, SlowDriver};
+
+/// A whole-set scan against the [`SlowDriver`] (which ignores the request
+/// shape and yields its configured rows).
+const SCAN: &str = r#"{x.n | \x <- SRC([class = "any"])}"#;
+
+fn resilient_session(driver: &Arc<SlowDriver>) -> Session {
+    let mut s = Session::new();
+    s.register_driver(driver.clone());
+    s
+}
+
+/// Spin (bounded) until `cond` holds — for effects that happen on a pool
+/// or query worker thread shortly after the main thread's trigger.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn a_mid_stream_stall_resolves_as_a_timeout_at_the_row_boundary() {
+    // Rows trickle at 5ms each; a 60ms budget runs out mid-stream and the
+    // executor's row-boundary budget check turns it into a clean Timeout
+    // instead of an unbounded hang.
+    let drv = SlowDriver::pipelined(
+        "SRC",
+        1000,
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+        2,
+        0,
+    );
+    let s = resilient_session(&drv);
+    let t0 = Instant::now();
+    let err = s
+        .submit_with_deadline(SCAN, Duration::from_millis(60))
+        .expect("submit")
+        .wait()
+        .unwrap_err();
+    assert!(err.is_timeout(), "expected a timeout, got: {err}");
+    assert!(
+        t0.elapsed() < Duration::from_millis(1000),
+        "a 60ms budget must not take {:?} to resolve",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn a_never_responding_driver_times_out_and_releases_its_ticket() {
+    let drv = SlowDriver::new("SRC", 5, Duration::from_millis(1), 2);
+    drv.set_fault(Fault::NeverRespond);
+    let s = resilient_session(&drv);
+    let deadline = Duration::from_millis(50);
+    let t0 = Instant::now();
+    let err = s
+        .submit_with_deadline(SCAN, deadline)
+        .expect("submit")
+        .wait()
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(err.is_timeout(), "expected a timeout, got: {err}");
+    assert!(
+        elapsed < deadline * 3,
+        "a {deadline:?} deadline resolved only after {elapsed:?}"
+    );
+    // The wedged round-trip was abandoned: its admission ticket is stolen
+    // back so the gate's full width is available again immediately.
+    wait_until("the admission ticket to be released", || {
+        drv.gate.in_flight() == 0
+    });
+    let m = s.driver_metrics("SRC").expect("metrics");
+    assert!(m.timeouts >= 1, "timeout not counted: {m:?}");
+    // Let the wedged worker finish, notice its stolen ticket, and retire.
+    drv.release_wedged();
+    wait_until("abandoned workers to retire", || drv.pool.orphans() == 0);
+}
+
+#[test]
+fn transport_failures_are_retried_and_rows_arrive_exactly_once() {
+    let drv = SlowDriver::new("SRC", 4, Duration::from_millis(1), 2);
+    drv.set_resilience(ResiliencePolicy {
+        retry: Some(RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        }),
+        ..ResiliencePolicy::default()
+    });
+    let s = resilient_session(&drv);
+    drv.set_fault(Fault::FailRequests(2));
+    let rows = s.query(SCAN).expect("retried to success");
+    assert_eq!(rows, Value::set((0..4).map(Value::Int).collect()));
+    assert_eq!(
+        drv.performs.load(Ordering::SeqCst),
+        3,
+        "two failures plus one success"
+    );
+    let m = s.driver_metrics("SRC").expect("metrics");
+    assert_eq!(m.retries, 2, "both failures retried: {m:?}");
+}
+
+#[test]
+fn the_breaker_opens_fails_fast_and_closes_after_a_good_probe() {
+    let drv = SlowDriver::new("SRC", 3, Duration::from_millis(1), 2);
+    drv.set_resilience(ResiliencePolicy {
+        breaker: Some(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(200),
+        }),
+        ..ResiliencePolicy::default()
+    });
+    let s = resilient_session(&drv);
+    drv.set_fault(Fault::FailRequests(u32::MAX));
+
+    for i in 0..3 {
+        let err = s.query(SCAN).unwrap_err();
+        assert!(
+            matches!(err, KError::Transport { .. }),
+            "failure {i}: expected a transport error, got: {err}"
+        );
+    }
+    assert_eq!(s.breaker_state("SRC"), Some(BreakerState::Open));
+    let m = s.driver_metrics("SRC").expect("metrics");
+    assert_eq!(m.breaker_opens, 1, "{m:?}");
+
+    // Open breaker: fail fast without touching the wire.
+    let before = drv.performs.load(Ordering::SeqCst);
+    let err = s.query(SCAN).unwrap_err();
+    assert!(
+        matches!(err, KError::CircuitOpen { .. }),
+        "expected fail-fast, got: {err}"
+    );
+    assert_eq!(
+        drv.performs.load(Ordering::SeqCst),
+        before,
+        "an open breaker must not ship requests"
+    );
+
+    // Cooldown elapses: half-open admits one probe, and its success
+    // closes the breaker again.
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(s.breaker_state("SRC"), Some(BreakerState::HalfOpen));
+    drv.set_fault(Fault::None);
+    let rows = s.query(SCAN).expect("probe succeeds");
+    assert_eq!(rows.len(), Some(3));
+    assert_eq!(s.breaker_state("SRC"), Some(BreakerState::Closed));
+}
+
+#[test]
+fn dropping_a_query_over_a_wedged_driver_neither_blocks_nor_leaks_the_ticket() {
+    let drv = SlowDriver::new("SRC", 5, Duration::from_millis(1), 1);
+    drv.set_fault(Fault::NeverRespond);
+    let s = resilient_session(&drv);
+    let handle = s.submit(SCAN).expect("submit");
+    wait_until("the request to wedge on the wire", || {
+        drv.gate.in_flight() == 1
+    });
+
+    let t0 = Instant::now();
+    drop(handle);
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "dropping the handle blocked for {:?}",
+        t0.elapsed()
+    );
+
+    // Drop cancels; the cancel token interrupts the in-flight wait, which
+    // abandons the wedged round-trip and steals the admission ticket back.
+    wait_until("the admission ticket to be released", || {
+        drv.gate.in_flight() == 0
+    });
+    drv.release_wedged();
+    wait_until("abandoned workers to retire", || drv.pool.orphans() == 0);
+}
