@@ -11,7 +11,8 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, Oid, RequestHandle, ResiliencePolicy, Value, ValueStream, WorkerPool,
+    MetricsSnapshot, Oid, RequestHandle, ResiliencePolicy, Value, WorkerPool, charged_blocks,
+    BlockStream,
 };
 
 use crate::store::AceStore;
@@ -80,7 +81,7 @@ impl AceServer {
 }
 
 impl AceCore {
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.metrics.record_request();
         if !self.available.load(Ordering::Acquire) {
             return Err(KError::transport(&self.name, "connection refused"));
@@ -109,13 +110,11 @@ impl AceCore {
                 ))
             }
         };
-        let latency = Arc::clone(&self.latency);
-        let metrics = Arc::clone(&self.metrics);
-        Ok(Box::new(rows.into_iter().map(move |v| {
-            latency.charge_row();
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+        Ok(charged_blocks(
+            rows,
+            Arc::clone(&self.latency),
+            Arc::clone(&self.metrics),
+        ))
     }
 }
 
@@ -136,7 +135,7 @@ impl Driver for AceServer {
         }
     }
 
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.core.perform(req)
     }
 

@@ -168,7 +168,7 @@ fn main() {
             ceiling,
         );
         let metrics = Arc::clone(&driver.metrics);
-        let mut stream = kleisli_core::Driver::submit(
+        let stream = kleisli_core::Driver::submit(
             &*driver,
             &kleisli_core::DriverRequest::TableScan {
                 table: "t".into(),
@@ -179,7 +179,7 @@ fn main() {
         .wait()
         .expect("wait");
         let mut n = 0;
-        while let Some(row) = stream.next() {
+        for row in stream {
             row.expect("row");
             n += 1;
             if slow && n < 25 {

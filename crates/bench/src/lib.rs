@@ -200,7 +200,6 @@ pub fn latency_federation_rows(
             links_per_entry: 3,
             seq_len: 60,
             seed: 97,
-            ..Default::default()
         },
         LatencyModel::real(per_request, per_row),
         LatencyModel::real(per_request, per_row),

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, MetricsSnapshot,
-    TableStats, Value, ValueStream,
+    TableStats, Value, blocks_of_rows, BlockStream,
 };
 
 /// Named in-memory collections served as tables: `MemorySource::new("Pubs")
@@ -67,7 +67,7 @@ impl Driver for MemorySource {
         Capabilities::default()
     }
 
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.metrics.record_request();
         let table = match req {
             DriverRequest::TableScan { table, columns: None } => table,
@@ -95,11 +95,11 @@ impl Driver for MemorySource {
         }
         let rows = Arc::clone(rows);
         let mut i = 0;
-        Ok(Box::new(std::iter::from_fn(move || {
+        Ok(blocks_of_rows(Box::new(std::iter::from_fn(move || {
             let out = rows.get(i).cloned().map(Ok);
             i += 1;
             out
-        })))
+        }))))
     }
 
     fn table_stats(&self, table: &str) -> Option<TableStats> {

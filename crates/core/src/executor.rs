@@ -305,8 +305,11 @@ impl ExecCore {
 /// One [`Executor::run_all`] call in flight: the shared item list the
 /// caller and any helping workers drain together, the slot-per-task
 /// result vector, and the completion latch.
+/// An indexed batch task: original slot plus the work to run there.
+type BatchTask<T> = (usize, Box<dyn FnOnce() -> T + Send>);
+
 struct Batch<T> {
-    pending: Mutex<VecDeque<(usize, Box<dyn FnOnce() -> T + Send>)>>,
+    pending: Mutex<VecDeque<BatchTask<T>>>,
     results: Mutex<Vec<Option<T>>>,
     remaining: Mutex<usize>,
     done_cv: Condvar,

@@ -13,6 +13,8 @@
 //! * [`token`] — token streams and the textual exchange format used
 //!   between the system and its drivers.
 //! * [`mod@print`] — CPL-syntax, HTML, and tabular printers.
+//! * [`block`] — columnar row batches ([`ValueBlock`]): the unit of
+//!   transfer between drivers, the prefetch buffer, and the executor.
 //! * [`driver`] — the driver trait, request language, capabilities,
 //!   statistics, and traffic metrics.
 //! * [`pool`] — per-driver worker pools and the adaptive row-prefetch
@@ -32,6 +34,7 @@
 // the repo root links into these module docs.
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod driver;
 pub mod error;
 pub mod executor;
@@ -46,6 +49,7 @@ pub mod token;
 pub mod types;
 pub mod value;
 
+pub use block::{blocks_of_rows, charged_blocks, BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
 pub use driver::{
     Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest, GateTicket, MetricsSnapshot,
     RequestGate, RequestHandle, RequestStatus, TableStats, ValueStream,

@@ -15,7 +15,7 @@
 //! cancelling a still-queued request simply removes it from the deque —
 //! no thread ever existed for it.
 //!
-//! # Row prefetch
+//! # Row prefetch, in blocks
 //!
 //! Request-level overlap (PR 3) hides round-trip latency, but rows were
 //! still shipped one pull at a time on the consumer's clock, so per-row
@@ -23,33 +23,50 @@
 //! laziness/cost discussion trades against — was never hidden. When a
 //! driver advertises [`crate::driver::Capabilities::prefetch_rows`] `> 0`, the pool
 //! worker that performed a request keeps going after parking the result:
-//! it eagerly pulls up to `prefetch_rows` rows from the driver stream
-//! into a bounded `RowBuf`, ahead of the consumer. The consumer drains
+//! it eagerly pulls [`crate::block::ValueBlock`]s from the driver stream
+//! into a bounded `RowBuf`, ahead of the consumer, up to `prefetch_rows`
+//! rows in total. The buffer stores and hands off **whole blocks** — one
+//! lock acquisition and one condvar wake per block rather than per row —
+//! so the handoff tax is amortized over the block. The consumer drains
 //! the buffer (waking refill work as it goes — backpressure is the
 //! buffer bound itself: a full buffer parks the stream and frees the
-//! worker), and falls back to pulling inline whenever no prefetched row
-//! is available, so a dead pool can never stall a stream. Dropping the
-//! consumer stream closes the buffer: outstanding refill work stops at
-//! the next row boundary and the underlying driver stream is dropped, so
-//! neither rows nor admission tickets leak.
+//! worker), and falls back to pulling inline whenever no prefetched
+//! block is available, so a dead pool can never stall a stream. A
+//! consumer that asks for a smaller grain than the buffered block
+//! (`next_block(1)` — prefix stops, dedup) splits the front block and
+//! leaves the rest buffered, preserving exact single-row delivery.
+//! Dropping the consumer stream closes the buffer: outstanding refill
+//! work stops at the next block boundary and the underlying driver
+//! stream is dropped, so neither rows nor admission tickets leak.
 //!
 //! `prefetch_rows = 0` (the default) disables all of this: the worker
 //! parks the driver's stream untouched and the consumer pulls every row
 //! on its own clock — byte-identical to the fully-lazy behavior, which
 //! is what strictly-lazy consumers (and the laziness tests) rely on.
 //!
+//! # Block geometry
+//!
+//! The refill block size is tied to the prefetch window:
+//! `block_rows = (prefetch_rows / 4).clamp(1, DEFAULT_BLOCK_ROWS)`, and
+//! the buffer's depth ceiling is `prefetch_rows / block_rows` blocks
+//! (floor division, so the advertised row ceiling is never overshot). A
+//! small window therefore degenerates to single-row blocks — identical
+//! to the pre-block protocol — while a large window ships
+//! [`crate::block::DEFAULT_BLOCK_ROWS`]-row batches.
+//!
 //! # Adaptive depth
 //!
 //! [`crate::driver::Capabilities::prefetch_rows`] is a **ceiling**, not
 //! the working depth: each request's `RowBuf` adapts its *effective*
-//! depth between `0` and that ceiling to the consumer it is actually
-//! serving. The buffer compares the consumer's drain rate against the
-//! per-row latency it observes (an EWMA over its own pulls):
+//! depth — counted in **blocks** — between `0` and the ceiling above to
+//! the consumer it is actually serving. The buffer compares the
+//! consumer's drain rate against the per-row latency it observes (an
+//! EWMA over its own pulls, normalized by block length):
 //!
 //! * a **starved** consumer — one that found the buffer empty and had
 //!   to wait for a mid-pull worker or pull inline itself — is draining
-//!   faster than rows arrive, so the depth doubles (up to the ceiling):
-//!   bursty consumers get the full pipeline;
+//!   faster than blocks arrive, so the depth doubles (up to the
+//!   ceiling): bursty consumers get the full pipeline;
 //! * a consumer that keeps finding the buffer **full**, with more time
 //!   between its pulls than a row costs to fetch, is slower than the
 //!   source, so the depth halves — all the way to `0`, at which point
@@ -58,7 +75,12 @@
 //!   rows-shipped-but-never-read for pipelining they cannot use;
 //! * a collapsed (`0`-depth) buffer re-opens to depth `1` only when the
 //!   demand pulls themselves prove the consumer is latency-bound again
-//!   (pull-to-pull gap within twice the observed row cost).
+//!   (pull-to-pull gap within twice the observed row cost);
+//! * before the buffer has a believable row-cost estimate (a fresh
+//!   request whose pulls all measured ~zero), the first observed
+//!   pull-to-pull gap *seeds* the EWMA instead of triggering a
+//!   decision, so the first window of a fresh request cannot be
+//!   spuriously collapsed by consumer think-time alone.
 //!
 //! A depth clamped to `0` behaves byte-identically to the fully-lazy
 //! `prefetch_rows = 0` path from that point on — the regression tests
@@ -72,9 +94,9 @@ use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::driver::{DriverMetrics, ReqShared, RequestGate, RequestHandle, ValueStream};
+use crate::block::{BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
+use crate::driver::{DriverMetrics, ReqShared, RequestGate, RequestHandle};
 use crate::error::{KError, KResult};
-use crate::value::Value;
 
 /// Work queued in a pool: a driver request (with its handle state and a
 /// prefetch depth) or a plain task (row-prefetch refills).
@@ -86,7 +108,7 @@ enum Job {
 struct RequestJob {
     id: u64,
     shared: Arc<ReqShared>,
-    work: Box<dyn FnOnce() -> KResult<ValueStream> + Send>,
+    work: Box<dyn FnOnce() -> KResult<BlockStream> + Send>,
     prefetch: usize,
 }
 
@@ -213,13 +235,13 @@ impl WorkerPool {
     /// handle immediately. The request queues as data until a pool
     /// worker picks it up, acquires an admission ticket, and runs it; a
     /// panic in `work` parks a driver error for every waiter. With
-    /// `prefetch > 0`, the worker keeps pulling rows into a bounded
-    /// buffer after the request completes — `prefetch` is the ceiling;
-    /// the buffer's effective depth adapts to the consumer (module
-    /// docs).
+    /// `prefetch > 0`, the worker keeps pulling row blocks into a
+    /// bounded buffer after the request completes — `prefetch` is the
+    /// row ceiling; the buffer's effective depth (in blocks) adapts to
+    /// the consumer (module docs).
     pub fn submit<F>(&self, prefetch: usize, work: F) -> RequestHandle
     where
-        F: FnOnce() -> KResult<ValueStream> + Send + 'static,
+        F: FnOnce() -> KResult<BlockStream> + Send + 'static,
     {
         let shared = Arc::new(ReqShared::pending(
             &self.core.name,
@@ -511,18 +533,18 @@ impl PoolCore {
 // The bounded row-prefetch buffer
 // ------------------------------------------------------------------------
 
-/// Pull one row, converting a panic inside the driver stream into an
-/// error (`Ok(None)` is genuine end-of-stream). Row pulls run on pool
+/// Pull one block, converting a panic inside the driver stream into an
+/// error (`Ok(None)` is genuine end-of-stream). Block pulls run on pool
 /// workers and on consumers holding shared buffer state; letting a
 /// stream panic unwind through either would leak the `pulling` flag (or
 /// the worker itself), wedging every waiter.
-fn guarded_next(s: &mut ValueStream) -> Result<Option<KResult<Value>>, KError> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.next()))
+fn guarded_next_block(s: &mut BlockStream, max_rows: usize) -> Result<Option<ValueBlock>, KError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.next_block(max_rows)))
         .map_err(|_| KError::driver("worker-pool", "driver panicked while streaming rows"))
 }
 
 /// Drop a poisoned stream without letting a panicking `Drop` unwind.
-fn guarded_drop(s: ValueStream) {
+fn guarded_drop(s: BlockStream) {
     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(s)));
 }
 
@@ -533,31 +555,33 @@ fn guarded_drop(s: ValueStream) {
 const SHRINK_GAP_FLOOR: Duration = Duration::from_micros(200);
 
 struct BufState {
-    rows: VecDeque<KResult<Value>>,
+    blocks: VecDeque<ValueBlock>,
     /// The underlying driver stream, parked here whenever nobody is
     /// pulling from it; taken (with `pulling = true`) for the duration
-    /// of each pull so rows stay ordered and single-consumer.
-    stream: Option<ValueStream>,
+    /// of each pull so blocks stay ordered and single-consumer.
+    stream: Option<BlockStream>,
     pulling: bool,
     /// A refill task is queued on the pool but has not started.
     refill_queued: bool,
     exhausted: bool,
     closed: bool,
-    /// The effective prefetch depth right now, adapted between `0` and
-    /// `RowBuf::max_depth` (module docs, "Adaptive depth").
+    /// The effective prefetch depth right now, **in blocks**, adapted
+    /// between `0` and `RowBuf::max_depth` (module docs, "Adaptive
+    /// depth").
     depth: usize,
-    /// EWMA of the observed cost of pulling one row from the driver
-    /// stream, in nanoseconds — the latency side of the drain-rate
-    /// comparison.
+    /// EWMA of the observed cost of pulling one **row** from the driver
+    /// stream, in nanoseconds (block pull cost normalized by block
+    /// length) — the latency side of the drain-rate comparison.
     ewma_pull_ns: u64,
-    /// When the consumer last took a row — the drain-rate side.
+    /// When the consumer last took a block — the drain-rate side.
     last_pop: Option<Instant>,
 }
 
 impl BufState {
-    /// Fold one observed pull duration into the per-row cost EWMA.
-    fn observe_pull(&mut self, took: Duration) {
-        let sample = took.as_nanos().min(u128::from(u64::MAX)) as u64;
+    /// Fold one observed block pull into the per-row cost EWMA.
+    fn observe_pull(&mut self, took: Duration, rows: usize) {
+        let per_row = took.as_nanos() / u128::from(rows.max(1) as u64);
+        let sample = per_row.min(u128::from(u64::MAX)) as u64;
         self.ewma_pull_ns = if self.ewma_pull_ns == 0 {
             sample
         } else {
@@ -566,27 +590,38 @@ impl BufState {
     }
 }
 
-/// A bounded buffer of rows pulled ahead of the consumer (module docs).
+/// A bounded buffer of row blocks pulled ahead of the consumer (module
+/// docs).
 pub(crate) struct RowBuf {
     state: Mutex<BufState>,
     cv: Condvar,
-    /// The advertised `Capabilities::prefetch_rows` — the ceiling the
-    /// adaptive depth may grow back up to.
+    /// The depth ceiling **in blocks** the adaptive depth may grow back
+    /// up to: the advertised `Capabilities::prefetch_rows` divided by
+    /// `block_rows` (floor, at least 1).
     max_depth: usize,
+    /// Rows per refill block — tied to the prefetch window (module
+    /// docs, "Block geometry").
+    block_rows: usize,
     pool: Weak<PoolCore>,
     metrics: Option<Arc<DriverMetrics>>,
 }
 
 impl RowBuf {
     fn new(
-        stream: ValueStream,
-        max_depth: usize,
+        stream: BlockStream,
+        prefetch_rows: usize,
         pool: Weak<PoolCore>,
         metrics: Option<Arc<DriverMetrics>>,
     ) -> Arc<RowBuf> {
+        // A quarter-window block keeps at least ~4 wakes per window (so
+        // the adaptive depth still has decisions to take) while large
+        // windows ship DEFAULT_BLOCK_ROWS-row batches. Floor division
+        // for the depth means the row ceiling is never overshot.
+        let block_rows = (prefetch_rows / 4).clamp(1, DEFAULT_BLOCK_ROWS);
+        let max_depth = (prefetch_rows / block_rows).max(1);
         Arc::new(RowBuf {
             state: Mutex::new(BufState {
-                rows: VecDeque::with_capacity(max_depth.min(1024)),
+                blocks: VecDeque::with_capacity(max_depth.min(1024)),
                 stream: Some(stream),
                 pulling: false,
                 refill_queued: false,
@@ -601,6 +636,7 @@ impl RowBuf {
             }),
             cv: Condvar::new(),
             max_depth,
+            block_rows,
             pool,
             metrics,
         })
@@ -612,57 +648,60 @@ impl RowBuf {
 
     /// The single-pull protocol shared by the refill worker and the
     /// consumer's demand pull, so the two paths can never drift: takes
-    /// the stream (the caller has set `pulling`), pulls one item with
-    /// the buffer lock *released*, then re-establishes the invariants —
-    /// `pulling` reset; the stream re-parked after an Ok row, dropped
-    /// (with `exhausted` set) on end-of-stream, an error row, or a
-    /// panic, which surfaces as a final error row. Returns the fresh
-    /// guard and the pulled row (`None` = the stream is finished).
-    fn pull_one<'b>(
+    /// the stream (the caller has set `pulling`), pulls one block of at
+    /// most `max_rows` with the buffer lock *released*, then
+    /// re-establishes the invariants — `pulling` reset; the stream
+    /// re-parked after a clean block, dropped (with `exhausted` set) on
+    /// end-of-stream, a trailing error row, or a panic, which surfaces
+    /// as a final error block. Returns the fresh guard and the pulled
+    /// block (`None` = the stream is finished).
+    fn pull_block<'b>(
         buf: &'b RowBuf,
-        mut s: ValueStream,
+        mut s: BlockStream,
         st: std::sync::MutexGuard<'b, BufState>,
-    ) -> (std::sync::MutexGuard<'b, BufState>, Option<KResult<Value>>) {
+        max_rows: usize,
+    ) -> (std::sync::MutexGuard<'b, BufState>, Option<ValueBlock>) {
         drop(st);
         let t0 = Instant::now();
-        let item = guarded_next(&mut s);
+        let item = guarded_next_block(&mut s, max_rows);
         let took = t0.elapsed();
         let mut st = buf.lock();
-        st.observe_pull(took);
         st.pulling = false;
-        let row = match item {
+        let block = match item {
             Ok(None) => {
                 st.exhausted = true;
                 None // `s` (the spent stream) drops here
             }
-            Ok(Some(row)) => {
-                if row.is_ok() {
-                    st.stream = Some(s);
-                } else {
+            Ok(Some(block)) => {
+                st.observe_pull(took, block.len());
+                if block.ends_with_err() {
                     // Never pull past an error: whoever consumes sees
                     // the error, then end-of-stream.
                     st.exhausted = true;
+                } else {
+                    st.stream = Some(s);
                 }
-                Some(row)
+                Some(block)
             }
             Err(e) => {
                 // The driver stream panicked mid-pull. Surface it as a
-                // final error row — with `pulling` reset so nobody
+                // final error block — with `pulling` reset so nobody
                 // wedges on the flag — and discard the poisoned stream.
                 st.exhausted = true;
                 guarded_drop(s);
-                Some(Err(e))
+                Some(ValueBlock::of_err(e))
             }
         };
-        (st, row)
+        (st, block)
     }
 
-    /// Pull rows from the parked stream until the buffer holds the
+    /// Pull blocks from the parked stream until the buffer holds the
     /// current *effective* depth, the stream ends (or errors, or
     /// panics), or the consumer closes it. Runs on a pool worker; the
     /// buffer lock is *not* held across pulls, so the consumer drains
     /// concurrently (and may shrink the depth mid-refill — the bound is
-    /// re-read every iteration).
+    /// re-read every iteration). One condvar wake per **block**, not per
+    /// row — the handoff amortization the block protocol buys.
     fn refill(buf: &Arc<RowBuf>) {
         let mut st = buf.lock();
         st.refill_queued = false;
@@ -671,20 +710,22 @@ impl RowBuf {
                 st.stream = None; // drop the driver stream: rows stop here
                 break;
             }
-            if st.pulling || st.exhausted || st.rows.len() >= st.depth {
+            if st.pulling || st.exhausted || st.blocks.len() >= st.depth {
                 break;
             }
             let Some(s) = st.stream.take() else { break };
             st.pulling = true;
-            let (st2, row) = RowBuf::pull_one(buf, s, st);
+            let (st2, block) = RowBuf::pull_block(buf, s, st, buf.block_rows);
             st = st2;
-            if let Some(row) = row {
-                if row.is_ok() {
-                    if let Some(m) = &buf.metrics {
-                        m.record_prefetched_row();
+            if let Some(block) = block {
+                if let Some(m) = &buf.metrics {
+                    for row in block.rows() {
+                        if row.is_ok() {
+                            m.record_prefetched_row();
+                        }
                     }
                 }
-                st.rows.push_back(row);
+                st.blocks.push_back(block);
             }
             buf.cv.notify_all();
         }
@@ -702,7 +743,7 @@ impl RowBuf {
             || st.exhausted
             || st.closed
             || st.stream.is_none()
-            || st.rows.len() >= st.depth
+            || st.blocks.len() >= st.depth
         {
             return;
         }
@@ -712,7 +753,7 @@ impl RowBuf {
         core.spawn_task(Box::new(move || RowBuf::refill(&b)));
     }
 
-    /// The adaptive-depth decision, taken once per row handed to the
+    /// The adaptive-depth decision, taken once per block handed to the
     /// consumer (module docs, "Adaptive depth"). `starved` — the
     /// consumer found the buffer empty on this pull (it waited for a
     /// mid-pull worker or pulled inline itself); `was_full` — the
@@ -721,6 +762,19 @@ impl RowBuf {
         let now = Instant::now();
         let gap = st.last_pop.map(|t| now.duration_since(t));
         st.last_pop = Some(now);
+        if st.ewma_pull_ns == 0 {
+            // Cold start: no believable per-row cost yet (a fresh
+            // request whose pulls all measured ~zero). Deciding now
+            // would let the shrink gate degenerate to its absolute
+            // floor and consumer think-time alone could spuriously
+            // collapse a brand-new window. Seed the EWMA from the first
+            // observed pull-to-pull gap and skip this round's decision;
+            // real pull samples blend in from the next observation on.
+            if let Some(g) = gap {
+                st.ewma_pull_ns = g.as_nanos().min(u128::from(u64::MAX)) as u64;
+            }
+            return;
+        }
         let ewma = Duration::from_nanos(st.ewma_pull_ns);
         if starved {
             if st.depth == 0 {
@@ -755,40 +809,58 @@ impl RowBuf {
     }
 }
 
-/// The consumer's view of a [`RowBuf`]: pops prefetched rows, pulls
+/// The consumer's view of a [`RowBuf`]: pops prefetched blocks, pulls
 /// inline when none are buffered (so it never depends on pool liveness),
 /// and closes the buffer on drop.
+///
+/// The consumer's grain is honored exactly: a `next_block(n)` smaller
+/// than the buffered front block splits it ([`ValueBlock::split_front`])
+/// and leaves the remainder buffered, so grain-1 consumers (the
+/// [`Iterator`] view) see byte-identical single-row delivery.
 pub(crate) struct PrefetchedStream {
     buf: Arc<RowBuf>,
 }
 
 impl PrefetchedStream {
-    fn boxed(buf: Arc<RowBuf>) -> ValueStream {
+    fn boxed(buf: Arc<RowBuf>) -> BlockStream {
         Box::new(PrefetchedStream { buf })
+    }
+
+    /// Count a block handed to the consumer into the driver metrics.
+    fn record_shipped(&self, block: &ValueBlock) {
+        if let Some(m) = &self.buf.metrics {
+            m.record_block();
+            for row in block.rows() {
+                if row.is_ok() {
+                    m.record_pulled_row();
+                }
+            }
+        }
     }
 }
 
-impl Iterator for PrefetchedStream {
-    type Item = KResult<Value>;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        let buf = &self.buf;
+impl BlockSource for PrefetchedStream {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
+        let max = max_rows.max(1);
+        let buf = Arc::clone(&self.buf);
         let mut st = buf.lock();
         // Whether this pull ever found the buffer empty — the grow
         // signal for the adaptive depth.
         let mut starved = false;
         loop {
-            let was_full = st.depth > 0 && st.rows.len() >= st.depth;
-            if let Some(row) = st.rows.pop_front() {
+            let was_full = st.depth > 0 && st.blocks.len() >= st.depth;
+            if let Some(front) = st.blocks.front_mut() {
+                let block = if front.len() <= max {
+                    st.blocks.pop_front().expect("front exists")
+                } else {
+                    front.split_front(max)
+                };
                 buf.note_pop(&mut st, starved, was_full);
                 // Keep the worker ahead of us now that there is space.
-                RowBuf::maybe_schedule(buf, &mut st);
-                if row.is_ok() {
-                    if let Some(m) = &buf.metrics {
-                        m.record_pulled_row();
-                    }
-                }
-                return Some(row);
+                RowBuf::maybe_schedule(&buf, &mut st);
+                drop(st);
+                self.record_shipped(&block);
+                return Some(block);
             }
             starved = true;
             if st.exhausted || st.closed {
@@ -802,26 +874,28 @@ impl Iterator for PrefetchedStream {
                 };
                 // Demand pull on the consumer's clock — the fallback that
                 // keeps the stream alive without any pool worker (and the
-                // only path a depth-0 buffer ships rows on). Same pull
-                // protocol as the refill worker (RowBuf::pull_one).
+                // only path a depth-0 buffer ships rows on). Pulled at
+                // the consumer's own grain, so a grain-1 consumer over a
+                // collapsed buffer is byte-identical to fully lazy. Same
+                // pull protocol as the refill worker (RowBuf::pull_block).
                 st.pulling = true;
-                let (st2, row) = RowBuf::pull_one(buf, s, st);
+                let (st2, block) = RowBuf::pull_block(&buf, s, st, max);
                 st = st2;
-                if let Some(r) = &row {
-                    if r.is_ok() {
-                        if let Some(m) = &buf.metrics {
-                            m.record_pulled_row();
-                        }
+                if let Some(b) = &block {
+                    if !b.ends_with_err() {
                         buf.note_pop(&mut st, true, false);
-                        RowBuf::maybe_schedule(buf, &mut st);
+                        RowBuf::maybe_schedule(&buf, &mut st);
                     }
                 }
                 drop(st);
                 buf.cv.notify_all();
-                return row;
+                if let Some(b) = &block {
+                    self.record_shipped(b);
+                }
+                return block;
             }
-            // A worker is mid-pull; it will push a row (or exhaust) and
-            // notify.
+            // A worker is mid-pull; it will push a block (or exhaust)
+            // and notify.
             st = buf.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -840,12 +914,14 @@ impl Drop for PrefetchedStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block::blocks_of_rows;
     use crate::driver::RequestStatus;
+    use crate::value::Value;
     use std::sync::atomic::AtomicU64;
     use std::time::Duration;
 
-    fn rows_stream(n: i64) -> ValueStream {
-        Box::new((0..n).map(|i| Ok(Value::Int(i))))
+    fn rows_stream(n: i64) -> BlockStream {
+        blocks_of_rows(Box::new((0..n).map(|i| Ok(Value::Int(i)))))
     }
 
     fn collect(h: RequestHandle) -> Vec<Value> {
@@ -938,7 +1014,7 @@ mod tests {
     #[test]
     fn panicking_request_parks_an_error_and_the_worker_survives() {
         let pool = WorkerPool::new("t", 1, None);
-        let h = pool.submit(0, || -> KResult<ValueStream> { panic!("driver bug") });
+        let h = pool.submit(0, || -> KResult<BlockStream> { panic!("driver bug") });
         match h.wait() {
             Err(e) => assert!(e.to_string().contains("panicked"), "{e}"),
             Ok(_) => panic!("panicked work must not yield a stream"),
@@ -997,10 +1073,10 @@ mod tests {
             let pulled = Arc::clone(&pulled);
             pool.submit(3, move || {
                 let pulled = Arc::clone(&pulled);
-                Ok(Box::new((0..100).map(move |i| {
+                Ok(blocks_of_rows(Box::new((0..100).map(move |i| {
                     pulled.fetch_add(1, Ordering::SeqCst);
                     Ok(Value::Int(i))
-                })) as ValueStream)
+                }))))
             })
         };
         let mut stream = h.wait().unwrap();
@@ -1026,11 +1102,11 @@ mod tests {
             let pulled = Arc::clone(&pulled);
             pool.submit(4, move || {
                 let pulled = Arc::clone(&pulled);
-                Ok(Box::new((0..1000).map(move |i| {
+                Ok(blocks_of_rows(Box::new((0..1000).map(move |i| {
                     pulled.fetch_add(1, Ordering::SeqCst);
                     thread::sleep(Duration::from_millis(1));
                     Ok(Value::Int(i))
-                })) as ValueStream)
+                }))))
             })
         };
         let mut stream = h.wait().unwrap();
@@ -1055,10 +1131,10 @@ mod tests {
             let pulled = Arc::clone(&pulled);
             pool.submit(0, move || {
                 let pulled = Arc::clone(&pulled);
-                Ok(Box::new((0..10).map(move |i| {
+                Ok(blocks_of_rows(Box::new((0..10).map(move |i| {
                     pulled.fetch_add(1, Ordering::SeqCst);
                     Ok(Value::Int(i))
-                })) as ValueStream)
+                }))))
             })
         };
         let mut stream = h.wait().unwrap();
@@ -1076,12 +1152,12 @@ mod tests {
         // then end-of-stream, and the pool keeps serving requests.
         let pool = WorkerPool::new("t", 1, None);
         let h = pool.submit(4, move || {
-            Ok(Box::new((0..5).map(|i| {
+            Ok(blocks_of_rows(Box::new((0..5).map(|i| {
                 if i >= 2 {
                     panic!("row stream bug");
                 }
                 Ok(Value::Int(i))
-            })) as ValueStream)
+            }))))
         });
         let rows: Vec<_> = h.wait().unwrap().collect();
         assert_eq!(rows.len(), 3, "two rows, the panic as an error, then end");
@@ -1102,12 +1178,12 @@ mod tests {
         // pulls past it... here: depth 1 so the consumer demand-pulls).
         let pool = WorkerPool::new("t", 1, None);
         let h = pool.submit(1, move || {
-            Ok(Box::new((0..5).map(|i| {
+            Ok(blocks_of_rows(Box::new((0..5).map(|i| {
                 if i >= 3 {
                     panic!("row stream bug");
                 }
                 Ok(Value::Int(i))
-            })) as ValueStream)
+            }))))
         });
         let rows: Vec<_> = h.wait().unwrap().collect();
         assert_eq!(rows.len(), 4, "three rows, the panic as an error, then end");
@@ -1116,13 +1192,13 @@ mod tests {
 
     /// A stream of `n` rows, each costing `row_delay` of real latency,
     /// counting how many ever left the driver.
-    fn slow_rows(n: i64, row_delay: Duration, pulled: &Arc<AtomicU64>) -> ValueStream {
+    fn slow_rows(n: i64, row_delay: Duration, pulled: &Arc<AtomicU64>) -> BlockStream {
         let pulled = Arc::clone(pulled);
-        Box::new((0..n).map(move |i| {
+        blocks_of_rows(Box::new((0..n).map(move |i| {
             thread::sleep(row_delay);
             pulled.fetch_add(1, Ordering::SeqCst);
             Ok(Value::Int(i))
-        }))
+        })))
     }
 
     #[test]
@@ -1146,8 +1222,10 @@ mod tests {
             thread::sleep(Duration::from_millis(10));
         }
         let snap = metrics.snapshot();
+        // prefetch 8 → 4 blocks of 2 rows: collapsing 4 → 2 → 1 → 0
+        // takes exactly 3 halvings at block granularity.
         assert!(
-            snap.prefetch_shrinks >= 4,
+            snap.prefetch_shrinks >= 3,
             "a consumer 10x slower than the source must collapse the depth \
              (shrinks: {})",
             snap.prefetch_shrinks
@@ -1182,7 +1260,9 @@ mod tests {
         // Phase 1: drain slowly until the depth has collapsed.
         let mut rows = Vec::new();
         let t0 = std::time::Instant::now();
-        while metrics.snapshot().prefetch_shrinks < 4 {
+        // 3 halvings collapse the 4-block window (see the slow-consumer
+        // test above).
+        while metrics.snapshot().prefetch_shrinks < 3 {
             assert!(
                 t0.elapsed() < Duration::from_secs(5),
                 "depth never collapsed (shrinks: {})",
@@ -1197,11 +1277,8 @@ mod tests {
         // within 2x the ~1 ms row cost), so one descheduled gap on a
         // loaded runner costs a retry, not the test — only a window
         // that never re-opens across the whole remaining stream fails.
-        loop {
-            match stream.next() {
-                Some(row) => rows.push(row.unwrap()),
-                None => break,
-            }
+        for row in stream {
+            rows.push(row.unwrap());
             if metrics.snapshot().prefetch_grows >= 1 {
                 break;
             }
@@ -1223,13 +1300,13 @@ mod tests {
     fn error_rows_pass_through_and_end_the_prefetch() {
         let pool = WorkerPool::new("t", 1, None);
         let h = pool.submit(4, move || {
-            Ok(Box::new((0..5).map(|i| {
+            Ok(blocks_of_rows(Box::new((0..5).map(|i| {
                 if i < 2 {
                     Ok(Value::Int(i))
                 } else {
                     Err(KError::eval("row error"))
                 }
-            })) as ValueStream)
+            }))))
         });
         let rows: Vec<_> = h.wait().unwrap().collect();
         assert_eq!(rows.len(), 3, "two rows, one error, then end-of-stream");

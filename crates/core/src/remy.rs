@@ -64,8 +64,11 @@ impl fmt::Debug for Directory {
 
 /// Global directory interner. Record shapes are few (they come from
 /// schemas), so directories live for the life of the process.
+/// Interned directories keyed by their field-name shape.
+type DirMap = HashMap<Box<[Arc<str>]>, Arc<Directory>>;
+
 struct Interner {
-    dirs: Mutex<HashMap<Box<[Arc<str>]>, Arc<Directory>>>,
+    dirs: Mutex<DirMap>,
     next_magic: AtomicU64,
 }
 

@@ -45,7 +45,7 @@ use crate::driver::{DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, Re
 use crate::error::{KError, KResult};
 use crate::latency::RttEstimator;
 use crate::oneshot::{Pulsable, WaitFor};
-use crate::ValueStream;
+use crate::BlockStream;
 
 // ------------------------------------------------------------------------
 // Policies
@@ -502,10 +502,7 @@ impl DriverResilience {
                 return Err(KError::circuit_open(&self.name));
             }
         }
-        let attempt = driver.submit(req).map_err(|e| {
-            self.record_failure(&e);
-            e
-        });
+        let attempt = driver.submit(req).inspect_err(|e| self.record_failure(e));
         // A retryable submit error is carried into the handle so wait()
         // can spend the retry budget on it; anything else fails now.
         let attempt = match attempt {
@@ -570,7 +567,7 @@ impl ResilientHandle {
     /// expiry), hedge fired after the EWMA-p99 delay, retryable errors
     /// resubmitted with jittered exponential backoff, cancellation
     /// honored promptly. Consumes the handle.
-    pub fn wait(mut self) -> KResult<ValueStream> {
+    pub fn wait(mut self) -> KResult<BlockStream> {
         let first = match self.attempt.take() {
             Some(a) => a,
             None => return Err(KError::eval("request result already taken")),
@@ -624,7 +621,7 @@ impl ResilientHandle {
     /// elapses (then race a second submit against it), the deadline
     /// passes (abandon everything, `Timeout`), or cancellation fires
     /// (abandon everything, `Cancelled`).
-    fn wait_round(&self, primary: RequestHandle) -> KResult<ValueStream> {
+    fn wait_round(&self, primary: RequestHandle) -> KResult<BlockStream> {
         if let Some(t) = &self.cancel {
             t.watch(primary.watcher());
         }
@@ -681,19 +678,14 @@ impl ResilientHandle {
                         return self.abandon_cancelled(primary, hedge.take());
                     }
                     // The hedge resolved first.
-                    if let Some(h) = hedge.take() {
-                        match h.wait() {
-                            Ok(stream) => {
-                                self.res.metrics.record_hedge_win();
-                                primary.abandon(KError::cancelled(
-                                    "primary request lost to its hedge",
-                                ));
-                                return Ok(stream);
-                            }
-                            // A failed hedge: keep waiting on the
-                            // primary alone (hedge stays taken/None).
-                            Err(_) => {}
-                        }
+                    // A failed hedge: keep waiting on the primary
+                    // alone (hedge stays taken/None).
+                    if let Some(Ok(stream)) = hedge.take().map(RequestHandle::wait) {
+                        self.res.metrics.record_hedge_win();
+                        primary.abandon(KError::cancelled(
+                            "primary request lost to its hedge",
+                        ));
+                        return Ok(stream);
                     }
                 }
             }
@@ -722,7 +714,7 @@ impl ResilientHandle {
         &self,
         primary: RequestHandle,
         hedge: Option<RequestHandle>,
-    ) -> KResult<ValueStream> {
+    ) -> KResult<BlockStream> {
         if let Some(h) = hedge {
             h.abandon(KError::timeout(&self.res.name, "request deadline exceeded"));
         }
@@ -740,7 +732,7 @@ impl ResilientHandle {
         &self,
         primary: RequestHandle,
         hedge: Option<RequestHandle>,
-    ) -> KResult<ValueStream> {
+    ) -> KResult<BlockStream> {
         if let Some(h) = hedge {
             h.abandon(KError::cancelled("query cancelled"));
         }

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use crate::block::{BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
 use crate::driver::{
     Capabilities, Driver, DriverMetrics, DriverRequest, MetricsSnapshot, RequestGate,
-    RequestHandle, ValueStream,
+    RequestHandle,
 };
 use crate::error::{KError, KResult};
 use crate::latency::LatencyModel;
@@ -206,6 +207,7 @@ impl SlowDriver {
         *self.policy.lock().unwrap_or_else(|e| e.into_inner()) = policy;
     }
 
+    #[allow(clippy::too_many_arguments)] // one slot per fault-injection knob
     fn run(
         name: &str,
         rows: i64,
@@ -215,7 +217,7 @@ impl SlowDriver {
         performs: &AtomicU64,
         metrics: &Arc<DriverMetrics>,
         faults: &Arc<FaultState>,
-    ) -> KResult<ValueStream> {
+    ) -> KResult<BlockStream> {
         let seq = faults.seq.fetch_add(1, Ordering::SeqCst) + 1;
         performs.fetch_add(1, Ordering::SeqCst);
         metrics.record_request();
@@ -237,7 +239,7 @@ impl SlowDriver {
                 current.fetch_sub(1, Ordering::SeqCst);
             }
             Fault::SpikeEvery { every, extra } => {
-                if *every > 0 && seq % *every == 0 {
+                if *every > 0 && seq.is_multiple_of(*every) {
                     std::thread::sleep(*extra);
                 }
             }
@@ -251,18 +253,58 @@ impl SlowDriver {
             Fault::StallAfterRows(n) => Some(n as i64),
             _ => None,
         };
-        let latency = Arc::clone(latency);
-        let metrics = Arc::clone(metrics);
-        let faults = Arc::clone(faults);
-        Ok(Box::new((0..rows).map(move |i| {
-            if stall_at == Some(i) {
-                faults.wedge.wedge();
+        Ok(Box::new(SlowBlocks {
+            next: 0,
+            rows,
+            stall_at,
+            latency: Arc::clone(latency),
+            metrics: Arc::clone(metrics),
+            faults: Arc::clone(faults),
+        }))
+    }
+}
+
+/// The native block source behind [`SlowDriver`]: charges per-row
+/// latency and traffic metrics as rows are packed, on the puller's
+/// clock. A [`Fault::StallAfterRows`] stall is checked *before* each
+/// row is charged; if it hits mid-block, the rows already packed ship
+/// now as a partial block and the *next* pull wedges — rows produced
+/// before a stall stay observable, exactly as under the single-row
+/// protocol.
+struct SlowBlocks {
+    next: i64,
+    rows: i64,
+    stall_at: Option<i64>,
+    latency: Arc<LatencyModel>,
+    metrics: Arc<DriverMetrics>,
+    faults: Arc<FaultState>,
+}
+
+impl BlockSource for SlowBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
+        let max = max_rows.max(1);
+        let mut block = ValueBlock::with_capacity(max.min(DEFAULT_BLOCK_ROWS));
+        while self.next < self.rows && block.len() < max {
+            if self.stall_at == Some(self.next) {
+                if !block.is_empty() {
+                    // Ship what the stall has not reached; wedge on the
+                    // next pull instead.
+                    return Some(block);
+                }
+                self.faults.wedge.wedge();
+                self.stall_at = None; // released: never wedge again
             }
-            latency.charge_row();
-            let v = Value::record_from(vec![("n", Value::Int(i))]);
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+            self.latency.charge_row();
+            let v = Value::record_from(vec![("n", Value::Int(self.next))]);
+            self.metrics.record_row(v.approx_size());
+            block.push_row(v);
+            self.next += 1;
+        }
+        if block.is_empty() {
+            None
+        } else {
+            Some(block)
+        }
     }
 }
 
@@ -280,7 +322,7 @@ impl Driver for SlowDriver {
         }
     }
 
-    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
         SlowDriver::run(
             &self.name,
             self.rows,

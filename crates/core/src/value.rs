@@ -191,6 +191,12 @@ impl Value {
         self.elements().map(<[Value]>::len)
     }
 
+    /// Emptiness of a collection value ([`Value::len`]'s counterpart);
+    /// `None` when the value is not a collection.
+    pub fn is_empty(&self) -> Option<bool> {
+        self.len().map(|n| n == 0)
+    }
+
     /// True when the value is an empty collection.
     pub fn is_empty_coll(&self) -> bool {
         self.elements().map(<[Value]>::is_empty).unwrap_or(false)

@@ -37,7 +37,7 @@ fn value(depth: u32) -> BoxedStrategy<Value> {
         1 => proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::bag),
         1 => proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
         1 => proptest::collection::vec(("[a-c]{1}", inner.clone()), 0..4)
-            .prop_map(|fields| Value::record_from(fields)),
+            .prop_map(Value::record_from),
         1 => ("[a-z]{1,6}", inner).prop_map(|(t, v)| Value::variant(t, v)),
     ]
     .boxed()

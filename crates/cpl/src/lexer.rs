@@ -237,11 +237,11 @@ impl<'a> Lexer<'a> {
         }
         // numbers
         if c.is_ascii_digit() {
-            return self.lex_number().map(|kind| mk(kind));
+            return self.lex_number().map(&mk);
         }
         // strings
         if c == b'"' {
-            return self.lex_string().map(|kind| mk(kind));
+            return self.lex_string().map(&mk);
         }
         // underscore: wildcard or identifier start
         if c == b'_' {
@@ -353,13 +353,11 @@ impl<'a> Lexer<'a> {
     fn lex_word(&mut self) -> String {
         let start = self.pos;
         while let Some(c) = self.peek() {
-            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
-                self.bump();
-            } else if c == b'-'
+            let joining_hyphen = c == b'-'
                 && self
                     .peek2()
-                    .is_some_and(|c2| c2.is_ascii_alphanumeric() || c2 == b'_')
-            {
+                    .is_some_and(|c2| c2.is_ascii_alphanumeric() || c2 == b'_');
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' || joining_hyphen {
                 self.bump();
             } else {
                 break;

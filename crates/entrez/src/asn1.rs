@@ -26,7 +26,7 @@ use kleisli_core::{KError, KResult, Value};
 /// Print a value in ASN.1 value notation with the given type name header.
 pub fn print_entry(type_name: &str, v: &Value) -> String {
     let mut out = format!("{type_name} ::= ");
-    print_value(&mut out, v, 0);
+    print_value(&mut out, v);
     out.push('\n');
     out
 }
@@ -34,11 +34,11 @@ pub fn print_entry(type_name: &str, v: &Value) -> String {
 /// Print a bare value (no `Type ::=` header).
 pub fn print_value_string(v: &Value) -> String {
     let mut out = String::new();
-    print_value(&mut out, v, 0);
+    print_value(&mut out, v);
     out
 }
 
-fn print_value(out: &mut String, v: &Value, depth: usize) {
+fn print_value(out: &mut String, v: &Value) {
     match v {
         Value::Unit => out.push_str("NULL"),
         Value::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
@@ -57,14 +57,14 @@ fn print_value(out: &mut String, v: &Value, depth: usize) {
                 }
                 out.push_str(n);
                 out.push(' ');
-                print_value(out, fv, depth + 1);
+                print_value(out, fv);
             }
             out.push_str(" }");
         }
         Value::Variant(tag, inner) => {
             out.push_str(tag);
             out.push_str(" : ");
-            print_value(out, inner, depth + 1);
+            print_value(out, inner);
         }
         Value::Set(es) | Value::Bag(es) | Value::List(es) => {
             out.push_str("{ ");
@@ -72,7 +72,7 @@ fn print_value(out: &mut String, v: &Value, depth: usize) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                print_value(out, e, depth + 1);
+                print_value(out, e);
             }
             out.push_str(" }");
         }

@@ -16,7 +16,8 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, ResiliencePolicy, Value, ValueStream, WorkerPool,
+    MetricsSnapshot, RequestHandle, ResiliencePolicy, Value, WorkerPool, charged_blocks,
+    BlockStream,
 };
 
 use crate::path::Path;
@@ -183,7 +184,7 @@ impl EntrezServer {
 }
 
 impl EntrezCore {
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.metrics.record_request();
         if !self.available.load(Ordering::Acquire) {
             return Err(KError::transport(&self.name, "connection refused"));
@@ -199,13 +200,11 @@ impl EntrezCore {
                 ))
             }
         };
-        let latency = Arc::clone(&self.latency);
-        let metrics = Arc::clone(&self.metrics);
-        Ok(Box::new(rows.into_iter().map(move |v| {
-            latency.charge_row();
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+        Ok(charged_blocks(
+            rows,
+            Arc::clone(&self.latency),
+            Arc::clone(&self.metrics),
+        ))
     }
 
     fn fetch(&self, db: &str, query: &str, path: &Option<String>) -> KResult<Vec<Value>> {
@@ -283,7 +282,7 @@ impl Driver for EntrezServer {
         }
     }
 
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.core.perform(req)
     }
 

@@ -23,7 +23,7 @@ fn asn_value(depth: u32) -> BoxedStrategy<Value> {
         3 => leaf,
         1 => proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
         1 => proptest::collection::vec(("[a-z][a-z0-9-]{0,6}", inner.clone()), 1..4)
-            .prop_map(|fields| Value::record_from(fields)),
+            .prop_map(Value::record_from),
         1 => ("[a-z][a-z0-9-]{0,6}", inner).prop_map(|(t, v)| Value::variant(t, v)),
     ]
     .boxed()

@@ -328,6 +328,7 @@ pub fn eval_parallel(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)] // one slot per join-clause binding
 fn emit_join_pair(
     l: &Value,
     r: &Value,
@@ -360,13 +361,15 @@ fn run_remote(driver: &str, req: &kleisli_core::DriverRequest, ctx: &Context) ->
     // Submit-then-wait: the eager evaluator is the blocking consumer of
     // the two-phase driver API (overlap lives in the streaming executor).
     // The wait enforces the driver's resilience policy and the query
-    // deadline; the collect loop re-checks the budget at row boundaries
-    // so a mid-stream stall resolves as Timeout, not a hang.
-    let stream = ctx.submit_resilient(driver, req)?.wait()?;
+    // deadline; the drain re-checks the budget at block boundaries so a
+    // mid-stream stall resolves as Timeout, not a hang.
+    let mut stream = ctx.submit_resilient(driver, req)?.wait()?;
     let mut out = Vec::new();
-    for item in stream {
+    while let Some(block) = stream.next_block(kleisli_core::DEFAULT_BLOCK_ROWS) {
         ctx.check_budget()?;
-        out.push(item?);
+        for item in block.into_rows() {
+            out.push(item?);
+        }
     }
     Ok(Rt::Val(Value::set(out)))
 }

@@ -21,4 +21,6 @@ pub mod stream;
 pub use context::{request_from_value, CacheCell, CacheLookup, Context, ObjectStore, PopulateTicket};
 pub use env::{Env, Rt};
 pub use eval::{eval, eval_rt};
-pub use stream::{collect_stream, eval_stream, first_n, first_n_distinct, RowStream};
+pub use stream::{
+    collect_blocks, collect_stream, eval_blocks, eval_stream, first_n, first_n_distinct, RowStream,
+};

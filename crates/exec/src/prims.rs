@@ -326,10 +326,10 @@ mod tests {
     #[test]
     fn aggregates() {
         let s = Value::set(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
-        assert_eq!(ap(Prim::Count, &[s.clone()]).unwrap(), Value::Int(3));
-        assert_eq!(ap(Prim::Sum, &[s.clone()]).unwrap(), Value::Int(6));
-        assert_eq!(ap(Prim::Max, &[s.clone()]).unwrap(), Value::Int(3));
-        assert_eq!(ap(Prim::Min, &[s.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(ap(Prim::Count, std::slice::from_ref(&s)).unwrap(), Value::Int(3));
+        assert_eq!(ap(Prim::Sum, std::slice::from_ref(&s)).unwrap(), Value::Int(6));
+        assert_eq!(ap(Prim::Max, std::slice::from_ref(&s)).unwrap(), Value::Int(3));
+        assert_eq!(ap(Prim::Min, std::slice::from_ref(&s)).unwrap(), Value::Int(1));
         assert_eq!(ap(Prim::Avg, &[s]).unwrap(), Value::Float(2.0));
         assert!(ap(Prim::Max, &[Value::set(vec![])]).is_err());
         assert_eq!(ap(Prim::Sum, &[Value::set(vec![])]).unwrap(), Value::Int(0));
@@ -345,7 +345,7 @@ mod tests {
     fn collection_ops() {
         let l = Value::list(vec![Value::Int(2), Value::Int(2), Value::Int(1)]);
         assert_eq!(
-            ap(Prim::SetOf, &[l.clone()]).unwrap(),
+            ap(Prim::SetOf, std::slice::from_ref(&l)).unwrap(),
             Value::set(vec![Value::Int(1), Value::Int(2)])
         );
         assert_eq!(

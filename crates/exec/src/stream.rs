@@ -6,39 +6,61 @@
 //! from DB and lazily evaluate the function S in order to generate initial
 //! output quickly, and minimize storage of intermediate results."
 //!
-//! `eval_stream` compiles a collection-valued NRC expression into a
-//! pull-based iterator: generators (`Ext`), unions, conditionals, remote
-//! scans, joins and cached subqueries all stream; anything else falls
-//! back to the eager evaluator. A stream yields elements *without* final
-//! collection canonicalization (set deduplication happens only when the
-//! stream is collected), which is what makes `first_n` cheap — the
-//! intended use, as in the paper, is fast first response on queries whose
-//! laziness the optimizer has identified as profitable. Consumers of a
-//! set-typed prefix that must not see duplicates use [`first_n_distinct`].
+//! `eval_blocks` compiles a collection-valued NRC expression into a
+//! pull-based [`BlockSource`]: generators (`Ext`), unions, conditionals,
+//! remote scans, joins and cached subqueries all stream; anything else
+//! falls back to the eager evaluator. The unit of transfer is a
+//! [`ValueBlock`] whose grain the *consumer* chooses per pull
+//! (`next_block(max_rows)`): full drains ask for
+//! [`DEFAULT_BLOCK_ROWS`]-row batches — and `Ext` generators whose body
+//! is a pure filter/projection evaluate the whole batch in one fused
+//! pass — while order-sensitive consumers (`first_n` prefix stops,
+//! set-dedup, the `Cached` tee) pull at grain 1, which is byte-identical
+//! to the single-row protocol. [`eval_stream`] is exactly that grain-1
+//! view.
+//!
+//! A stream yields elements *without* final collection canonicalization
+//! (set deduplication happens only when the stream is collected), which
+//! is what makes `first_n` cheap — the intended use, as in the paper, is
+//! fast first response on queries whose laziness the optimizer has
+//! identified as profitable. Consumers of a set-typed prefix that must
+//! not see duplicates use [`first_n_distinct`].
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
-use kleisli_core::{CollKind, KError, KResult, Value};
+use kleisli_core::{
+    blocks_of_rows, BlockSource, BlockStream, CollKind, KError, KResult, Value, ValueBlock,
+    DEFAULT_BLOCK_ROWS,
+};
 use nrc::{Expr, JoinStrategy, Name};
 
 use crate::context::{request_from_value, CacheLookup, Context, PopulateTicket};
 use crate::env::{Env, Rt};
 use crate::eval::{eval, eval_parallel};
 
-/// A pull-based stream of collection elements.
+/// A pull-based stream of collection elements — the single-row view.
+/// [`BlockStream`] boxes iterate at grain 1, so any block stream coerces.
 pub type RowStream = Box<dyn Iterator<Item = KResult<Value>> + Send>;
 
-/// Stream the elements of a collection-valued expression.
+/// Stream the elements of a collection-valued expression one row at a
+/// time: the grain-1 view of [`eval_blocks`], byte-identical to the
+/// pre-block single-row executor (each pull moves at most one row, and
+/// only on demand).
 pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream> {
+    Ok(Box::new(eval_blocks(e, env, ctx)?))
+}
+
+/// Stream the elements of a collection-valued expression as row blocks.
+pub fn eval_blocks(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<BlockStream> {
     match e {
-        Expr::Empty(_) => Ok(Box::new(std::iter::empty())),
+        Expr::Empty(_) => Ok(blocks_of_rows(Box::new(std::iter::empty()))),
         Expr::Single(_, inner) => {
             let v = eval(inner, env, ctx)?;
-            Ok(Box::new(std::iter::once(Ok(v))))
+            Ok(slice_blocks(Arc::new(vec![v])))
         }
         Expr::Union(_, a, b) => {
-            let sa = eval_stream(a, env, ctx)?;
+            let sa = eval_blocks(a, env, ctx)?;
             // When the right operand is a spine of remote scans on
             // drivers whose `submit` is genuinely non-blocking, building
             // its stream *now* puts those requests in flight, so the
@@ -60,22 +82,45 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                 // falls through to the lazy path below, preserving the
                 // old guarantee that a left-arm-only consumer never sees
                 // the right arm fail.
-                if let Ok(sb) = eval_stream(b, env, ctx) {
-                    return Ok(Box::new(sa.chain(sb)));
+                if let Ok(sb) = eval_blocks(b, env, ctx) {
+                    return Ok(Box::new(ChainBlocks {
+                        a: Some(sa),
+                        b: Some(sb),
+                    }));
                 }
             }
             let b = Arc::clone(b);
             let env2 = env.clone();
             let ctx2 = Arc::clone(ctx);
-            let sb = LazyStream::new(move || eval_stream(&b, &env2, &ctx2));
-            Ok(Box::new(sa.chain(sb)))
+            let sb = LazyBlocks::new(move || eval_blocks(&b, &env2, &ctx2));
+            Ok(Box::new(ChainBlocks {
+                a: Some(sa),
+                b: Some(Box::new(sb)),
+            }))
         }
         Expr::Ext {
             var, body, source, ..
         } => {
-            let src = eval_stream(source, env, ctx)?;
-            Ok(Box::new(ExtStream {
-                source: src,
+            let src = eval_blocks(source, env, ctx)?;
+            // Fused fast path: a body that is a pure projection
+            // (`Single`) or filter+projection (`If(c, Single, Empty)`)
+            // evaluates a whole source batch in one pass — no per-row
+            // body stream construction at all. Anything else flat-maps
+            // a body block stream per source element.
+            if let Some(fused) = FusedBody::of(body) {
+                return Ok(Box::new(FusedExtBlocks {
+                    source: Some(src),
+                    leftover: VecDeque::new(),
+                    fused,
+                    var: Arc::clone(var),
+                    env: env.clone(),
+                    ctx: Arc::clone(ctx),
+                    failed: false,
+                }));
+            }
+            Ok(Box::new(ExtBlocks {
+                source: Some(src),
+                src_rows: VecDeque::new(),
                 current: None,
                 var: Arc::clone(var),
                 body: Arc::clone(body),
@@ -85,8 +130,8 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             }))
         }
         Expr::If(c, t, f) => match eval(c, env, ctx)? {
-            Value::Bool(true) => eval_stream(t, env, ctx),
-            Value::Bool(false) => eval_stream(f, env, ctx),
+            Value::Bool(true) => eval_blocks(t, env, ctx),
+            Value::Bool(false) => eval_blocks(f, env, ctx),
             other => Err(KError::eval(format!(
                 "if condition must be bool, got {}",
                 other.kind_name()
@@ -94,16 +139,17 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
         },
         Expr::Let { var, def, body } => {
             let d = crate::eval::eval_rt(def, env, ctx)?;
-            eval_stream(body, &env.bind(Arc::clone(var), d), ctx)
+            eval_blocks(body, &env.bind(Arc::clone(var), d), ctx)
         }
         Expr::Remote { driver, request } => {
             // Two-phase: the request is in flight from this moment; the
-            // stream blocks only when the first row is actually pulled,
-            // so independent scans submitted while assembling one pull
-            // chain overlap their round-trips. Submission goes through
-            // the driver's resilience layer: breaker admission here,
-            // deadline/retry/hedging when the first pull redeems it.
-            Ok(PendingStream::new(
+            // stream blocks only when the first block is actually
+            // pulled, so independent scans submitted while assembling
+            // one pull chain overlap their round-trips. Submission goes
+            // through the driver's resilience layer: breaker admission
+            // here, deadline/retry/hedging when the first pull redeems
+            // it.
+            Ok(PendingBlocks::boxed(
                 ctx.submit_resilient(driver, request)?,
                 ctx,
             ))
@@ -111,7 +157,7 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
         Expr::RemoteApp { driver, arg } => {
             let argv = eval(arg, env, ctx)?;
             let req = request_from_value(&argv)?;
-            Ok(PendingStream::new(ctx.submit_resilient(driver, &req)?, ctx))
+            Ok(PendingBlocks::boxed(ctx.submit_resilient(driver, &req)?, ctx))
         }
         Expr::Join {
             strategy,
@@ -129,8 +175,8 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             // but build the outer stream *first*: its driver request (if
             // any) is then already in flight while the inner relation is
             // being collected, overlapping the two sources' round-trips.
-            let lstream = eval_stream(left, env, ctx)?;
-            let rv: Vec<Value> = eval_stream(right, env, ctx)?.collect::<KResult<_>>()?;
+            let lstream = eval_blocks(left, env, ctx)?;
+            let rv: Vec<Value> = collect_rows(eval_blocks(right, env, ctx)?)?;
             match strategy {
                 JoinStrategy::IndexedNl => {
                     let (Some(lk), Some(rk)) = (left_key, right_key) else {
@@ -143,10 +189,10 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                         let key = eval(rk, &env2, ctx)?;
                         index.entry(key).or_default().push(r);
                     }
-                    Ok(Box::new(IndexedJoinStream {
+                    Ok(Box::new(IndexedJoinBlocks {
                         left: lstream,
                         index,
-                        pending: Vec::new(),
+                        pending: VecDeque::new(),
                         lvar: Arc::clone(lvar),
                         rvar: Arc::clone(rvar),
                         left_key: Arc::clone(lk),
@@ -168,10 +214,10 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                         )),
                         _ => Arc::clone(cond),
                     };
-                    Ok(Box::new(NlJoinStream {
+                    Ok(Box::new(NlJoinBlocks {
                         left: lstream,
                         right: rv,
-                        pending: Vec::new(),
+                        pending: VecDeque::new(),
                         lvar: Arc::clone(lvar),
                         rvar: Arc::clone(rvar),
                         cond,
@@ -185,10 +231,10 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
         }
         Expr::Cached { id, expr } => match ctx.cache_cell(*id).lookup_or_begin() {
             // Hit: stream the memoized rows; no driver traffic at all.
-            CacheLookup::Hit(v) => stream_of_value(&v),
+            CacheLookup::Hit(v) => value_blocks(&v),
             // Re-entrant lookup (this thread is populating the same id
             // higher up): stream the subquery directly, uncached.
-            CacheLookup::Reentrant => eval_stream(expr, env, ctx),
+            CacheLookup::Reentrant => eval_blocks(expr, env, ctx),
             // Miss: this consumer is the populator. When the subplan's
             // collection kind is syntactically evident we stream the
             // subquery lazily, teeing rows aside, and commit the canonical
@@ -197,18 +243,20 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             // abandoned prefix aborts the ticket and leaves the slot
             // empty). The ticket rides inside the stream, keeping the
             // single-flight guarantee of the eager path: racing
-            // evaluators block until commit or abort.
+            // evaluators block until commit or abort. The tee is
+            // order-sensitive (it must record every row that passed),
+            // so it stays a single-row operator over the grain-1 view.
             CacheLookup::Miss(ticket) => match expr.coll_kind_hint() {
                 Some(kind) => {
                     // An Err here drops the ticket (abort) on the way out.
-                    let inner = eval_stream(expr, env, ctx)?;
-                    Ok(Box::new(CachingStream {
+                    let inner: RowStream = Box::new(eval_blocks(expr, env, ctx)?);
+                    Ok(blocks_of_rows(Box::new(CachingStream {
                         inner,
                         ticket: Some(ticket),
                         rows: Vec::new(),
                         kind,
                         done: false,
-                    }))
+                    })))
                 }
                 None => {
                     // Kind unknowable from syntax: populate eagerly so the
@@ -216,7 +264,7 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                     // evaluator's, then stream it.
                     let v = eval(expr, env, ctx)?;
                     ticket.commit(v.clone());
-                    stream_of_value(&v)
+                    value_blocks(&v)
                 }
             },
         },
@@ -227,8 +275,11 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
             max_in_flight,
             ..
         } => {
-            let src = eval_stream(source, env, ctx)?;
-            Ok(Box::new(ParChunkStream {
+            // Chunk assembly is order-sensitive (a chunk boundary is an
+            // observable concurrency boundary), so the parallel operator
+            // keeps its single-row pull loop over the grain-1 view.
+            let src: RowStream = Box::new(eval_blocks(source, env, ctx)?);
+            Ok(blocks_of_rows(Box::new(ParChunkStream {
                 source: src,
                 buffer: Vec::new(),
                 var: Arc::clone(var),
@@ -237,27 +288,21 @@ pub fn eval_stream(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<RowStream
                 ctx: Arc::clone(ctx),
                 width: (*max_in_flight).max(1),
                 failed: false,
-            }))
+            })))
         }
-        // Everything else: evaluate eagerly and iterate.
+        // Everything else: evaluate eagerly and stream the collection.
         other => {
             let v = eval(other, env, ctx)?;
-            match v.elements() {
-                Some(es) => Ok(Box::new(es.to_vec().into_iter().map(Ok))),
-                None => Err(KError::eval(format!(
-                    "cannot stream a non-collection ({})",
-                    v.kind_name()
-                ))),
-            }
+            value_blocks(&v)
         }
     }
 }
 
 /// Stream the elements of an already-computed collection value without
-/// copying it: the iterator shares the collection's element vector (one
+/// copying it: the source shares the collection's element vector (one
 /// `Arc` bump) and clones elements only as they are pulled — a `first_n`
 /// over a huge cache hit touches `n` elements, not the whole collection.
-fn stream_of_value(v: &Value) -> KResult<RowStream> {
+fn value_blocks(v: &Value) -> KResult<BlockStream> {
     let elems: Arc<Vec<Value>> = match v {
         Value::Set(es) | Value::Bag(es) | Value::List(es) => Arc::clone(es),
         other => {
@@ -267,16 +312,38 @@ fn stream_of_value(v: &Value) -> KResult<RowStream> {
             )))
         }
     };
-    let mut i = 0;
-    Ok(Box::new(std::iter::from_fn(move || {
-        let out = elems.get(i).cloned().map(Ok);
-        i += 1;
-        out
-    })))
+    Ok(slice_blocks(elems))
+}
+
+fn slice_blocks(elems: Arc<Vec<Value>>) -> BlockStream {
+    Box::new(SliceBlocks { elems, i: 0 })
+}
+
+/// Blocks over a shared element vector (cache hits, `Single`, the eager
+/// fallback). Clones elements only as they are packed.
+struct SliceBlocks {
+    elems: Arc<Vec<Value>>,
+    i: usize,
+}
+
+impl BlockSource for SliceBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
+        let n = (self.elems.len() - self.i).min(max_rows.max(1));
+        if n == 0 {
+            return None;
+        }
+        let mut b = ValueBlock::with_capacity(n);
+        for v in &self.elems[self.i..self.i + n] {
+            b.push_row(v.clone());
+        }
+        self.i += n;
+        Some(b)
+    }
 }
 
 /// Pull at most `n` elements from the stream of `e` — the "fast response"
-/// path. Returns the elements in arrival order.
+/// path. Returns the elements in arrival order. Pulls at grain 1: the
+/// prefix stop must not cause even one row more than demanded to move.
 pub fn first_n(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KResult<Vec<Value>> {
     let mut out = Vec::with_capacity(n);
     for item in eval_stream(e, env, ctx)? {
@@ -314,6 +381,23 @@ pub fn first_n_distinct(e: &Expr, n: usize, env: &Env, ctx: &Arc<Context>) -> KR
 pub fn collect_stream(stream: RowStream, kind: CollKind) -> KResult<Value> {
     let elems: Vec<Value> = stream.collect::<KResult<_>>()?;
     Ok(Value::collection(kind, elems))
+}
+
+/// Collect a block stream into a canonical collection, draining at the
+/// full [`DEFAULT_BLOCK_ROWS`] grain — the batched full-drain path.
+pub fn collect_blocks(stream: BlockStream, kind: CollKind) -> KResult<Value> {
+    Ok(Value::collection(kind, collect_rows(stream)?))
+}
+
+/// Drain a block stream to a row vector at the full grain.
+fn collect_rows(mut stream: BlockStream) -> KResult<Vec<Value>> {
+    let mut elems = Vec::new();
+    while let Some(b) = stream.next_block(DEFAULT_BLOCK_ROWS) {
+        for item in b.into_rows() {
+            elems.push(item?);
+        }
+    }
+    Ok(elems)
 }
 
 /// Lazy population of a [`crate::context::CacheCell`]: passes the inner
@@ -381,44 +465,74 @@ fn prefetchable(e: &Expr, ctx: &Context) -> bool {
     }
 }
 
+/// Two block streams back to back — the union operator. Blocks pass
+/// through at the consumer's grain; like the old row-level chain, an
+/// error block from the left arm does not gate the right arm (a consumer
+/// that stops at the error — all of them in practice — never touches it).
+struct ChainBlocks {
+    a: Option<BlockStream>,
+    b: Option<BlockStream>,
+}
+
+impl BlockSource for ChainBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
+        if let Some(a) = &mut self.a {
+            if let Some(block) = a.next_block(max_rows) {
+                return Some(block);
+            }
+            self.a = None;
+        }
+        let b = self.b.as_mut()?;
+        match b.next_block(max_rows) {
+            Some(block) => Some(block),
+            None => {
+                self.b = None;
+                None
+            }
+        }
+    }
+}
+
 /// A driver request in flight: submission already happened (the source is
 /// working, bounded by its admission gate); the first pull redeems the
-/// handle and then streams rows as before. Dropping the stream unpulled
+/// handle and then streams blocks as before. Dropping the stream unpulled
 /// cancels the request, releasing the driver's admission ticket.
 ///
 /// # Row prefetch (`Capabilities::prefetch_rows`)
 ///
 /// On drivers advertising a positive `prefetch_rows`, the stream this
-/// redeems is backed by the driver pool's bounded row-prefetch buffer:
-/// the pool worker that performed the request keeps pulling up to
-/// `prefetch_rows` rows ahead of whoever consumes this stream, so
-/// per-row transfer latency overlaps consumer work (and other streams'
-/// rows — union arms and join sides fill their buffers concurrently).
-/// This is the Section-4 laziness trade at *row* granularity, and it
-/// composes with `nonblocking_submit` the same way request prefetch
-/// does: only pool-submitting drivers ever prefetch, so one-method
-/// (default-adapter) drivers and `prefetch_rows = 0` drivers keep the
-/// fully-lazy, byte-identical pull behavior — `first_n` over them ships
-/// exactly the demanded prefix. Over a prefetching driver, `first_n`
-/// may leave up to a buffer's worth of rows shipped-but-unread; dropping
-/// this stream early closes that buffer (stopping refill work at the
-/// next row boundary), drops the buffered rows, and cancels/releases the
-/// request's admission ticket — nothing leaks. A join's inner collection
-/// simply drains the buffer to exhaustion.
-struct PendingStream {
+/// redeems is backed by the driver pool's bounded block-prefetch buffer:
+/// the pool worker that performed the request keeps pulling row blocks
+/// ahead of whoever consumes this stream (up to `prefetch_rows` rows),
+/// so per-row transfer latency overlaps consumer work (and other
+/// streams' rows — union arms and join sides fill their buffers
+/// concurrently). This is the Section-4 laziness trade at *row*
+/// granularity, and it composes with `nonblocking_submit` the same way
+/// request prefetch does: only pool-submitting drivers ever prefetch, so
+/// one-method (default-adapter) drivers and `prefetch_rows = 0` drivers
+/// keep the fully-lazy, byte-identical pull behavior — `first_n` over
+/// them ships exactly the demanded prefix. Over a prefetching driver,
+/// `first_n` may leave up to a buffer's worth of rows
+/// shipped-but-unread; dropping this stream early closes that buffer
+/// (stopping refill work at the next block boundary), drops the buffered
+/// blocks, and cancels/releases the request's admission ticket — nothing
+/// leaks. A join's inner collection simply drains the buffer to
+/// exhaustion.
+struct PendingBlocks {
     handle: Option<kleisli_core::resilience::ResilientHandle>,
-    inner: Option<RowStream>,
-    /// Query budget, checked at every row boundary so a mid-stream stall
-    /// resolves as `Timeout`/`Cancelled` at the next pull instead of
-    /// silently hanging the consumer forever.
+    inner: Option<BlockStream>,
+    /// Query budget, checked at every block boundary so a mid-stream
+    /// stall resolves as `Timeout`/`Cancelled` at the next pull instead
+    /// of silently hanging the consumer forever. (Grain-1 consumers
+    /// check per row, exactly as before.)
     deadline: Option<std::time::Instant>,
     cancel: Option<Arc<kleisli_core::CancelToken>>,
     failed: bool,
 }
 
-impl PendingStream {
-    fn new(handle: kleisli_core::resilience::ResilientHandle, ctx: &Context) -> RowStream {
-        Box::new(PendingStream {
+impl PendingBlocks {
+    fn boxed(handle: kleisli_core::resilience::ResilientHandle, ctx: &Context) -> BlockStream {
+        Box::new(PendingBlocks {
             deadline: handle.deadline(),
             cancel: ctx.cancel_token().cloned(),
             handle: Some(handle),
@@ -445,9 +559,8 @@ impl PendingStream {
     }
 }
 
-impl Iterator for PendingStream {
-    type Item = KResult<Value>;
-    fn next(&mut self) -> Option<Self::Item> {
+impl BlockSource for PendingBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
         if self.failed {
             return None;
         }
@@ -456,31 +569,31 @@ impl Iterator for PendingStream {
                 Ok(s) => self.inner = Some(s),
                 Err(e) => {
                     self.failed = true;
-                    return Some(Err(e));
+                    return Some(ValueBlock::of_err(e));
                 }
             }
         }
         if let Some(e) = self.over_budget() {
             self.failed = true;
             // Drop the redeemed stream now: over a prefetching driver
-            // this closes the row buffer and stops refill work.
+            // this closes the block buffer and stops refill work.
             self.inner = None;
-            return Some(Err(e));
+            return Some(ValueBlock::of_err(e));
         }
-        self.inner.as_mut()?.next()
+        self.inner.as_mut()?.next_block(max_rows)
     }
 }
 
 /// A stream constructed on first pull (for the right side of unions).
-struct LazyStream<F: FnOnce() -> KResult<RowStream>> {
+struct LazyBlocks<F: FnOnce() -> KResult<BlockStream>> {
     make: Option<F>,
-    inner: Option<RowStream>,
+    inner: Option<BlockStream>,
     failed: bool,
 }
 
-impl<F: FnOnce() -> KResult<RowStream>> LazyStream<F> {
+impl<F: FnOnce() -> KResult<BlockStream>> LazyBlocks<F> {
     fn new(make: F) -> Self {
-        LazyStream {
+        LazyBlocks {
             make: Some(make),
             inner: None,
             failed: false,
@@ -488,9 +601,8 @@ impl<F: FnOnce() -> KResult<RowStream>> LazyStream<F> {
     }
 }
 
-impl<F: FnOnce() -> KResult<RowStream>> Iterator for LazyStream<F> {
-    type Item = KResult<Value>;
-    fn next(&mut self) -> Option<Self::Item> {
+impl<F: FnOnce() -> KResult<BlockStream> + Send> BlockSource for LazyBlocks<F> {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
         if self.failed {
             return None;
         }
@@ -499,18 +611,138 @@ impl<F: FnOnce() -> KResult<RowStream>> Iterator for LazyStream<F> {
                 Ok(s) => self.inner = Some(s),
                 Err(e) => {
                     self.failed = true;
-                    return Some(Err(e));
+                    return Some(ValueBlock::of_err(e));
                 }
             }
         }
-        self.inner.as_mut()?.next()
+        self.inner.as_mut()?.next_block(max_rows)
     }
 }
 
-/// Streaming `Ext`: flat-maps the body stream over the source stream.
-struct ExtStream {
-    source: RowStream,
-    current: Option<RowStream>,
+/// The body shapes the `Ext` generator evaluates in one fused pass over
+/// a whole source batch: no body stream is ever constructed, the
+/// filter/projection runs right in the generator's pull loop.
+enum FusedBody {
+    /// `{ f(x) }` — pure per-element projection.
+    Project { inner: Arc<Expr> },
+    /// `if p(x) then { f(x) } else {}` — filter + projection.
+    FilterProject { cond: Arc<Expr>, inner: Arc<Expr> },
+}
+
+impl FusedBody {
+    fn of(body: &Expr) -> Option<FusedBody> {
+        match body {
+            Expr::Single(_, inner) => Some(FusedBody::Project {
+                inner: Arc::clone(inner),
+            }),
+            Expr::If(c, t, f) => match (t.as_ref(), f.as_ref()) {
+                (Expr::Single(_, inner), Expr::Empty(_)) => Some(FusedBody::FilterProject {
+                    cond: Arc::clone(c),
+                    inner: Arc::clone(inner),
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Evaluate the body for one source element: `Ok(Some)` emits,
+    /// `Ok(None)` is a filtered-out element. Error semantics match the
+    /// unfused path exactly (a body-stream construction error there).
+    fn apply(&self, el: Value, var: &Name, env: &Env, ctx: &Arc<Context>) -> KResult<Option<Value>> {
+        let env2 = env.bind(Arc::clone(var), Rt::Val(el));
+        match self {
+            FusedBody::Project { inner } => eval(inner, &env2, ctx).map(Some),
+            FusedBody::FilterProject { cond, inner } => match eval(cond, &env2, ctx)? {
+                Value::Bool(true) => eval(inner, &env2, ctx).map(Some),
+                Value::Bool(false) => Ok(None),
+                other => Err(KError::eval(format!(
+                    "if condition must be bool, got {}",
+                    other.kind_name()
+                ))),
+            },
+        }
+    }
+}
+
+/// Fused streaming `Ext`: filter/projection over a batch at a time. The
+/// source is pulled at exactly the grain still needed for the output
+/// block (`max_rows - packed`), so a grain-1 consumer induces grain-1
+/// source pulls — byte-identical laziness — while a full drain moves
+/// whole batches through one `apply` loop per block.
+struct FusedExtBlocks {
+    source: Option<BlockStream>,
+    /// Source rows pulled but not yet evaluated (a filter that passed
+    /// fewer rows than requested leaves the rest here).
+    leftover: VecDeque<KResult<Value>>,
+    fused: FusedBody,
+    var: Name,
+    env: Env,
+    ctx: Arc<Context>,
+    failed: bool,
+}
+
+impl BlockSource for FusedExtBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
+        if self.failed {
+            return None;
+        }
+        let max = max_rows.max(1);
+        let mut out = ValueBlock::with_capacity(max.min(DEFAULT_BLOCK_ROWS));
+        loop {
+            while out.len() < max {
+                let Some(row) = self.leftover.pop_front() else {
+                    break;
+                };
+                match row {
+                    Err(e) => {
+                        // A source error ends the generator: good rows
+                        // already packed ship in front of it.
+                        self.failed = true;
+                        out.push_err(e);
+                        return Some(out);
+                    }
+                    Ok(el) => match self.fused.apply(el, &self.var, &self.env, &self.ctx) {
+                        Ok(Some(v)) => out.push_row(v),
+                        Ok(None) => {}
+                        Err(e) => {
+                            self.failed = true;
+                            out.push_err(e);
+                            return Some(out);
+                        }
+                    },
+                }
+            }
+            if out.len() >= max {
+                return Some(out);
+            }
+            let Some(src) = &mut self.source else {
+                return if out.is_empty() { None } else { Some(out) };
+            };
+            match src.next_block(max - out.len()) {
+                Some(b) => {
+                    if b.ends_with_err() {
+                        self.source = None;
+                    }
+                    self.leftover.extend(b.into_rows());
+                }
+                None => {
+                    self.source = None;
+                    return if out.is_empty() { None } else { Some(out) };
+                }
+            }
+        }
+    }
+}
+
+/// Streaming `Ext` for general bodies: flat-maps a body block stream
+/// over the source stream. Body blocks pass through at the consumer's
+/// grain.
+struct ExtBlocks {
+    source: Option<BlockStream>,
+    /// Source rows pulled but not yet expanded.
+    src_rows: VecDeque<KResult<Value>>,
+    current: Option<BlockStream>,
     var: Name,
     body: Arc<Expr>,
     env: Env,
@@ -518,32 +750,53 @@ struct ExtStream {
     failed: bool,
 }
 
-impl Iterator for ExtStream {
-    type Item = KResult<Value>;
-
-    fn next(&mut self) -> Option<Self::Item> {
+impl BlockSource for ExtBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
         if self.failed {
             return None;
         }
+        let max = max_rows.max(1);
         loop {
             if let Some(cur) = &mut self.current {
-                match cur.next() {
-                    Some(item) => return Some(item),
+                match cur.next_block(max) {
+                    // Pass body blocks (and body errors) through, as the
+                    // row-level operator did.
+                    Some(b) => return Some(b),
                     None => self.current = None,
                 }
             }
-            match self.source.next()? {
-                Err(e) => {
-                    self.failed = true;
-                    return Some(Err(e));
+            let next = match self.src_rows.pop_front() {
+                Some(r) => Some(r),
+                None => {
+                    let src = self.source.as_mut()?;
+                    match src.next_block(max) {
+                        Some(b) => {
+                            if b.ends_with_err() {
+                                self.source = None;
+                            }
+                            self.src_rows.extend(b.into_rows());
+                            self.src_rows.pop_front()
+                        }
+                        None => {
+                            self.source = None;
+                            return None;
+                        }
+                    }
                 }
-                Ok(el) => {
+            };
+            match next {
+                None => return None,
+                Some(Err(e)) => {
+                    self.failed = true;
+                    return Some(ValueBlock::of_err(e));
+                }
+                Some(Ok(el)) => {
                     let env2 = self.env.bind(Arc::clone(&self.var), Rt::Val(el));
-                    match eval_stream(&self.body, &env2, &self.ctx) {
+                    match eval_blocks(&self.body, &env2, &self.ctx) {
                         Ok(s) => self.current = Some(s),
                         Err(e) => {
                             self.failed = true;
-                            return Some(Err(e));
+                            return Some(ValueBlock::of_err(e));
                         }
                     }
                 }
@@ -552,11 +805,27 @@ impl Iterator for ExtStream {
     }
 }
 
+/// Pull a single row off a block stream (grain-1 helper for the join
+/// operators' outer side, which expands one outer element at a time).
+fn next_row(s: &mut BlockStream) -> Option<KResult<Value>> {
+    s.next_block(1).and_then(|b| b.into_rows().next())
+}
+
+/// Drain up to `max` pending join results into one block.
+fn drain_pending(pending: &mut VecDeque<Value>, max: usize) -> ValueBlock {
+    let k = max.max(1).min(pending.len());
+    let mut b = ValueBlock::with_capacity(k);
+    for v in pending.drain(..k) {
+        b.push_row(v);
+    }
+    b
+}
+
 /// Streaming nested-loop join: outer side streams, inner side materialized.
-struct NlJoinStream {
-    left: RowStream,
+struct NlJoinBlocks {
+    left: BlockStream,
     right: Vec<Value>,
-    pending: Vec<Value>,
+    pending: VecDeque<Value>,
     lvar: Name,
     rvar: Name,
     cond: Arc<Expr>,
@@ -566,7 +835,7 @@ struct NlJoinStream {
     failed: bool,
 }
 
-impl NlJoinStream {
+impl NlJoinBlocks {
     fn emit_for(&mut self, l: Value) -> KResult<()> {
         for r in &self.right {
             let env2 = self
@@ -578,32 +847,31 @@ impl NlJoinStream {
                 let es = piece
                     .elements()
                     .ok_or_else(|| KError::eval("join body must yield a collection"))?;
-                self.pending.extend_from_slice(es);
+                self.pending.extend(es.iter().cloned());
             }
         }
         Ok(())
     }
 }
 
-impl Iterator for NlJoinStream {
-    type Item = KResult<Value>;
-    fn next(&mut self) -> Option<Self::Item> {
+impl BlockSource for NlJoinBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
         if self.failed {
             return None;
         }
         loop {
             if !self.pending.is_empty() {
-                return Some(Ok(self.pending.remove(0)));
+                return Some(drain_pending(&mut self.pending, max_rows));
             }
-            match self.left.next()? {
+            match next_row(&mut self.left)? {
                 Err(e) => {
                     self.failed = true;
-                    return Some(Err(e));
+                    return Some(ValueBlock::of_err(e));
                 }
                 Ok(l) => {
                     if let Err(e) = self.emit_for(l) {
                         self.failed = true;
-                        return Some(Err(e));
+                        return Some(ValueBlock::of_err(e));
                     }
                 }
             }
@@ -612,10 +880,10 @@ impl Iterator for NlJoinStream {
 }
 
 /// Streaming indexed join: probes a prebuilt hash index per outer element.
-struct IndexedJoinStream {
-    left: RowStream,
+struct IndexedJoinBlocks {
+    left: BlockStream,
     index: std::collections::HashMap<Value, Vec<Value>>,
-    pending: Vec<Value>,
+    pending: VecDeque<Value>,
     lvar: Name,
     rvar: Name,
     left_key: Arc<Expr>,
@@ -626,7 +894,7 @@ struct IndexedJoinStream {
     failed: bool,
 }
 
-impl IndexedJoinStream {
+impl IndexedJoinBlocks {
     fn emit_for(&mut self, l: Value) -> KResult<()> {
         let lenv = self.env.bind(Arc::clone(&self.lvar), Rt::Val(l.clone()));
         let key = eval(&self.left_key, &lenv, &self.ctx)?;
@@ -640,32 +908,31 @@ impl IndexedJoinStream {
                 let es = piece
                     .elements()
                     .ok_or_else(|| KError::eval("join body must yield a collection"))?;
-                self.pending.extend_from_slice(es);
+                self.pending.extend(es.iter().cloned());
             }
         }
         Ok(())
     }
 }
 
-impl Iterator for IndexedJoinStream {
-    type Item = KResult<Value>;
-    fn next(&mut self) -> Option<Self::Item> {
+impl BlockSource for IndexedJoinBlocks {
+    fn next_block(&mut self, max_rows: usize) -> Option<ValueBlock> {
         if self.failed {
             return None;
         }
         loop {
             if !self.pending.is_empty() {
-                return Some(Ok(self.pending.remove(0)));
+                return Some(drain_pending(&mut self.pending, max_rows));
             }
-            match self.left.next()? {
+            match next_row(&mut self.left)? {
                 Err(e) => {
                     self.failed = true;
-                    return Some(Err(e));
+                    return Some(ValueBlock::of_err(e));
                 }
                 Ok(l) => {
                     if let Err(e) = self.emit_for(l) {
                         self.failed = true;
-                        return Some(Err(e));
+                        return Some(ValueBlock::of_err(e));
                     }
                 }
             }
@@ -743,7 +1010,9 @@ impl Iterator for ParChunkStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kleisli_core::{Capabilities, Driver, DriverRequest, MetricsSnapshot, ValueStream};
+    use kleisli_core::{
+        blocks_of_rows, BlockStream, Capabilities, Driver, DriverRequest, MetricsSnapshot,
+    };
     use nrc::name;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -761,13 +1030,13 @@ mod tests {
         fn capabilities(&self) -> Capabilities {
             Capabilities::default()
         }
-        fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+        fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
             let pulled = Arc::clone(&self.pulled);
             let rows = self.rows;
-            Ok(Box::new((0..rows).map(move |i| {
+            Ok(blocks_of_rows(Box::new((0..rows).map(move |i| {
                 pulled.fetch_add(1, Ordering::Relaxed);
                 Ok(Value::record_from(vec![("n", Value::Int(i))]))
-            })))
+            }))))
         }
         fn metrics(&self) -> MetricsSnapshot {
             MetricsSnapshot::default()
@@ -837,6 +1106,58 @@ mod tests {
             collect_stream(eval_stream(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set).unwrap();
         assert_eq!(eager, streamed);
         assert_eq!(eager.len(), Some(25));
+    }
+
+    #[test]
+    fn block_drain_agrees_with_row_drain() {
+        // The batched full-drain path (fused filter/project at
+        // DEFAULT_BLOCK_ROWS grain) and the grain-1 view must produce
+        // identical collections.
+        let (ctx, _) = counting_ctx(500);
+        let e = Expr::ext(
+            CollKind::Set,
+            "x",
+            Expr::if_(
+                Expr::eq(
+                    Expr::prim(
+                        nrc::Prim::Mod,
+                        vec![Expr::proj(Expr::var("x"), "n"), Expr::int(3)],
+                    ),
+                    Expr::int(0),
+                ),
+                Expr::single(CollKind::Set, Expr::proj(Expr::var("x"), "n")),
+                Expr::Empty(CollKind::Set),
+            ),
+            remote_scan(),
+        );
+        let rows =
+            collect_stream(eval_stream(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set).unwrap();
+        let blocks =
+            collect_blocks(eval_blocks(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set).unwrap();
+        assert_eq!(rows, blocks);
+        assert_eq!(blocks.len(), Some(167));
+    }
+
+    #[test]
+    fn blocks_honor_the_consumer_grain() {
+        let (ctx, _) = counting_ctx(100);
+        let e = Expr::ext(
+            CollKind::Bag,
+            "x",
+            Expr::single(CollKind::Bag, Expr::proj(Expr::var("x"), "n")),
+            remote_scan(),
+        );
+        let mut s = eval_blocks(&e, &Env::empty(), &ctx).unwrap();
+        let b = s.next_block(7).unwrap();
+        assert_eq!(b.len(), 7, "a fused generator fills the requested grain");
+        let b = s.next_block(1).unwrap();
+        assert_eq!(b.len(), 1);
+        let mut total = 8;
+        while let Some(b) = s.next_block(DEFAULT_BLOCK_ROWS) {
+            assert!(b.len() <= DEFAULT_BLOCK_ROWS);
+            total += b.len();
+        }
+        assert_eq!(total, 100);
     }
 
     #[test]
@@ -928,7 +1249,11 @@ mod tests {
             let streamed =
                 collect_stream(eval_stream(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set)
                     .unwrap();
+            let blocked =
+                collect_blocks(eval_blocks(&e, &Env::empty(), &ctx).unwrap(), CollKind::Set)
+                    .unwrap();
             assert_eq!(eager, streamed);
+            assert_eq!(eager, blocked);
         }
     }
 
@@ -977,5 +1302,39 @@ mod tests {
         let items: Vec<_> = eval_stream(&e, &Env::empty(), &ctx).unwrap().collect();
         assert_eq!(items.len(), 1);
         assert!(items[0].is_err());
+    }
+
+    #[test]
+    fn a_mid_batch_error_ships_the_good_rows_first() {
+        // 1/(5-x) over 0..8: rows 0..4 evaluate, x=5 divides by zero.
+        // In one fused batch, the good rows arrive in front of the
+        // error, and the stream ends after it — exactly the single-row
+        // order.
+        let e = Expr::ext(
+            CollKind::List,
+            "x",
+            Expr::single(
+                CollKind::List,
+                Expr::prim(
+                    nrc::Prim::Div,
+                    vec![
+                        Expr::int(1),
+                        Expr::prim(nrc::Prim::Sub, vec![Expr::int(5), Expr::var("x")]),
+                    ],
+                ),
+            ),
+            Expr::Const(Value::list((0..8).map(Value::Int).collect())),
+        );
+        let ctx = Arc::new(Context::new());
+        let mut s = eval_blocks(&e, &Env::empty(), &ctx).unwrap();
+        let b = s.next_block(DEFAULT_BLOCK_ROWS).unwrap();
+        assert_eq!(b.len(), 6, "five good rows, then the error");
+        assert!(b.ends_with_err());
+        assert!(b.rows()[..5].iter().all(|r| r.is_ok()));
+        assert!(s.next_block(DEFAULT_BLOCK_ROWS).is_none(), "ends after the error");
+        // The grain-1 view sees the same rows in the same order.
+        let items: Vec<_> = eval_stream(&e, &Env::empty(), &ctx).unwrap().collect();
+        assert_eq!(items.len(), 6);
+        assert!(items[5].is_err());
     }
 }

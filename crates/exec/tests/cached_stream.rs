@@ -13,7 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kleisli_core::{
-    Capabilities, CollKind, Driver, DriverRequest, KResult, MetricsSnapshot, Value, ValueStream,
+    blocks_of_rows, BlockStream, Capabilities, CollKind, Driver, DriverRequest, KResult,
+    MetricsSnapshot, Value,
 };
 use kleisli_exec::{collect_stream, eval, eval_stream, first_n, Context, Env};
 use nrc::{name, Expr};
@@ -32,14 +33,14 @@ impl Driver for CountingDriver {
     fn capabilities(&self) -> Capabilities {
         Capabilities::default()
     }
-    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
         self.execs.fetch_add(1, Ordering::SeqCst);
         let pulled = Arc::clone(&self.pulled);
         let rows = self.rows;
-        Ok(Box::new((0..rows).map(move |i| {
+        Ok(blocks_of_rows(Box::new((0..rows).map(move |i| {
             pulled.fetch_add(1, Ordering::SeqCst);
             Ok(Value::Int(i))
-        })))
+        }))))
     }
     fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot::default()

@@ -228,7 +228,7 @@ fn blocking_adapter_drivers_are_not_prefetched_in_union_arms() {
     // A one-method driver's submit runs the request inline, so
     // prefetching it would execute eagerly: the right arm must stay
     // fully lazy for such drivers.
-    use kleisli_core::{Capabilities, Driver, KResult, ValueStream};
+    use kleisli_core::{blocks_of_rows, BlockStream, Capabilities, Driver, KResult};
     use std::sync::atomic::AtomicU64;
 
     struct OneMethod {
@@ -241,11 +241,11 @@ fn blocking_adapter_drivers_are_not_prefetched_in_union_arms() {
         fn capabilities(&self) -> Capabilities {
             Capabilities::default()
         }
-        fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+        fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
             self.performs.fetch_add(1, Ordering::SeqCst);
-            Ok(Box::new(
+            Ok(blocks_of_rows(Box::new(
                 (0..3).map(|i| Ok(Value::record_from(vec![("n", Value::Int(i))]))),
-            ))
+            )))
         }
     }
 

@@ -8,8 +8,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kleisli_core::testutil::SlowDriver;
-use kleisli_core::{CollKind, DriverRequest};
-use kleisli_exec::{collect_stream, eval, eval_stream, first_n, Context, Env};
+use kleisli_core::{
+    blocks_of_rows, BlockStream, Capabilities, CollKind, Driver, DriverRequest, KError, KResult,
+    MetricsSnapshot, Value, DEFAULT_BLOCK_ROWS,
+};
+use kleisli_exec::{collect_stream, eval, eval_blocks, eval_stream, first_n, Context, Env};
 use nrc::{name, Expr};
 
 fn scan(driver: &str) -> Expr {
@@ -129,6 +132,156 @@ fn prefetch_zero_ships_exactly_the_demanded_prefix() {
         m.rows_shipped
     );
     assert_eq!(m.rows_prefetched, 0, "nothing may be prefetched at depth 0");
+}
+
+#[test]
+fn first_n_stopping_mid_block_releases_the_ticket_and_bounds_blocks() {
+    // Block-boundary variant of the early-stop regression: at
+    // prefetch_rows = 8 the pool ships 2-row blocks (a 4-block window),
+    // so a cutoff of 3 stops *inside* a buffered block. The admission
+    // ticket must still drain, and row traffic stays bounded by
+    // prefix + buffer + one in-flight block.
+    let prefetch = 8; // block_rows = 2, depth = 4 blocks
+    let block_rows = 2;
+    let driver = SlowDriver::pipelined(
+        "blocked",
+        10_000,
+        Duration::ZERO,
+        Duration::from_micros(200),
+        1,
+        prefetch,
+    );
+    let gate = Arc::clone(&driver.gate);
+    let metrics = Arc::clone(&driver.metrics);
+    let ctx = ctx_of(driver);
+
+    let cutoff = 3;
+    let got = first_n(&wrap_ext(scan("blocked")), cutoff, &Env::empty(), &ctx).unwrap();
+    assert_eq!(got.len(), cutoff);
+
+    let t0 = Instant::now();
+    while gate.in_flight() != 0 {
+        assert!(t0.elapsed() < Duration::from_secs(2), "admission ticket leaked");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Refill stops at the next *block* boundary once the stream drops.
+    let t0 = Instant::now();
+    let mut shipped = metrics.snapshot().rows_shipped;
+    loop {
+        std::thread::sleep(Duration::from_millis(15));
+        let now = metrics.snapshot().rows_shipped;
+        if now == shipped {
+            break;
+        }
+        shipped = now;
+        assert!(t0.elapsed() < Duration::from_secs(2), "rows kept shipping");
+    }
+    assert!(
+        shipped <= (cutoff + prefetch + block_rows) as u64,
+        "{shipped} rows shipped for a cutoff of {cutoff}, a buffer of {prefetch} \
+         and {block_rows}-row blocks"
+    );
+    assert!(
+        metrics.snapshot().blocks_shipped > 0,
+        "a prefetching driver must account its handoffs in blocks"
+    );
+
+    let again = first_n(&wrap_ext(scan("blocked")), 2, &Env::empty(), &ctx).unwrap();
+    assert_eq!(again.len(), 2, "driver still serves after the mid-block stop");
+}
+
+/// A driver whose stream delivers a partial block: `good` rows, then a
+/// driver error inside the same block.
+struct PartialBlockDriver {
+    good: i64,
+}
+
+impl Driver for PartialBlockDriver {
+    fn name(&self) -> &str {
+        "partial"
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::default()
+    }
+    fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
+        let good = self.good;
+        Ok(blocks_of_rows(Box::new((0..=good).map(move |i| {
+            if i == good {
+                Err(KError::driver("partial", "stream interrupted"))
+            } else {
+                Ok(Value::record_from(vec![("n", Value::Int(i))]))
+            }
+        }))))
+    }
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+}
+
+#[test]
+fn driver_error_inside_a_partial_block_surfaces_after_the_good_rows() {
+    let good = 3;
+    let mut ctx = Context::new();
+    ctx.register_driver(Arc::new(PartialBlockDriver { good }));
+    let ctx = Arc::new(ctx);
+    let plan = wrap_ext(scan("partial"));
+
+    // Full-grain pull: one partially-delivered block carrying the good
+    // rows with the error as its final entry, then exhaustion.
+    let mut s = eval_blocks(&plan, &Env::empty(), &ctx).unwrap();
+    let b = s.next_block(DEFAULT_BLOCK_ROWS).expect("a partial block");
+    assert_eq!(b.len() as i64, good + 1, "good rows ride in front of the error");
+    assert!(b.rows()[..good as usize].iter().all(|r| r.is_ok()));
+    assert!(b.ends_with_err());
+    assert!(s.next_block(DEFAULT_BLOCK_ROWS).is_none(), "failed streams end");
+
+    // The grain-1 view sees the same rows in the same order, and a
+    // prefix consumer that stops before the bad row never sees it.
+    let items: Vec<_> = eval_stream(&plan, &Env::empty(), &ctx).unwrap().collect();
+    assert_eq!(items.len() as i64, good + 1);
+    assert!(items[..good as usize].iter().all(|r| r.is_ok()));
+    assert!(items[good as usize].is_err());
+    let prefix = first_n(&plan, good as usize, &Env::empty(), &ctx).unwrap();
+    assert_eq!(prefix.len() as i64, good);
+}
+
+#[test]
+fn clamped_to_zero_full_drain_is_byte_identical_to_fully_lazy() {
+    // The prefetch-ceiling-0 configuration must be indistinguishable
+    // from the never-pipelined driver on a full drain — through both
+    // the grain-1 view and the block drain — and must neither prefetch
+    // rows nor ship blocks through the pool buffer.
+    let rows = 64;
+    let plain = SlowDriver::new("plain", rows, Duration::ZERO, 2);
+    let clamped = SlowDriver::pipelined("clamped", rows, Duration::ZERO, Duration::ZERO, 2, 0);
+    let clamped_metrics = Arc::clone(&clamped.metrics);
+    let plain_ctx = ctx_of(plain);
+    let clamped_ctx = ctx_of(clamped);
+
+    let plain_v = collect_stream(
+        eval_stream(&wrap_ext(scan("plain")), &Env::empty(), &plain_ctx).unwrap(),
+        CollKind::Set,
+    )
+    .unwrap();
+    let clamped_rows_v = collect_stream(
+        eval_stream(&wrap_ext(scan("clamped")), &Env::empty(), &clamped_ctx).unwrap(),
+        CollKind::Set,
+    )
+    .unwrap();
+    let clamped_blocks_v = kleisli_exec::collect_blocks(
+        eval_blocks(&wrap_ext(scan("clamped")), &Env::empty(), &clamped_ctx).unwrap(),
+        CollKind::Set,
+    )
+    .unwrap();
+    let eager_v = eval(&wrap_ext(scan("clamped")), &Env::empty(), &clamped_ctx).unwrap();
+    assert_eq!(plain_v, clamped_rows_v);
+    assert_eq!(clamped_rows_v, clamped_blocks_v);
+    assert_eq!(clamped_blocks_v, eager_v);
+
+    let m = clamped_metrics.snapshot();
+    assert_eq!(m.rows_prefetched, 0, "clamped-to-0 must prefetch nothing");
+    assert_eq!(m.blocks_shipped, 0, "clamped-to-0 must bypass the block buffer");
 }
 
 #[test]

@@ -137,8 +137,10 @@ mod tests {
         // Without pushdown but with local join operators the paper's
         // description holds: three table scans shipped, join done locally.
         s.reset_metrics();
-        let mut local_joins = kleisli_opt::OptConfig::default();
-        local_joins.enable_pushdown = false;
+        let local_joins = kleisli_opt::OptConfig {
+            enable_pushdown: false,
+            ..Default::default()
+        };
         s.set_opt_config(local_joins);
         let baseline = s.query(loci22).unwrap();
         assert_eq!(baseline, result);

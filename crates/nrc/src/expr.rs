@@ -1009,7 +1009,7 @@ impl Expr {
                 for (i, arm) in arms.iter().enumerate() {
                     let arm2 = if &*arm.var == var {
                         None
-                    } else if free_in_repl.iter().any(|n| *n == arm.var) {
+                    } else if free_in_repl.contains(&arm.var) {
                         let fresh_v = fresh(&arm.var);
                         let renamed = Expr::subst_shared(
                             &arm.body,
@@ -1096,6 +1096,12 @@ impl Expr {
             }
         });
         found
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_expr(f, self, 0)
     }
 }
 
@@ -1261,11 +1267,5 @@ mod tests {
         let a = fresh("x");
         let b = fresh("x");
         assert_ne!(a, b);
-    }
-}
-
-impl fmt::Display for Expr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        crate::pretty::write_expr(f, self, 0)
     }
 }

@@ -262,7 +262,7 @@ fn record_introspection(e: &Expr, _ctx: &RuleCtx<'_>) -> Option<Expr> {
             let Expr::Const(kleisli_core::Value::Str(f)) = &*args[1] else {
                 return None;
             };
-            Some(Expr::bool(fields.iter().any(|(n, _)| &**n == &**f)))
+            Some(Expr::bool(fields.iter().any(|(n, _)| **n == **f)))
         }
         Prim::RecordWidth => {
             let Expr::Record(fields) = &*args[0] else {

@@ -9,8 +9,8 @@ use parking_lot::RwLock;
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, ResiliencePolicy, TableStats, Value, ValueStream,
-    WorkerPool,
+    MetricsSnapshot, RequestHandle, ResiliencePolicy, TableStats, Value, WorkerPool,
+    charged_blocks, BlockStream,
 };
 
 use crate::sql::{self, CmpOp, ColRef, Operand, Pred, Query, SelectList};
@@ -438,21 +438,20 @@ pub const SYBASE_PREFETCH_ROWS: usize = 32;
 
 impl SybaseCore {
     /// One full request round-trip: charge the request latency, run the
-    /// query, and hand back a stream that charges/counts per pulled row.
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    /// query, and hand back a block stream that charges/counts per
+    /// packed row (on the puller's clock).
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.metrics.record_request();
         if !self.available.load(Ordering::Acquire) {
             return Err(KError::transport(&self.name, "connection refused"));
         }
         self.latency.charge_request();
         let rows = self.run(req)?;
-        let latency = Arc::clone(&self.latency);
-        let metrics = Arc::clone(&self.metrics);
-        Ok(Box::new(rows.into_iter().map(move |v| {
-            latency.charge_row();
-            metrics.record_row(v.approx_size());
-            Ok(v)
-        })))
+        Ok(charged_blocks(
+            rows,
+            Arc::clone(&self.latency),
+            Arc::clone(&self.metrics),
+        ))
     }
 
     fn run(&self, req: &DriverRequest) -> KResult<Vec<Value>> {
@@ -514,7 +513,7 @@ impl Driver for SybaseServer {
         }
     }
 
-    fn perform(&self, req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, req: &DriverRequest) -> KResult<BlockStream> {
         self.core.perform(req)
     }
 

@@ -28,7 +28,7 @@ impl PartialEq for FloatOrd {
 impl Eq for FloatOrd {}
 impl PartialOrd for FloatOrd {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.0.total_cmp(&other.0))
+        Some(self.cmp(other))
     }
 }
 impl Ord for FloatOrd {

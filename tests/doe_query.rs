@@ -125,10 +125,8 @@ fn doe_plan_uses_every_optimization_of_section_4() {
                     "three-way join shipped: {query}"
                 );
             }
-            DriverRequest::EntrezFetch { path, .. } => {
-                if path.is_some() {
-                    paths += 1;
-                }
+            DriverRequest::EntrezFetch { path: Some(_), .. } => {
+                paths += 1;
             }
             _ => {}
         },

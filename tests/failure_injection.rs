@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use kleisli::Session;
 use kleisli_core::{
-    Capabilities, Driver, DriverRequest, KError, KResult, Value, ValueStream,
+    blocks_of_rows, BlockStream, Capabilities, Driver, DriverRequest, KError, KResult, Value,
 };
 
 /// A driver that fails in configurable ways.
@@ -27,21 +27,21 @@ impl Driver for FlakyDriver {
     fn capabilities(&self) -> Capabilities {
         Capabilities::default()
     }
-    fn perform(&self, _req: &DriverRequest) -> KResult<ValueStream> {
+    fn perform(&self, _req: &DriverRequest) -> KResult<BlockStream> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         if self.refuse {
             return Err(KError::driver(&self.name, "connection refused"));
         }
         let fail_after = self.fail_after;
         let name = self.name.clone();
-        Ok(Box::new((0..10).map(move |i| {
+        Ok(blocks_of_rows(Box::new((0..10).map(move |i| {
             if let Some(n) = fail_after {
                 if i >= n as i64 {
                     return Err(KError::driver(&name, "stream interrupted"));
                 }
             }
             Ok(Value::record_from(vec![("n", Value::Int(i))]))
-        })))
+        }))))
     }
 }
 

@@ -596,7 +596,7 @@ mod tests {
         fn macro_wires_strategies_through(x in 0i64..10, v in super::collection::vec(0i64..5, 0..4)) {
             prop_assert!((0..10).contains(&x));
             prop_assert!(v.len() < 4);
-            prop_assert_eq!(v.iter().count(), v.len());
+            prop_assert_eq!(v.iter().copied().count(), v.len());
         }
     }
 }
