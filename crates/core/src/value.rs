@@ -227,6 +227,43 @@ impl Value {
         }
     }
 
+    /// Approximate *in-memory* footprint of this value in bytes, deeply:
+    /// one enum-sized node per stored value plus the heap its spine owns
+    /// (string bytes, collection element arrays, record fields, boxed
+    /// variant payloads). This is the sizing function the memory-accounted
+    /// caches use for their byte budgets, so its contract is *monotone and
+    /// deterministic*, not exact: nesting and content can only grow it,
+    /// and the same value always sizes the same. Shared `Arc` spines are
+    /// counted at every occurrence (deliberately — a cache that evicts a
+    /// value must assume it was the last owner).
+    ///
+    /// Distinct from [`Value::approx_size`], which estimates the
+    /// *serialized* wire size for driver traffic accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        // Each stored Value occupies one enum slot wherever it lives (a
+        // collection's Vec, a record's field array, a variant's box).
+        let node = std::mem::size_of::<Value>() as u64;
+        node + self.heap_bytes()
+    }
+
+    /// The heap owned beyond the enum slot itself ([`Value::approx_bytes`]
+    /// without the node cost).
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Float(_) => 0,
+            Value::Str(s) => s.len() as u64,
+            Value::Set(es) | Value::Bag(es) | Value::List(es) => {
+                es.iter().map(Value::approx_bytes).sum::<u64>()
+            }
+            Value::Record(r) => r
+                .iter()
+                .map(|(n, v)| n.len() as u64 + v.approx_bytes())
+                .sum::<u64>(),
+            Value::Variant(t, v) => t.len() as u64 + v.approx_bytes(),
+            Value::Ref(o) => o.class.len() as u64 + 8,
+        }
+    }
+
     /// Rough serialized size in bytes, used by drivers to account for
     /// "bytes shipped" and by the optimizer's cost model.
     pub fn approx_size(&self) -> u64 {
@@ -453,6 +490,51 @@ mod tests {
         assert!(Value::empty(CollKind::Set).is_empty_coll());
         assert!(!v(3).is_empty_coll());
         assert_eq!(Value::empty(CollKind::List).coll_kind(), Some(CollKind::List));
+    }
+
+    #[test]
+    fn approx_bytes_counts_nodes_and_heap() {
+        let node = std::mem::size_of::<Value>() as u64;
+        assert_eq!(v(1).approx_bytes(), node);
+        assert_eq!(Value::Unit.approx_bytes(), node);
+        assert_eq!(Value::str("abcd").approx_bytes(), node + 4);
+        // A collection costs its own node plus one node per element.
+        let set = Value::set(vec![v(1), v(2), v(3)]);
+        assert_eq!(set.approx_bytes(), node * 4);
+        // Record fields pay field-name bytes plus the value.
+        let rec = Value::record_from(vec![("k", v(1)), ("name", Value::str("xy"))]);
+        assert_eq!(rec.approx_bytes(), node + (1 + node) + (4 + node + 2));
+        // Variants pay the tag plus the boxed payload.
+        let var = Value::variant("tag", v(7));
+        assert_eq!(var.approx_bytes(), node + 3 + node);
+    }
+
+    #[test]
+    fn approx_bytes_is_monotone_in_content() {
+        let small = Value::set(vec![v(1)]);
+        let bigger = Value::set(vec![v(1), v(2)]);
+        let nested = Value::set(vec![small.clone(), bigger.clone()]);
+        assert!(bigger.approx_bytes() > small.approx_bytes());
+        assert!(nested.approx_bytes() > bigger.approx_bytes());
+        let short = Value::str("a");
+        let long = Value::str("a much longer string payload");
+        assert!(long.approx_bytes() > short.approx_bytes());
+    }
+
+    #[test]
+    fn approx_bytes_is_deterministic_and_at_least_wire_size() {
+        let v = Value::set(vec![
+            Value::record_from(vec![
+                ("id", Value::Int(7)),
+                ("seq", Value::str("ACGTACGT")),
+                ("refs", Value::list(vec![Value::Int(1), Value::Int(2)])),
+            ]),
+            Value::variant("missing", Value::Unit),
+        ]);
+        assert_eq!(v.approx_bytes(), v.approx_bytes());
+        // In-memory footprint dominates the compact wire estimate for
+        // structured data (enum slots are wider than serialized scalars).
+        assert!(v.approx_bytes() >= v.approx_size());
     }
 
     #[test]

@@ -10,17 +10,23 @@
 //!   laziness: `first_n` produces initial output without materializing
 //!   the full result.
 //! * [`context`] — the driver registry, object store, and subquery cache.
+//! * [`result_cache`] — the process-wide memory-accounted single-flight
+//!   result cache shared by multi-session deployments (`kleislid`).
 //! * [`mod@env`] — runtime environments and closures.
 
 pub mod context;
 pub mod env;
 pub mod eval;
 pub mod prims;
+pub mod result_cache;
 pub mod stream;
 
 pub use context::{request_from_value, CacheCell, CacheLookup, Context, ObjectStore, PopulateTicket};
 pub use env::{Env, Rt};
 pub use eval::{eval, eval_rt};
+pub use result_cache::{
+    ResultCache, ResultCacheStats, ResultLookup, ResultTicket, DEFAULT_RESULT_CACHE_BUDGET,
+};
 pub use stream::{
     collect_blocks, collect_stream, eval_blocks, eval_stream, first_n, first_n_distinct, RowStream,
 };

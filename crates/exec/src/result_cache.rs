@@ -1,0 +1,462 @@
+//! A process-wide, memory-accounted, single-flight result cache.
+//!
+//! [`ResultCache`] maps 64-bit keys — in practice `nrc::hash::plan_hash`
+//! digests of optimized plans or subplans — to computed [`Value`]s. It is
+//! the cross-*session* counterpart of the per-query [`CacheCell`] slots
+//! in [`crate::context::Context`]: many sessions (for example, the
+//! connections of a `kleislid` server) share one `Arc<ResultCache>`, so a
+//! thousand clients issuing the same GenBank query evaluate it **once**
+//! and everyone else is served from memory.
+//!
+//! Three properties, each load-bearing for the server deployment:
+//!
+//! * **Single-flight population.** Each entry is a [`CacheCell`]: the
+//!   first looker-up becomes the populator and receives a
+//!   [`ResultTicket`]; concurrent lookers-up for the same key block until
+//!   the populator commits, then read the committed value. A populator
+//!   that gives up (error, cancellation — its ticket dropped without
+//!   commit) wakes the waiters and the *next* one becomes the populator:
+//!   an abandoned flight never poisons the cell.
+//! * **Memory accounting.** Committed values are sized with
+//!   [`Value::approx_bytes`] and charged against a configurable byte
+//!   budget. A commit that pushes the total over budget evicts
+//!   least-recently-used *committed* entries until the total fits again
+//!   (in-flight entries are never evicted — their size is unknown and
+//!   evicting them would duplicate the very work the cache exists to
+//!   share). A single value larger than the whole budget is served to its
+//!   waiters but not retained.
+//! * **Observability.** [`ResultCache::stats`] exposes hits, misses,
+//!   evictions, entry count, resident bytes, and the high-water mark
+//!   (`peak_bytes`) — the server's STATS frame and the `server_report`
+//!   bench assert `peak_bytes <= budget` from it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use kleisli_core::Value;
+
+use crate::context::{CacheCell, CacheLookup, PopulateTicket};
+
+/// Default byte budget for a [`ResultCache`]: 64 MiB.
+pub const DEFAULT_RESULT_CACHE_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// Observability counters for a [`ResultCache`]; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResultCacheStats {
+    /// Lookups served from a committed entry (including lookups that
+    /// waited out another session's in-flight population).
+    pub hits: u64,
+    /// Lookups that found no committed entry and became the populator.
+    pub misses: u64,
+    /// Committed entries dropped to fit the byte budget.
+    pub evictions: u64,
+    /// Committed entries currently resident (in-flight populations are
+    /// not counted — an abandoned flight leaves nothing behind).
+    pub entries: usize,
+    /// Bytes currently charged by committed entries.
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the cache's lifetime. The budget
+    /// is enforced at commit time, so this never exceeds `budget` (the
+    /// bench asserts it).
+    pub peak_bytes: u64,
+    /// The configured byte budget.
+    pub budget: u64,
+}
+
+/// One cache slot plus its accounting metadata.
+struct Entry {
+    cell: Arc<CacheCell>,
+    /// Bytes charged for the committed value; `None` while in flight.
+    bytes: Option<u64>,
+    /// Monotone use tick for LRU eviction.
+    last_used: u64,
+    /// Commit sequence number (`0` while in flight): distinguishes one
+    /// committed generation of this key from a later re-commit after
+    /// eviction, so derived caches (e.g. the server's serialized-frame
+    /// cache) can validate their copies without comparing values.
+    seq: u64,
+}
+
+struct CacheMap {
+    entries: HashMap<u64, Entry>,
+    /// Total bytes of committed entries.
+    bytes: u64,
+    /// Monotone lookup counter feeding `Entry::last_used`.
+    tick: u64,
+    /// Monotone commit counter feeding `Entry::seq`.
+    commits: u64,
+}
+
+/// The shared cache; see the module docs. Construct with
+/// [`ResultCache::new`] and share via `Arc`.
+pub struct ResultCache {
+    map: StdMutex<CacheMap>,
+    budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    peak_bytes: AtomicU64,
+}
+
+/// Outcome of [`ResultCache::lookup_or_begin`].
+pub enum ResultLookup {
+    /// A committed value (possibly after waiting out another populator).
+    Hit(Value),
+    /// The caller is the populator: compute the value and
+    /// [`ResultTicket::commit`] it (dropping the ticket without
+    /// committing aborts, waking waiters to retry).
+    Miss(ResultTicket),
+    /// The calling thread is already populating this key further up its
+    /// own stack (see [`CacheLookup::Reentrant`]); compute without
+    /// touching the cache.
+    Reentrant,
+}
+
+/// Exclusive permission to populate one [`ResultCache`] entry. Commit
+/// publishes the value to every waiter *and* charges it against the
+/// cache's byte budget; dropping without commit releases the claim.
+pub struct ResultTicket {
+    cache: Arc<ResultCache>,
+    key: u64,
+    inner: PopulateTicket,
+}
+
+impl ResultCache {
+    /// A cache enforcing the given byte budget (`0` disables retention:
+    /// every commit is immediately evicted, so the cache degenerates to
+    /// pure single-flight deduplication of concurrent identical work).
+    pub fn new(budget: u64) -> Arc<ResultCache> {
+        Arc::new(ResultCache {
+            map: StdMutex::new(CacheMap {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                commits: 0,
+            }),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// A cache with the [`DEFAULT_RESULT_CACHE_BUDGET`].
+    pub fn with_default_budget() -> Arc<ResultCache> {
+        ResultCache::new(DEFAULT_RESULT_CACHE_BUDGET)
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Read the committed value for `key`, or acquire the right to
+    /// compute it. Blocks while another session's population of the same
+    /// key is in flight (single-flight: the work runs once process-wide).
+    pub fn lookup_or_begin(self: &Arc<Self>, key: u64) -> ResultLookup {
+        let cell = {
+            let mut map = self.lock_map();
+            map.tick += 1;
+            let tick = map.tick;
+            let entry = map.entries.entry(key).or_insert_with(|| Entry {
+                cell: Arc::new(CacheCell::default()),
+                bytes: None,
+                last_used: 0,
+                seq: 0,
+            });
+            entry.last_used = tick;
+            Arc::clone(&entry.cell)
+        };
+        // The map lock is released before the (potentially blocking)
+        // cell lookup: a waiter parked on one key must not hold up
+        // lookups of every other key.
+        match cell.lookup_or_begin() {
+            CacheLookup::Hit(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ResultLookup::Hit(v)
+            }
+            CacheLookup::Miss(inner) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                ResultLookup::Miss(ResultTicket {
+                    cache: Arc::clone(self),
+                    key,
+                    inner,
+                })
+            }
+            CacheLookup::Reentrant => ResultLookup::Reentrant,
+        }
+    }
+
+    /// Non-blocking read of a committed value: counts a hit and
+    /// refreshes the entry's LRU position on success, returns `None`
+    /// (counting nothing) when the key is absent or still in flight.
+    /// The server's warm fast path serves from this without claiming a
+    /// populate ticket.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        let cell = {
+            let mut map = self.lock_map();
+            map.tick += 1;
+            let tick = map.tick;
+            let entry = map.entries.get_mut(&key)?;
+            entry.last_used = tick;
+            Arc::clone(&entry.cell)
+        };
+        let v = cell.peek()?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(v)
+    }
+
+    /// Like [`ResultCache::get`] but returning only the entry's commit
+    /// sequence — enough for a derived cache holding its own copy (the
+    /// server's serialized-response cache) to validate that copy without
+    /// cloning the value. Counts a hit and refreshes the LRU position;
+    /// `None` while absent or in flight.
+    pub fn get_seq(&self, key: u64) -> Option<u64> {
+        let mut map = self.lock_map();
+        map.tick += 1;
+        let tick = map.tick;
+        let entry = map.entries.get_mut(&key)?;
+        if entry.seq == 0 {
+            return None;
+        }
+        entry.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.seq)
+    }
+
+    /// The committed value for `key`, if any, without claiming
+    /// population (non-blocking; testing/inspection — no counters or
+    /// LRU refresh; see [`ResultCache::get`] for the counted variant).
+    pub fn peek(&self, key: u64) -> Option<Value> {
+        let cell = {
+            let map = self.lock_map();
+            map.entries.get(&key).map(|e| Arc::clone(&e.cell))?
+        };
+        cell.peek()
+    }
+
+    /// Point-in-time counters; see [`ResultCacheStats`].
+    pub fn stats(&self) -> ResultCacheStats {
+        let map = self.lock_map();
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: map.entries.values().filter(|e| e.bytes.is_some()).count(),
+            bytes: map.bytes,
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            budget: self.budget,
+        }
+    }
+
+    /// Drop every entry (counters are kept). In-flight populations keep
+    /// their cells alive through their own `Arc`s and commit into the
+    /// detached cell — waiters already parked on it still wake — but the
+    /// committed value is no longer reachable from the cache.
+    pub fn clear(&self) {
+        let mut map = self.lock_map();
+        map.entries.clear();
+        map.bytes = 0;
+    }
+
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, CacheMap> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Charge a freshly committed value and evict LRU committed entries
+    /// until the budget holds again. Called *after* the value is
+    /// published to the cell, so waiters are never delayed by eviction.
+    fn account_commit(&self, key: u64, bytes: u64) {
+        let mut map = self.lock_map();
+        map.commits += 1;
+        let seq = map.commits;
+        if let Some(entry) = map.entries.get_mut(&key) {
+            // A racing `clear` may have detached the entry; then there
+            // is nothing to charge.
+            entry.bytes = Some(bytes);
+            entry.seq = seq;
+            map.bytes += bytes;
+        }
+        // Evict oldest committed entries (never the one just committed —
+        // its waiters are being served from it right now) until we fit.
+        while map.bytes > self.budget {
+            let victim = map
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != key && e.bytes.is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = map.entries.remove(&k) {
+                        map.bytes -= e.bytes.unwrap_or(0);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => {
+                    // Only the fresh entry remains and it alone exceeds
+                    // the budget: serve it, do not retain it.
+                    if let Some(e) = map.entries.remove(&key) {
+                        map.bytes -= e.bytes.unwrap_or(0);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+        }
+        // The high-water mark is taken after eviction: the budget is a
+        // cap on *resident* bytes, and eviction runs under the same lock
+        // as the charge, so no reader ever observes an over-budget total.
+        self.peak_bytes.fetch_max(map.bytes, Ordering::Relaxed);
+    }
+}
+
+impl ResultTicket {
+    /// Publish `v` to every waiter and charge it against the budget.
+    pub fn commit(self, v: Value) {
+        let bytes = v.approx_bytes();
+        let cache = Arc::clone(&self.cache);
+        let key = self.key;
+        // Publish first (wakes waiters), account second (may evict).
+        self.inner.commit(v);
+        cache.account_commit(key, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn vint(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn hit_after_commit() {
+        let cache = ResultCache::new(1 << 20);
+        match cache.lookup_or_begin(1) {
+            ResultLookup::Miss(t) => t.commit(vint(42)),
+            _ => panic!("fresh key must miss"),
+        }
+        match cache.lookup_or_begin(1) {
+            ResultLookup::Hit(v) => assert_eq!(v, vint(42)),
+            _ => panic!("committed key must hit"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.bytes > 0 && s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn concurrent_lookups_single_flight() {
+        let cache = ResultCache::new(1 << 20);
+        let populators = std::sync::atomic::AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| match cache.lookup_or_begin(7) {
+                    ResultLookup::Miss(t) => {
+                        populators.fetch_add(1, Ordering::SeqCst);
+                        thread::sleep(Duration::from_millis(10));
+                        t.commit(vint(7));
+                    }
+                    ResultLookup::Hit(v) => assert_eq!(v, vint(7)),
+                    ResultLookup::Reentrant => panic!("distinct threads"),
+                });
+            }
+        });
+        assert_eq!(populators.load(Ordering::SeqCst), 1, "exactly one flight");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn abandoned_flight_does_not_poison() {
+        let cache = ResultCache::new(1 << 20);
+        match cache.lookup_or_begin(3) {
+            ResultLookup::Miss(t) => drop(t), // populator gives up
+            _ => panic!("fresh key must miss"),
+        }
+        // The next looker-up becomes the populator and can commit.
+        match cache.lookup_or_begin(3) {
+            ResultLookup::Miss(t) => t.commit(vint(3)),
+            _ => panic!("abandoned key must miss again, not hang or hit"),
+        }
+        assert_eq!(cache.peek(3), Some(vint(3)));
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_caps_resident_bytes() {
+        let one_entry = vint(0).approx_bytes();
+        // Room for exactly two committed scalars.
+        let cache = ResultCache::new(one_entry * 2);
+        for key in 0..5u64 {
+            match cache.lookup_or_begin(key) {
+                ResultLookup::Miss(t) => t.commit(vint(key as i64)),
+                _ => panic!("fresh keys must miss"),
+            }
+            let s = cache.stats();
+            assert!(
+                s.bytes <= s.budget,
+                "resident bytes {} exceed budget {}",
+                s.bytes,
+                s.budget
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.evictions, 3, "three LRU victims");
+        assert!(s.peak_bytes <= s.budget);
+        // The most recent entries survive; the oldest are gone.
+        assert_eq!(cache.peek(4), Some(vint(4)));
+        assert_eq!(cache.peek(0), None);
+    }
+
+    #[test]
+    fn oversize_value_is_served_but_not_retained() {
+        let cache = ResultCache::new(8); // smaller than any Value node
+        match cache.lookup_or_begin(9) {
+            ResultLookup::Miss(t) => t.commit(vint(9)),
+            _ => panic!("fresh key must miss"),
+        }
+        assert_eq!(cache.peek(9), None, "oversize entry not retained");
+        let s = cache.stats();
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn lru_is_refreshed_by_hits() {
+        let one_entry = vint(0).approx_bytes();
+        let cache = ResultCache::new(one_entry * 2);
+        for key in [1u64, 2] {
+            match cache.lookup_or_begin(key) {
+                ResultLookup::Miss(t) => t.commit(vint(key as i64)),
+                _ => panic!("miss expected"),
+            }
+        }
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(matches!(cache.lookup_or_begin(1), ResultLookup::Hit(_)));
+        match cache.lookup_or_begin(3) {
+            ResultLookup::Miss(t) => t.commit(vint(3)),
+            _ => panic!("miss expected"),
+        }
+        assert_eq!(cache.peek(1), Some(vint(1)), "recently used survives");
+        assert_eq!(cache.peek(2), None, "LRU evicted");
+    }
+
+    #[test]
+    fn zero_budget_still_deduplicates_in_flight() {
+        let cache = ResultCache::new(0);
+        match cache.lookup_or_begin(5) {
+            ResultLookup::Miss(t) => t.commit(vint(5)),
+            _ => panic!("miss expected"),
+        }
+        // Nothing retained, so the next lookup misses again.
+        assert!(matches!(cache.lookup_or_begin(5), ResultLookup::Miss(_)));
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

@@ -24,13 +24,18 @@
 //! assert_eq!(titles.len(), Some(1));
 //! ```
 
+pub mod plan_cache;
 pub mod session;
 pub mod sources;
 
 pub use kleisli_core::{
     BreakerPolicy, BreakerState, HedgePolicy, ResiliencePolicy, RetryPolicy,
 };
-pub use session::{Compiled, QueryHandle, QueryStatus, Session, StmtResult};
+pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use session::{
+    Compiled, QueryCanceller, QueryHandle, QueryStatus, Session, SharedCommit, SharedQuery,
+    StmtResult,
+};
 pub use sources::{bio_federation, AceObjects, BioFederation};
 
 #[cfg(test)]

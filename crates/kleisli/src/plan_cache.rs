@@ -1,0 +1,293 @@
+//! The compiled-plan cache, as a standalone `Arc`-shareable type.
+//!
+//! Until the server PR this LRU lived as a private struct inside
+//! [`Session`](crate::Session); it is now a first-class [`PlanCache`] so
+//! that many sessions — the connections of a `kleislid` server — can
+//! share **one** cache: a query compiled by any session is a compile
+//! skipped by every other. Solo semantics are unchanged: a session
+//! constructed with [`Session::new`](crate::Session::new) still gets a
+//! private cache of the same default capacity, keyed the same way
+//! (source text + [`OptConfig`]), with the same LRU behavior.
+//!
+//! Two things are new relative to the private struct:
+//!
+//! * **Single-flight compilation.** [`PlanCache::get_or_compile`] tracks
+//!   keys whose compile is *in flight*: concurrent lookups of the same
+//!   key block until the first compiler finishes and then hit its cached
+//!   plan, so N sessions racing the same cold query cost **one** compile,
+//!   not N. (A failed compile is not cached; the error propagates to the
+//!   compiling caller and waiting callers retry — each retry is its own
+//!   compile until one succeeds.)
+//! * **Eviction accounting.** [`PlanCacheStats`] now counts `evictions`
+//!   (plans dropped for capacity), alongside the existing hit/miss
+//!   counters. `misses` equals the number of compiles started.
+
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+use kleisli_core::KResult;
+use kleisli_opt::OptConfig;
+
+use crate::session::Compiled;
+
+/// Observability counters for a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache — including lookups that waited out
+    /// another session's in-flight compile of the same key.
+    pub hits: u64,
+    /// Lookups that found nothing and compiled (`misses` == compiles).
+    pub misses: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+    /// Maximum plans kept (`0` disables retention).
+    pub capacity: usize,
+}
+
+struct State {
+    /// `(source, config, plan)`, most recently used last. Linear-scan
+    /// over a Vec: capacities are tens of entries, and a scan over that
+    /// is noise next to even a cache-hit `Arc` bump.
+    entries: Vec<(String, OptConfig, Arc<Compiled>)>,
+    /// Keys whose compile is currently in flight (single-flight gate).
+    in_flight: Vec<(String, OptConfig)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The compiled-plan cache; see the module docs. Construct with
+/// [`PlanCache::new`] and share across sessions via
+/// [`Session::share_plan_cache`](crate::Session::share_plan_cache).
+pub struct PlanCache {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl PlanCache {
+    /// A cache keeping at most `capacity` compiled plans (`0` disables
+    /// retention but keeps single-flight deduplication of concurrent
+    /// compiles).
+    pub fn new(capacity: usize) -> Arc<PlanCache> {
+        Arc::new(PlanCache {
+            state: StdMutex::new(State {
+                entries: Vec::new(),
+                in_flight: Vec::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fetch the plan for `(src, config)`, or compile it via `compile`
+    /// and cache the result. Concurrent calls for the same key from
+    /// other threads block until the first compile lands, then hit it
+    /// (single-flight; see the module docs). The compile closure runs
+    /// **without** the cache lock held, so slow compiles of one query
+    /// never stall lookups of others.
+    pub fn get_or_compile(
+        &self,
+        src: &str,
+        config: &OptConfig,
+        compile: impl FnOnce() -> KResult<Arc<Compiled>>,
+    ) -> KResult<Arc<Compiled>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(i) = st
+                .entries
+                .iter()
+                .position(|(s, c, _)| s == src && c == config)
+            {
+                let entry = st.entries.remove(i);
+                let plan = Arc::clone(&entry.2);
+                st.entries.push(entry); // move to MRU position
+                st.hits += 1;
+                return Ok(plan);
+            }
+            if st
+                .in_flight
+                .iter()
+                .any(|(s, c)| s == src && c == config)
+            {
+                // Another session is compiling this very key: wait for
+                // its result rather than duplicating the work.
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.misses += 1;
+            st.in_flight.push((src.to_string(), config.clone()));
+            break;
+        }
+        drop(st);
+        let result = compile();
+        let mut st = self.lock();
+        st.in_flight.retain(|(s, c)| !(s == src && c == config));
+        if let Ok(plan) = &result {
+            st.insert(src.to_string(), config.clone(), Arc::clone(plan));
+        }
+        drop(st);
+        self.cv.notify_all();
+        result
+    }
+
+    /// Non-blocking lookup: the cached plan if one is committed (counted
+    /// as a hit, refreshing its LRU position), `None` otherwise — even
+    /// when a compile of this key is in flight elsewhere. The server's
+    /// warm fast path uses this to serve cache hits without paying the
+    /// single-flight machinery.
+    pub fn peek(&self, src: &str, config: &OptConfig) -> Option<Arc<Compiled>> {
+        let mut st = self.lock();
+        let i = st
+            .entries
+            .iter()
+            .position(|(s, c, _)| s == src && c == config)?;
+        let entry = st.entries.remove(i);
+        let plan = Arc::clone(&entry.2);
+        st.entries.push(entry); // move to MRU position
+        st.hits += 1;
+        Some(plan)
+    }
+
+    /// Hit/miss/eviction counters and occupancy.
+    pub fn stats(&self) -> PlanCacheStats {
+        let st = self.lock();
+        PlanCacheStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            entries: st.entries.len(),
+            capacity: st.capacity,
+        }
+    }
+
+    /// The current capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Resize the cache; `0` disables retention. Entries beyond the new
+    /// capacity are evicted oldest-first (counted in the stats).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut st = self.lock();
+        st.capacity = capacity;
+        while st.entries.len() > capacity {
+            st.entries.remove(0);
+            st.evictions += 1;
+        }
+    }
+
+    /// Drop every cached plan (counters are kept; deliberate clears are
+    /// invalidation, not capacity pressure, so they do not count as
+    /// evictions).
+    pub fn clear(&self) {
+        self.lock().entries.clear();
+    }
+}
+
+impl State {
+    fn insert(&mut self, src: String, config: OptConfig, plan: Arc<Compiled>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // evict LRU
+            self.evictions += 1;
+        }
+        self.entries.push((src, config, plan));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kleisli_core::Type;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    fn plan() -> Arc<Compiled> {
+        let e = nrc::Expr::int(1);
+        Arc::new(Compiled {
+            raw: e.clone(),
+            optimized: e,
+            trace: Vec::new(),
+            ty: Type::Int,
+        })
+    }
+
+    #[test]
+    fn capacity_eviction_is_counted() {
+        let cache = PlanCache::new(2);
+        let cfg = OptConfig::default();
+        for src in ["a", "b", "c"] {
+            cache.get_or_compile(src, &cfg, || Ok(plan())).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.misses, 3);
+        // "a" was the LRU victim; "b" and "c" still hit.
+        cache.get_or_compile("b", &cfg, || Ok(plan())).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_and_counts() {
+        let cache = PlanCache::new(4);
+        let cfg = OptConfig::default();
+        for src in ["a", "b", "c", "d"] {
+            cache.get_or_compile(src, &cfg, || Ok(plan())).unwrap();
+        }
+        cache.set_capacity(1);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.evictions, 3);
+    }
+
+    #[test]
+    fn concurrent_same_key_compiles_once() {
+        let cache = PlanCache::new(8);
+        let cfg = OptConfig::default();
+        let compiles = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache
+                        .get_or_compile("q", &cfg, || {
+                            compiles.fetch_add(1, Ordering::SeqCst);
+                            thread::sleep(Duration::from_millis(10));
+                            Ok(plan())
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(compiles.load(Ordering::SeqCst), 1, "single-flight");
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn failed_compile_is_not_cached_and_releases_the_flight() {
+        let cache = PlanCache::new(8);
+        let cfg = OptConfig::default();
+        let err = cache.get_or_compile("bad", &cfg, || {
+            Err(kleisli_core::KError::eval("boom"))
+        });
+        assert!(err.is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // The key is compilable again — no wedged in-flight marker.
+        cache.get_or_compile("bad", &cfg, || Ok(plan())).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

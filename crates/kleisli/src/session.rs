@@ -33,6 +33,18 @@
 //! and interacts with the deterministic `Cached` ids (the subplan's
 //! structural hash): recompiling the same query addresses the same
 //! `Context` cache slots.
+//!
+//! # Process-wide sharing
+//!
+//! The plan cache is a standalone [`PlanCache`] that a
+//! server can share across sessions ([`Session::share_plan_cache`]), and
+//! a session can additionally attach a process-wide
+//! [`ResultCache`] keyed by
+//! [`Compiled::plan_hash`] ([`Session::share_result_cache`]); queries
+//! submitted through [`Session::submit_shared`] then consult and
+//! populate it with single-flight semantics. Attach shared caches
+//! *after* registering drivers and bindings — registration invalidates
+//! whatever caches are attached at that moment.
 
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex as StdMutex};
@@ -43,10 +55,15 @@ use kleisli_core::{
     CancelToken, Capabilities, CollKind, DriverRef, Executor, KError, KResult, MetricsSnapshot,
     OneShot, PromiseState, ResiliencePolicy, TableStats, Type, Value,
 };
-use kleisli_exec::{eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore};
+use kleisli_exec::{
+    eval, eval_stream, first_n, first_n_distinct, Context, Env, ObjectStore, ResultCache,
+    ResultLookup, ResultTicket,
+};
 use kleisli_opt::{optimize_shared, OptConfig, SourceCatalog, TraceEntry};
 use nrc::{Expr, Interner, TypeEnv};
 use parking_lot::Mutex;
+
+use crate::plan_cache::{PlanCache, PlanCacheStats};
 
 /// The result of running one top-level statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,68 +87,16 @@ pub struct Compiled {
     pub ty: Type,
 }
 
-/// Observability counters for the session plan cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PlanCacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub entries: usize,
-    pub capacity: usize,
-}
-
-/// The compiled-plan LRU. Linear-scan over a Vec: capacities are tens of
-/// entries, and a scan over that is noise next to even a cache-hit clone
-/// of a `Compiled`.
-struct PlanCache {
-    /// `(source, config, plan)`, most recently used last.
-    entries: Vec<(String, OptConfig, Arc<Compiled>)>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl PlanCache {
-    fn new(capacity: usize) -> PlanCache {
-        PlanCache {
-            entries: Vec::new(),
-            capacity,
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    fn lookup(&mut self, src: &str, config: &OptConfig) -> Option<Arc<Compiled>> {
-        match self
-            .entries
-            .iter()
-            .position(|(s, c, _)| s == src && c == config)
-        {
-            Some(i) => {
-                let entry = self.entries.remove(i);
-                let plan = Arc::clone(&entry.2);
-                self.entries.push(entry); // move to MRU position
-                self.hits += 1;
-                Some(plan)
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn insert(&mut self, src: String, config: OptConfig, plan: Arc<Compiled>) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.entries.len() >= self.capacity {
-            self.entries.remove(0); // evict LRU
-        }
-        self.entries.push((src, config, plan));
-    }
-
-    fn clear(&mut self) {
-        self.entries.clear();
+impl Compiled {
+    /// The deterministic structural hash of the *optimized* plan
+    /// ([`nrc::hash::plan_hash`]): pointer-blind and stable across
+    /// recompiles, so two sessions compiling the same query against the
+    /// same topology agree on the key. This is the key of the shared
+    /// result cache. Computed on demand (a plan traversal) rather than
+    /// stored, so a plan whose `optimized` field is replaced — as some
+    /// benches do — can never carry a stale hash.
+    pub fn plan_hash(&self) -> u64 {
+        nrc::hash::plan_hash(&self.optimized)
     }
 }
 
@@ -430,6 +395,34 @@ impl QueryHandle {
         self.shared.cancel.cancel();
         self.shared.done.pulse();
     }
+
+    /// A detached cancellation handle for this query. Unlike the
+    /// [`QueryHandle`] itself — whose `wait`/`first_n` consume it — a
+    /// canceller is `Clone` and can be stashed in a registry (the server
+    /// keeps one per in-flight query id, so a CANCEL frame can stop an
+    /// evaluation whose handle is blocked in `wait` on another thread).
+    pub fn canceller(&self) -> QueryCanceller {
+        QueryCanceller {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A cancel-only view of an in-flight query; see
+/// [`QueryHandle::canceller`]. Dropping a canceller does *not* cancel
+/// the query (unlike dropping the handle).
+#[derive(Clone)]
+pub struct QueryCanceller {
+    shared: Arc<QueryShared>,
+}
+
+impl QueryCanceller {
+    /// Stop the evaluation cooperatively; same semantics as
+    /// [`QueryHandle::cancel`]. Idempotent.
+    pub fn cancel(&self) {
+        self.shared.cancel.cancel();
+        self.shared.done.pulse();
+    }
 }
 
 impl Drop for QueryHandle {
@@ -453,14 +446,58 @@ fn distinct_prefix(rows: &[Value], n: usize) -> Vec<Value> {
     out
 }
 
+// ------------------------------------------------------------------------
+// Shared-result submission
+// ------------------------------------------------------------------------
+
+/// What [`Session::submit_shared`] produced; see its docs for the
+/// protocol each variant obligates the caller to.
+pub enum SharedQuery {
+    /// The shared result cache already held the answer (or another
+    /// session just finished computing it): no evaluation was started.
+    Cached(Value),
+    /// This session won the single-flight race and is evaluating. The
+    /// caller must redeem `handle` and, on success, pass the result to
+    /// [`SharedCommit::commit`] so sessions waiting on the same plan
+    /// hash are served; dropping the commit (error, cancellation) wakes
+    /// the waiters to retry — the cache cell is never poisoned.
+    Fresh {
+        handle: QueryHandle,
+        commit: SharedCommit,
+    },
+    /// No shared result cache is attached (or the lookup was re-entrant):
+    /// a plain submission, invisible to other sessions.
+    Uncached(QueryHandle),
+}
+
+/// The obligation half of [`SharedQuery::Fresh`]: a single-flight
+/// populate ticket for the shared result cache, wrapped so the session
+/// API doesn't leak the raw cache machinery. Commit on success, drop on
+/// failure.
+pub struct SharedCommit {
+    ticket: ResultTicket,
+}
+
+impl SharedCommit {
+    /// Publish the query's result to every waiter and cache it (subject
+    /// to the cache's memory budget).
+    pub fn commit(self, v: Value) {
+        self.ticket.commit(v);
+    }
+}
+
 /// A CPL/Kleisli session. Drivers are registered once; `define`s
 /// accumulate; queries compile and run against the registered sources.
 pub struct Session {
     ctx: Arc<Context>,
     defs: Definitions,
     config: OptConfig,
-    /// Compiled-plan LRU; interior mutability keeps `compile(&self)`.
-    plan_cache: Mutex<PlanCache>,
+    /// Compiled-plan cache: private by default, process-wide when the
+    /// server swaps in a shared one ([`Session::share_plan_cache`]).
+    plan_cache: Arc<PlanCache>,
+    /// Shared whole-query result cache, when attached
+    /// ([`Session::share_result_cache`]); consulted by `submit_shared`.
+    result_cache: Option<Arc<ResultCache>>,
     /// Hash-consing table for every plan this session compiles.
     interner: Mutex<Interner>,
 }
@@ -502,9 +539,42 @@ impl Session {
             ctx: Arc::new(Context::with_executor(executor)),
             defs: Definitions::new(),
             config: OptConfig::default(),
-            plan_cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+            result_cache: None,
             interner: Mutex::new(Interner::new()),
         }
+    }
+
+    /// Swap this session's private plan cache for a shared one, so a
+    /// plan compiled by any session sharing `cache` is a compile skipped
+    /// here (and vice versa). Attach *after* registering drivers and
+    /// bindings: registration calls [`Session::clear_plan_cache`], which
+    /// would wipe the shared cache for everyone. Sessions sharing a plan
+    /// cache must agree on source topology (same driver names meaning
+    /// the same data) — the cache key is source text + optimizer config.
+    pub fn share_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = cache;
+    }
+
+    /// Attach a process-wide single-flight result cache, keyed by
+    /// [`Compiled::plan_hash`]; [`Session::submit_shared`] consults and
+    /// populates it. The same topology caveat as
+    /// [`Session::share_plan_cache`] applies, and like the plan cache it
+    /// is cleared by [`Session::clear_plan_cache`] (registration and
+    /// `define` both invalidate it).
+    pub fn share_result_cache(&mut self, cache: Arc<ResultCache>) {
+        self.result_cache = Some(cache);
+    }
+
+    /// The plan cache in force (private unless
+    /// [`Session::share_plan_cache`] swapped in a shared one).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// The attached shared result cache, if any.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.result_cache.as_ref()
     }
 
     /// The compute executor this session's queries run on (observable:
@@ -528,33 +598,27 @@ impl Session {
     /// Resize the plan cache; `0` disables it. Existing entries beyond
     /// the new capacity are evicted oldest-first.
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
-        let mut cache = self.plan_cache.lock();
-        cache.capacity = capacity;
-        while cache.entries.len() > capacity {
-            cache.entries.remove(0);
-        }
+        self.plan_cache.set_capacity(capacity);
     }
 
-    /// Hit/miss counters and occupancy of the plan cache.
+    /// Hit/miss/eviction counters and occupancy of the plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        let cache = self.plan_cache.lock();
-        PlanCacheStats {
-            hits: cache.hits,
-            misses: cache.misses,
-            entries: cache.entries.len(),
-            capacity: cache.capacity,
-        }
+        self.plan_cache.stats()
     }
 
-    /// Drop every cached compiled plan (counters are kept) and the
-    /// hash-consing table that fed them, so a long-lived session's memory
-    /// stays bounded by its *live* plans. Called automatically whenever
-    /// definitions or registered sources change. Interned nodes still
-    /// referenced by outstanding plans stay alive through those plans'
-    /// own `Arc`s; only cross-plan sharing with *future* compiles is
-    /// given up.
+    /// Drop every cached compiled plan (counters are kept), any attached
+    /// shared result cache's entries, and the hash-consing table that
+    /// fed them, so a long-lived session's memory stays bounded by its
+    /// *live* plans. Called automatically whenever definitions or
+    /// registered sources change (stale results must never outlive a
+    /// topology change). Interned nodes still referenced by outstanding
+    /// plans stay alive through those plans' own `Arc`s; only cross-plan
+    /// sharing with *future* compiles is given up.
     pub fn clear_plan_cache(&self) {
-        self.plan_cache.lock().clear();
+        self.plan_cache.clear();
+        if let Some(results) = &self.result_cache {
+            results.clear();
+        }
         self.interner.lock().clear();
     }
 
@@ -628,16 +692,9 @@ impl Session {
     /// hit is a pointer bump, no `Compiled` clone. The internal query
     /// paths use this.
     pub fn compile_shared(&self, src: &str) -> KResult<Arc<Compiled>> {
-        if let Some(hit) = self.plan_cache.lock().lookup(src, &self.config) {
-            return Ok(hit);
-        }
-        let compiled = Arc::new(self.compile_uncached(src)?);
-        self.plan_cache.lock().insert(
-            src.to_string(),
-            self.config.clone(),
-            Arc::clone(&compiled),
-        );
-        Ok(compiled)
+        self.plan_cache.get_or_compile(src, &self.config, || {
+            Ok(Arc::new(self.compile_uncached(src)?))
+        })
     }
 
     fn compile_uncached(&self, src: &str) -> KResult<Compiled> {
@@ -713,6 +770,65 @@ impl Session {
             Arc::clone(&self.ctx),
             Some(budget),
         ))
+    }
+
+    /// Non-blocking probe of the shared caches: the result if both the
+    /// compiled plan *and* its committed result are already cached,
+    /// `None` otherwise (including while either is still in flight
+    /// elsewhere). A hit costs two map lookups — no compilation, no
+    /// evaluation, no blocking — so a server can serve it inline on its
+    /// reader thread.
+    pub fn peek_shared(&self, src: &str) -> Option<Value> {
+        let cache = self.result_cache.as_ref()?;
+        let compiled = self.plan_cache.peek(src, &self.config)?;
+        cache.get(compiled.plan_hash())
+    }
+
+    /// [`Session::submit`] consulting the attached shared result cache
+    /// (see [`Session::share_result_cache`]) with single-flight
+    /// semantics, keyed by [`Compiled::plan_hash`]:
+    ///
+    /// * a cached result returns as [`SharedQuery::Cached`] without
+    ///   starting an evaluation;
+    /// * a cold key starts evaluating here and returns
+    ///   [`SharedQuery::Fresh`] — the caller redeems the handle and
+    ///   commits the result (or drops the commit on failure);
+    /// * a key *currently being computed by another session* blocks
+    ///   until that computation commits (then `Cached`) or aborts (then
+    ///   this caller retries the race). This wait is not cancellable —
+    ///   its bound is the computing session's own deadline.
+    ///
+    /// Without an attached cache this degrades to
+    /// [`SharedQuery::Uncached`] (plain [`Session::submit`]).
+    pub fn submit_shared(&self, src: &str) -> KResult<SharedQuery> {
+        let compiled = self.compile_shared(src)?;
+        let Some(cache) = &self.result_cache else {
+            self.ctx.cache_clear();
+            return Ok(SharedQuery::Uncached(QueryHandle::spawn(
+                compiled,
+                Arc::clone(&self.ctx),
+                None,
+            )));
+        };
+        match cache.lookup_or_begin(compiled.plan_hash()) {
+            ResultLookup::Hit(v) => Ok(SharedQuery::Cached(v)),
+            ResultLookup::Reentrant => {
+                self.ctx.cache_clear();
+                Ok(SharedQuery::Uncached(QueryHandle::spawn(
+                    compiled,
+                    Arc::clone(&self.ctx),
+                    None,
+                )))
+            }
+            ResultLookup::Miss(ticket) => {
+                self.ctx.cache_clear();
+                let handle = QueryHandle::spawn(compiled, Arc::clone(&self.ctx), None);
+                Ok(SharedQuery::Fresh {
+                    handle,
+                    commit: SharedCommit { ticket },
+                })
+            }
+        }
     }
 
     /// [`Session::submit`] for an already-compiled plan.

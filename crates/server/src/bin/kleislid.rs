@@ -1,0 +1,125 @@
+//! `kleislid` — the Kleisli query daemon.
+//!
+//! Serves CPL over the framed TCP protocol (see `kleisli_server::proto`)
+//! against the paper's two-source biological federation (a generated
+//! GDB/Sybase simulator and a GenBank/Entrez simulator), with the
+//! process-wide shared plan and result caches.
+//!
+//! ```text
+//! kleislid [--addr 127.0.0.1:4455] [--loci 500] [--latency-ms 5]
+//!          [--plan-cache 64] [--budget-mb 64]
+//!          [--max-concurrent 4] [--queue-depth 16]
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bio_data::{GdbConfig, GenBankConfig};
+use kleisli::bio_federation;
+use kleisli_core::LatencyModel;
+use kleisli_server::{serve, ServerConfig};
+
+struct Args {
+    addr: String,
+    loci: usize,
+    latency: Duration,
+    plan_cache: usize,
+    budget_mb: u64,
+    max_concurrent: usize,
+    queue_depth: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kleislid [--addr HOST:PORT] [--loci N] [--latency-ms MS] \
+         [--plan-cache N] [--budget-mb MB] [--max-concurrent N] [--queue-depth N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4455".to_string(),
+        loci: 500,
+        latency: Duration::from_millis(5),
+        plan_cache: 64,
+        budget_mb: 64,
+        max_concurrent: 4,
+        queue_depth: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--loci" => args.loci = parse(&value("--loci")),
+            "--latency-ms" => args.latency = Duration::from_millis(parse(&value("--latency-ms"))),
+            "--plan-cache" => args.plan_cache = parse(&value("--plan-cache")),
+            "--budget-mb" => args.budget_mb = parse(&value("--budget-mb")),
+            "--max-concurrent" => args.max_concurrent = parse(&value("--max-concurrent")),
+            "--queue-depth" => args.queue_depth = parse(&value("--queue-depth")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {s:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let fed = bio_federation(
+        &GdbConfig {
+            loci: args.loci,
+            seed: 97,
+            ..Default::default()
+        },
+        &GenBankConfig {
+            extra_entries: 50,
+            links_per_entry: 3,
+            seq_len: 60,
+            seed: 97,
+        },
+        LatencyModel::real(args.latency, Duration::ZERO),
+        LatencyModel::real(args.latency, Duration::ZERO),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("kleislid: cannot generate federation: {e}");
+        exit(1);
+    });
+    let gdb = fed.gdb.clone();
+    let genbank = fed.genbank.clone();
+    let config = ServerConfig {
+        plan_cache_capacity: args.plan_cache,
+        result_cache_budget: args.budget_mb * 1024 * 1024,
+        max_queries_per_connection: args.max_concurrent,
+        queue_depth_per_connection: args.queue_depth,
+    };
+    let handle = serve(
+        args.addr.as_str(),
+        config,
+        Arc::new(move |session: &mut kleisli::Session| {
+            session.register_driver(gdb.clone());
+            session.register_driver(genbank.clone());
+        }),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("kleislid: cannot bind {}: {e}", args.addr);
+        exit(1);
+    });
+    println!("kleislid listening on {}", handle.addr());
+    handle.wait();
+}

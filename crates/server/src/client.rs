@@ -1,0 +1,124 @@
+//! A small blocking client for the `kleislid` protocol — used by the
+//! bench load generator, the tests, and the roundtrip example. One
+//! [`Client`] owns one connection (one tenant); queries can be
+//! pipelined with [`Client::send_query`] / [`Client::read_response`] or
+//! issued call-and-response with [`Client::query`].
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use kleisli_core::Value;
+
+use crate::proto::{
+    encode_request, read_frame, write_frame, Request, Response, ServedFrom,
+};
+
+/// The terminal outcome of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// The query produced a value (and the server says where from).
+    Value { value: Value, served: ServedFrom },
+    /// The server reported an error (compile, evaluation, cancellation,
+    /// or admission rejection — `busy:` prefix).
+    Error(String),
+}
+
+impl QueryReply {
+    /// The value, treating a server-side error as `Err` with the
+    /// message wrapped in [`io::ErrorKind::Other`].
+    pub fn into_value(self) -> io::Result<(Value, ServedFrom)> {
+        match self {
+            QueryReply::Value { value, served } => Ok((value, served)),
+            QueryReply::Error(message) => Err(io::Error::other(message)),
+        }
+    }
+}
+
+/// One connection to a `kleislid` server.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_request(req))
+    }
+
+    /// Fire a QUERY frame without waiting; returns the id to match the
+    /// eventual response (see [`Client::read_response`]).
+    pub fn send_query(&mut self, src: &str) -> io::Result<u64> {
+        let id = self.fresh_id();
+        self.send(&Request::Query {
+            id,
+            src: src.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    /// Fire a CANCEL frame for an in-flight query id (the query's
+    /// terminal response still arrives).
+    pub fn cancel(&mut self, id: u64) -> io::Result<()> {
+        self.send(&Request::Cancel { id })
+    }
+
+    /// Read the next response frame, whatever request it answers.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        match read_frame(&mut self.stream)? {
+            Some(payload) => crate::proto::decode_response(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Read responses until the one answering `id` arrives (responses to
+    /// other pipelined requests are discarded — use raw
+    /// [`Client::read_response`] to multiplex).
+    pub fn wait_reply(&mut self, id: u64) -> io::Result<QueryReply> {
+        loop {
+            match self.read_response()? {
+                Response::Result { id: got, served, value } if got == id => {
+                    return Ok(QueryReply::Value { value, served });
+                }
+                Response::Error { id: got, message } if got == id => {
+                    return Ok(QueryReply::Error(message));
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Call-and-response: send one query, block for its reply.
+    pub fn query(&mut self, src: &str) -> io::Result<QueryReply> {
+        let id = self.send_query(src)?;
+        self.wait_reply(id)
+    }
+
+    /// Fetch the server's statistics JSON.
+    pub fn stats(&mut self) -> io::Result<String> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id })?;
+        loop {
+            if let Response::Stats { id: got, json } = self.read_response()? {
+                if got == id {
+                    return Ok(json);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The `kleislid` wire protocol: length-prefixed frames over TCP.
+//!
+//! A frame is a 4-byte big-endian payload length followed by the
+//! payload; a payload is a 1-byte opcode, an 8-byte big-endian request
+//! id, and an opcode-specific body. The id is chosen by the client and
+//! echoed on the matching response, so responses to pipelined requests
+//! can arrive in any order (queries on one connection run concurrently,
+//! bounded by the server's per-connection admission limits).
+//!
+//! Requests: [`Request::Query`] (body: CPL source, UTF-8),
+//! [`Request::Cancel`] (empty body; the id names the query to stop),
+//! [`Request::Stats`] (empty body).
+//!
+//! Responses: [`Response::Result`] (body: one served-from byte — `0`
+//! freshly evaluated, `1` shared result cache — then the value in the
+//! core exchange format, UTF-8), [`Response::Error`] (message, UTF-8),
+//! [`Response::Stats`] (a JSON document, UTF-8).
+//!
+//! Values cross the wire in the [`kleisli_core::write_exchange`] token
+//! format — the same self-describing exchange format drivers use, per
+//! the paper's uniform-exchange-language design.
+
+use std::io::{self, Read, Write};
+
+use kleisli_core::{read_exchange, write_exchange, Value};
+
+/// Frames larger than this are rejected as malformed (64 MiB — far
+/// beyond any sane query text, and a backstop for result payloads).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+const OP_QUERY: u8 = 0x01;
+const OP_CANCEL: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_RESULT: u8 = 0x81;
+const OP_ERROR: u8 = 0x82;
+const OP_STATS_REPLY: u8 = 0x83;
+
+/// Where a query result came from (the first body byte of a
+/// [`Response::Result`] frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Evaluated for this request.
+    Fresh,
+    /// Served from the process-wide shared result cache.
+    SharedCache,
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile and evaluate `src`; reply with `Result` or `Error` under
+    /// the same id.
+    Query { id: u64, src: String },
+    /// Cooperatively stop the in-flight query with this id (idempotent;
+    /// unknown ids are ignored — the query may have just finished).
+    Cancel { id: u64 },
+    /// Reply with a `Stats` frame (shared-cache and admission counters).
+    Stats { id: u64 },
+}
+
+impl Request {
+    /// The request id (echoed by the matching response).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Query { id, .. } | Request::Cancel { id } | Request::Stats { id } => *id,
+        }
+    }
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The query finished with a value.
+    Result {
+        id: u64,
+        served: ServedFrom,
+        value: Value,
+    },
+    /// The query failed (compile error, evaluation error, cancellation,
+    /// or admission rejection — the message says which).
+    Error { id: u64, message: String },
+    /// Server statistics as a JSON document.
+    Stats { id: u64, json: String },
+}
+
+impl Response {
+    /// The id of the request this responds to.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Result { id, .. } | Response::Error { id, .. } | Response::Stats { id, .. } => {
+                *id
+            }
+        }
+    }
+}
+
+fn malformed(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+fn header(op: u8, id: u64, body_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + body_len);
+    out.push(op);
+    out.extend_from_slice(&id.to_be_bytes());
+    out
+}
+
+fn split_header(payload: &[u8]) -> io::Result<(u8, u64, &[u8])> {
+    if payload.len() < 9 {
+        return Err(malformed("frame shorter than opcode + id"));
+    }
+    let id = u64::from_be_bytes(payload[1..9].try_into().expect("9-byte header"));
+    Ok((payload[0], id, &payload[9..]))
+}
+
+fn utf8_body(body: &[u8], what: &str) -> io::Result<String> {
+    String::from_utf8(body.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+}
+
+/// Serialize a request payload (no length prefix; see [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query { id, src } => {
+            let mut out = header(OP_QUERY, *id, src.len());
+            out.extend_from_slice(src.as_bytes());
+            out
+        }
+        Request::Cancel { id } => header(OP_CANCEL, *id, 0),
+        Request::Stats { id } => header(OP_STATS, *id, 0),
+    }
+}
+
+/// Parse a request payload.
+pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
+    let (op, id, body) = split_header(payload)?;
+    match op {
+        OP_QUERY => Ok(Request::Query {
+            id,
+            src: utf8_body(body, "query source")?,
+        }),
+        OP_CANCEL => Ok(Request::Cancel { id }),
+        OP_STATS => Ok(Request::Stats { id }),
+        other => Err(malformed(format!("unknown request opcode {other:#04x}"))),
+    }
+}
+
+/// Serialize a response payload (no length prefix; see [`write_frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Result { id, served, value } => {
+            encode_result_text(*id, *served, &write_exchange(value))
+        }
+        Response::Error { id, message } => {
+            let mut out = header(OP_ERROR, *id, message.len());
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+        Response::Stats { id, json } => {
+            let mut out = header(OP_STATS_REPLY, *id, json.len());
+            out.extend_from_slice(json.as_bytes());
+            out
+        }
+    }
+}
+
+/// Serialize a [`Response::Result`] payload from an already-serialized
+/// exchange text. The server's warm fast path keeps results in this form
+/// (one serialization per cache generation instead of one per hit); the
+/// ordinary [`encode_response`] path funnels through here too, so the
+/// two encodings cannot drift.
+pub fn encode_result_text(id: u64, served: ServedFrom, text: &str) -> Vec<u8> {
+    let mut out = header(OP_RESULT, id, 1 + text.len());
+    out.push(match served {
+        ServedFrom::Fresh => 0,
+        ServedFrom::SharedCache => 1,
+    });
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Parse a response payload.
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let (op, id, body) = split_header(payload)?;
+    match op {
+        OP_RESULT => {
+            let Some((&served, text)) = body.split_first() else {
+                return Err(malformed("result frame missing served-from byte"));
+            };
+            let served = match served {
+                0 => ServedFrom::Fresh,
+                1 => ServedFrom::SharedCache,
+                other => return Err(malformed(format!("bad served-from byte {other}"))),
+            };
+            let text = utf8_body(text, "result value")?;
+            let value = read_exchange(&text)
+                .map_err(|e| malformed(format!("bad value payload: {e}")))?;
+            Ok(Response::Result { id, served, value })
+        }
+        OP_ERROR => Ok(Response::Error {
+            id,
+            message: utf8_body(body, "error message")?,
+        }),
+        OP_STATS_REPLY => Ok(Response::Stats {
+            id,
+            json: utf8_body(body, "stats json")?,
+        }),
+        other => Err(malformed(format!("unknown response opcode {other:#04x}"))),
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(malformed(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+            payload.len()
+        )));
+    }
+    // One coalesced write: a separate 4-byte length write would let
+    // Nagle hold the payload back until the peer ACKs the prefix —
+    // ~40 ms of delayed-ACK stall per frame on loopback.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF (the peer
+/// closed between frames); EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(malformed(format!(
+            "peer announced a {len}-byte frame (limit {MAX_FRAME_LEN})"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Query {
+                id: 7,
+                src: "{x | \\x <- DB}".to_string(),
+            },
+            Request::Cancel { id: u64::MAX },
+            Request::Stats { id: 0 },
+        ] {
+            let decoded = decode_request(&encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Result {
+                id: 3,
+                served: ServedFrom::SharedCache,
+                value: Value::set(vec![Value::Int(1), Value::str("két")]),
+            },
+            Response::Error {
+                id: 4,
+                message: "eval: boom".to_string(),
+            },
+            Response::Stats {
+                id: 5,
+                json: "{\"queries\":{\"total\":1}}".to_string(),
+            },
+        ] {
+            let decoded = decode_response(&encode_response(&resp)).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_and_bad_opcodes_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        let mut truncated = &wire[..wire.len() - 2];
+        assert!(read_frame(&mut truncated).is_err(), "EOF mid-frame");
+
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut &oversize[..]).is_err());
+
+        assert!(decode_request(&[0xff; 9]).is_err());
+        assert!(decode_request(&[0x01]).is_err(), "short header");
+        assert!(decode_response(&[0x81, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

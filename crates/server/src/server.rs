@@ -1,0 +1,665 @@
+//! The `kleislid` server: many client connections, one process-wide set
+//! of caches.
+//!
+//! # Topology
+//!
+//! Each accepted connection gets its own reader thread and its own
+//! [`Session`] — built by the server's *registrar* (the closure that
+//! registers drivers and bindings), then attached to the **shared**
+//! [`PlanCache`] and [`ResultCache`]. Driver `Arc`s captured by the
+//! registrar are shared across sessions, so per-driver admission gates,
+//! resilience policies, and metrics are process-wide, exactly as they
+//! were per-session; and every session evaluates on the process-wide
+//! compute [`Executor`](kleisli_core::Executor).
+//!
+//! # Admission (per-tenant fair share)
+//!
+//! A connection is a tenant. Each gets a private
+//! [`RequestGate`] admitting at most
+//! [`ServerConfig::max_queries_per_connection`] concurrently-running
+//! queries, plus a bounded wait queue of
+//! [`ServerConfig::queue_depth_per_connection`]; a QUERY arriving with
+//! the queue full is rejected immediately with an `Error` response
+//! (message prefix `"busy:"`) instead of stalling the connection. A hot
+//! tenant therefore saturates *its own* gate and queue while every other
+//! tenant's queries keep flowing — downstream, the shared executor and
+//! the per-driver gates arbitrate between tenants' admitted queries on
+//! equal terms.
+//!
+//! # Cancellation
+//!
+//! CANCEL frames act on the query id: a queued or running query is
+//! stopped cooperatively (the client still receives a terminal frame for
+//! that id, normally an `Error` reporting the cancellation). Cancelling
+//! a query that is populating the shared result cache drops its populate
+//! ticket, waking any waiting sessions to compute the result themselves
+//! — the shared cache is never poisoned by a cancelled flight.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use kleisli::{PlanCache, QueryCanceller, Session, SharedQuery};
+use kleisli_core::{write_exchange, RequestGate};
+use kleisli_exec::ResultCache;
+
+use crate::proto::{
+    decode_request, encode_response, encode_result_text, write_frame, Request, Response,
+    ServedFrom, MAX_FRAME_LEN,
+};
+
+/// Entries kept in the serialized-response cache before a wholesale
+/// clear. Each entry mirrors one result-cache entry, so the bound only
+/// matters when the plan cache churns faster than the wire cache.
+const WIRE_CACHE_CAP: usize = 128;
+
+/// Tuning knobs for a [`serve`] call. `Default` gives a 64-plan shared
+/// cache, the result cache's default 64 MiB budget, and per-connection
+/// limits of 4 running + 16 queued queries.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Capacity of the shared compiled-plan cache (entries).
+    pub plan_cache_capacity: usize,
+    /// Memory budget of the shared result cache (bytes of approximate
+    /// resident `Value` footprint; see `Value::approx_bytes`).
+    pub result_cache_budget: u64,
+    /// Queries one connection may have *running* at once.
+    pub max_queries_per_connection: usize,
+    /// Queries one connection may have *waiting* for its gate beyond the
+    /// running ones; the excess is rejected with a `busy:` error.
+    pub queue_depth_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            plan_cache_capacity: 64,
+            result_cache_budget: kleisli_exec::DEFAULT_RESULT_CACHE_BUDGET,
+            max_queries_per_connection: 4,
+            queue_depth_per_connection: 16,
+        }
+    }
+}
+
+/// The closure that prepares each connection's [`Session`]: register
+/// drivers, bind values, run defines. It runs *before* the shared caches
+/// are attached, so its registrations never clear them.
+pub type Registrar = dyn Fn(&mut Session) + Send + Sync;
+
+/// Process-wide server state shared by every connection.
+struct ServerShared {
+    plan_cache: Arc<PlanCache>,
+    result_cache: Arc<ResultCache>,
+    /// Serialized responses by plan hash, validated against the result
+    /// cache's commit sequence: a warm hit reuses the exchange text
+    /// instead of deep-cloning the `Value` and re-serializing it. A
+    /// stale sequence (the entry was evicted and re-committed) misses
+    /// here and is re-serialized once.
+    wire_cache: Mutex<HashMap<u64, (u64, Arc<String>)>>,
+    registrar: Arc<Registrar>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    queries: AtomicU64,
+    served_fresh: AtomicU64,
+    served_cached: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    cancel_requests: AtomicU64,
+}
+
+impl ServerShared {
+    /// The STATS payload: one JSON document over the shared-cache and
+    /// admission counters (also what `ServerHandle::stats_json` returns).
+    fn stats_json(&self) -> String {
+        let p = self.plan_cache.stats();
+        let r = self.result_cache.stats();
+        format!(
+            concat!(
+                "{{\"uptime_ms\":{},",
+                "\"connections\":{{\"total\":{},\"open\":{}}},",
+                "\"queries\":{{\"total\":{},\"served_fresh\":{},\"served_cached\":{},",
+                "\"errors\":{},\"rejected\":{},\"cancel_requests\":{}}},",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"entries\":{},\"capacity\":{}}},",
+                "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"entries\":{},\"bytes\":{},\"peak_bytes\":{},\"budget\":{}}}}}"
+            ),
+            self.started.elapsed().as_millis(),
+            self.connections_total.load(Ordering::Relaxed),
+            self.connections_open.load(Ordering::Relaxed),
+            self.queries.load(Ordering::Relaxed),
+            self.served_fresh.load(Ordering::Relaxed),
+            self.served_cached.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.cancel_requests.load(Ordering::Relaxed),
+            p.hits,
+            p.misses,
+            p.evictions,
+            p.entries,
+            p.capacity,
+            r.hits,
+            r.misses,
+            r.evictions,
+            r.entries,
+            r.bytes,
+            r.peak_bytes,
+            r.budget,
+        )
+    }
+}
+
+/// A running server: the accept loop lives on its own thread. Dropping
+/// the handle shuts the server down (set the flag, nudge the listener,
+/// join the accept thread); in-flight queries finish on their own
+/// threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `serve_ephemeral` was
+    /// asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The process-wide compiled-plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.shared.plan_cache
+    }
+
+    /// The process-wide result cache.
+    pub fn result_cache(&self) -> &Arc<ResultCache> {
+        &self.shared.result_cache
+    }
+
+    /// The same JSON document a STATS frame returns.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// Block on the accept loop (for a daemon main: serve until killed).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stop accepting, wake idle connection readers, and join the accept
+    /// thread. Queries already running complete on their worker threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and serve connections until the handle is shut down.
+/// `registrar` prepares each connection's session (drivers, bindings)
+/// before the shared caches are attached.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    registrar: Arc<Registrar>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        plan_cache: PlanCache::new(config.plan_cache_capacity),
+        result_cache: ResultCache::new(config.result_cache_budget),
+        wire_cache: Mutex::new(HashMap::new()),
+        registrar,
+        config,
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        connections_total: AtomicU64::new(0),
+        connections_open: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+        served_fresh: AtomicU64::new(0),
+        served_cached: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        cancel_requests: AtomicU64::new(0),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("kleislid-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// [`serve`] on `127.0.0.1` with an OS-assigned port — for tests,
+/// examples, and the bench harness.
+pub fn serve_ephemeral(config: ServerConfig, registrar: Arc<Registrar>) -> io::Result<ServerHandle> {
+    serve("127.0.0.1:0", config, registrar)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        stream.set_nodelay(true).ok();
+        let n = shared.connections_total.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name(format!("kleislid-conn-{n}"))
+            .spawn(move || {
+                conn_shared.connections_open.fetch_add(1, Ordering::Relaxed);
+                handle_connection(stream, &conn_shared);
+                conn_shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: drop the connection rather than the
+            // whole server.
+            continue;
+        }
+    }
+}
+
+/// The lifecycle of one query id on a connection, from QUERY frame to
+/// terminal response. Tracked so a CANCEL can land in the window before
+/// the query thread has a handle to cancel.
+enum Pending {
+    /// QUERY received, evaluation not yet started.
+    Requested,
+    /// CANCEL received before evaluation started.
+    Cancelled,
+    /// Evaluating; cancel through the handle's canceller.
+    Running(QueryCanceller),
+}
+
+/// Per-connection state shared between the reader thread and its query
+/// threads.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    /// This tenant's admission gate (`max_queries_per_connection` wide).
+    gate: Arc<RequestGate>,
+    /// Queries waiting on the gate (admission queue occupancy).
+    queued: AtomicUsize,
+    /// In-flight queries by id, for CANCEL routing.
+    pending: Mutex<HashMap<u64, Pending>>,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) {
+        self.send_payload(&encode_response(resp));
+    }
+
+    fn send_payload(&self, payload: &[u8]) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // A dead client socket is the client's problem; its queries
+        // already ran. Errors here just mean nobody is listening.
+        let _ = write_frame(&mut *w, payload);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = stream;
+    // Idle readers must notice shutdown: poll with a short read timeout.
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+
+    // Build this tenant's session: registrar first (drivers, bindings),
+    // shared caches after, so registration never clears them.
+    let mut session = Session::new();
+    (shared.registrar)(&mut session);
+    session.share_plan_cache(Arc::clone(&shared.plan_cache));
+    session.share_result_cache(Arc::clone(&shared.result_cache));
+    let session = Arc::new(session);
+
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(writer),
+        gate: RequestGate::new(shared.config.max_queries_per_connection),
+        queued: AtomicUsize::new(0),
+        pending: Mutex::new(HashMap::new()),
+    });
+
+    while let Ok(Some(payload)) = read_frame_with_shutdown(&mut reader, &shared.shutdown) {
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // The length prefix framed correctly, only the payload
+                // was bad — the stream stays in sync, so report and go
+                // on rather than dropping the connection.
+                conn.send(&Response::Error {
+                    id: 0,
+                    message: format!("malformed request: {e}"),
+                });
+                continue;
+            }
+        };
+        match req {
+            Request::Stats { id } => {
+                conn.send(&Response::Stats {
+                    id,
+                    json: shared.stats_json(),
+                });
+            }
+            Request::Cancel { id } => {
+                shared.cancel_requests.fetch_add(1, Ordering::Relaxed);
+                let mut pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+                match pending.get_mut(&id) {
+                    Some(p @ Pending::Requested) => *p = Pending::Cancelled,
+                    Some(Pending::Running(canceller)) => canceller.cancel(),
+                    // Already finished (or never existed): nothing to do.
+                    Some(Pending::Cancelled) | None => {}
+                }
+            }
+            Request::Query { id, src } => {
+                start_query(shared, &conn, &session, id, src);
+            }
+        }
+    }
+
+    // Reader gone: stop this tenant's in-flight queries; their threads
+    // drain (writing to the dead socket is a no-op).
+    let pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+    for p in pending.values() {
+        if let Pending::Running(canceller) = p {
+            canceller.cancel();
+        }
+    }
+}
+
+/// Admission-check a QUERY frame and, if admitted, run it on its own
+/// thread (the thread count is bounded by gate width + queue depth).
+fn start_query(
+    shared: &Arc<ServerShared>,
+    conn: &Arc<Conn>,
+    session: &Arc<Session>,
+    id: u64,
+    src: String,
+) {
+    {
+        let pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if pending.contains_key(&id) {
+            conn.send(&Response::Error {
+                id,
+                message: format!("protocol error: query id {id} already in flight"),
+            });
+            return;
+        }
+    }
+    if try_fast_path(shared, conn, session, id, &src) {
+        return;
+    }
+    // Claim a free run slot inline if one exists: an *admitted* query
+    // must never count against (or be rejected by) the wait-queue depth
+    // just because its worker thread has not been scheduled yet.
+    let inline_ticket = conn.gate.try_acquire();
+    let was_queued = inline_ticket.is_none();
+    {
+        let mut pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if was_queued {
+            // Admission: reject instead of queueing without bound.
+            if conn.queued.load(Ordering::Acquire) >= shared.config.queue_depth_per_connection {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                conn.send(&Response::Error {
+                    id,
+                    message: format!(
+                        "busy: connection queue depth {} exceeded",
+                        shared.config.queue_depth_per_connection
+                    ),
+                });
+                return;
+            }
+            conn.queued.fetch_add(1, Ordering::AcqRel);
+        }
+        pending.insert(id, Pending::Requested);
+    }
+    let worker_shared = Arc::clone(shared);
+    let worker_conn = Arc::clone(conn);
+    let worker_session = Arc::clone(session);
+    let spawned = thread::Builder::new()
+        .name(format!("kleislid-query-{id}"))
+        .spawn(move || {
+            let ticket = match inline_ticket {
+                Some(ticket) => ticket,
+                None => {
+                    let ticket = worker_conn.gate.acquire();
+                    worker_conn.queued.fetch_sub(1, Ordering::AcqRel);
+                    ticket
+                }
+            };
+            run_query(&worker_shared, &worker_conn, &worker_session, id, &src);
+            drop(ticket);
+        });
+    if spawned.is_err() {
+        // The unrun closure was dropped with it, releasing any inline
+        // ticket; only the queued counter needs undoing by hand.
+        if was_queued {
+            conn.queued.fetch_sub(1, Ordering::AcqRel);
+        }
+        conn.pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        conn.send(&Response::Error {
+            id,
+            message: "busy: cannot spawn query worker".to_string(),
+        });
+    }
+}
+
+/// Warm fast path: a fully cached query is served inline on the reader
+/// thread — no worker thread, no admission (the per-tenant gate guards
+/// *evaluation* capacity; a memory read needs none), and at most one
+/// serialization per result-cache commit generation: the exchange text
+/// lives in the wire cache, so the steady-state hit neither deep-clones
+/// the `Value` nor re-serializes it. Returns `false` (caller takes the
+/// ordinary admission path) unless both the plan and its committed
+/// result are cached.
+fn try_fast_path(
+    shared: &ServerShared,
+    conn: &Conn,
+    session: &Session,
+    id: u64,
+    src: &str,
+) -> bool {
+    let Some(compiled) = session.plan_cache().peek(src, session.opt_config()) else {
+        return false;
+    };
+    let hash = compiled.plan_hash();
+    // `get_seq` does the hit accounting and LRU refresh for the whole
+    // fast path (`peek` below is counter-neutral).
+    let Some(seq) = shared.result_cache.get_seq(hash) else {
+        return false;
+    };
+    let cached = {
+        let wire = shared.wire_cache.lock().unwrap_or_else(|e| e.into_inner());
+        match wire.get(&hash) {
+            Some((s, text)) if *s == seq => Some(Arc::clone(text)),
+            _ => None,
+        }
+    };
+    let text = match cached {
+        Some(text) => text,
+        None => {
+            // First hit of this commit generation (or the entry was
+            // re-committed since): serialize once and remember it.
+            let Some(value) = shared.result_cache.peek(hash) else {
+                // Evicted between `get_seq` and here; evaluate normally.
+                return false;
+            };
+            let text = Arc::new(write_exchange(&value));
+            let mut wire = shared.wire_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if wire.len() >= WIRE_CACHE_CAP && !wire.contains_key(&hash) {
+                wire.clear();
+            }
+            wire.insert(hash, (seq, Arc::clone(&text)));
+            text
+        }
+    };
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    shared.served_cached.fetch_add(1, Ordering::Relaxed);
+    conn.send_payload(&encode_result_text(id, ServedFrom::SharedCache, &text));
+    true
+}
+
+/// The body of one admitted query: submit through the shared-cache path,
+/// keep the canceller reachable for CANCEL frames, send the terminal
+/// response, and maintain the counters.
+fn run_query(shared: &ServerShared, conn: &Conn, session: &Session, id: u64, src: &str) {
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let outcome = match session.submit_shared(src) {
+        Err(e) => Err(e),
+        Ok(SharedQuery::Cached(value)) => {
+            conn.pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            shared.served_cached.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Result {
+                id,
+                served: ServedFrom::SharedCache,
+                value,
+            });
+            return;
+        }
+        Ok(SharedQuery::Fresh { handle, commit }) => {
+            arm_canceller(conn, id, handle.canceller());
+            let result = handle.wait();
+            if let Ok(v) = &result {
+                // Publish to waiters and the cache; on error the commit
+                // is dropped instead, waking waiters to retry.
+                commit.commit(v.clone());
+            }
+            result
+        }
+        Ok(SharedQuery::Uncached(handle)) => {
+            arm_canceller(conn, id, handle.canceller());
+            handle.wait()
+        }
+    };
+    conn.pending
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&id);
+    match outcome {
+        Ok(value) => {
+            shared.served_fresh.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Result {
+                id,
+                served: ServedFrom::Fresh,
+                value,
+            });
+        }
+        Err(e) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Error {
+                id,
+                message: e.to_string(),
+            });
+        }
+    }
+}
+
+/// Make a just-started query cancellable by id — and apply a CANCEL that
+/// raced in before the handle existed.
+fn arm_canceller(conn: &Conn, id: u64, canceller: QueryCanceller) {
+    let mut pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
+    match pending.get(&id) {
+        Some(Pending::Cancelled) => canceller.cancel(),
+        _ => {
+            pending.insert(id, Pending::Running(canceller));
+        }
+    }
+}
+
+/// [`crate::proto::read_frame`] for the server side: the stream has a
+/// short read timeout so idle readers can observe `shutdown`; timeouts
+/// mid-frame keep waiting (the peer is mid-write, not gone).
+fn read_frame_with_shutdown(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    if !read_full(stream, &mut len, shutdown)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("peer announced a {len}-byte frame (limit {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, shutdown)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "EOF mid-frame",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Fill `buf`, riding out read timeouts. `Ok(false)`: clean EOF (or
+/// shutdown) before the first byte; EOF after the first byte is an
+/// error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
+    if buf.is_empty() {
+        return Ok(true);
+    }
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) && filled == 0 {
+                    return Ok(false);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}

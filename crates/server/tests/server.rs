@@ -1,0 +1,263 @@
+//! End-to-end tests of the `kleislid` server over real loopback
+//! sockets: roundtrips, cross-session shared-cache behavior,
+//! cancellation, admission control, and the memory budget.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use bio_data::{GdbConfig, GenBankConfig};
+use kleisli::{bio_federation, BioFederation, Session};
+use kleisli_core::{LatencyModel, Value};
+use kleisli_server::{serve_ephemeral, Client, QueryReply, Response, ServedFrom, ServerConfig};
+
+/// A registrar binding a small local publications-like dataset — instant
+/// queries, no federation generation cost.
+fn local_registrar() -> Arc<kleisli_server::Registrar> {
+    Arc::new(|session: &mut Session| {
+        session.bind_value(
+            "DB",
+            Value::set(
+                (0..50)
+                    .map(|i| {
+                        Value::record_from(vec![
+                            ("k", Value::Int(i % 7)),
+                            ("v", Value::Int(i)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    })
+}
+
+/// A federation whose every driver request costs `latency_ms` — slow
+/// enough that concurrent clients overlap and cancels land mid-flight.
+fn slow_federation(latency_ms: u64) -> BioFederation {
+    bio_federation(
+        &GdbConfig {
+            loci: 40,
+            seed: 11,
+            ..Default::default()
+        },
+        &GenBankConfig {
+            extra_entries: 5,
+            links_per_entry: 2,
+            seq_len: 20,
+            seed: 11,
+        },
+        LatencyModel::real(Duration::from_millis(latency_ms), Duration::ZERO),
+        LatencyModel::real(Duration::from_millis(latency_ms), Duration::ZERO),
+    )
+    .expect("federation")
+}
+
+fn federation_registrar(fed: &BioFederation) -> Arc<kleisli_server::Registrar> {
+    let gdb = fed.gdb.clone();
+    let genbank = fed.genbank.clone();
+    Arc::new(move |session: &mut Session| {
+        session.register_driver(gdb.clone());
+        session.register_driver(genbank.clone());
+    })
+}
+
+#[test]
+fn roundtrip_fresh_then_shared_cache_hit() {
+    let server = serve_ephemeral(ServerConfig::default(), local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (v1, served1) = client
+        .query(r"sum({x.v | \x <- DB})")
+        .unwrap()
+        .into_value()
+        .unwrap();
+    assert_eq!(v1, Value::Int((0..50).sum::<i64>()));
+    assert_eq!(served1, ServedFrom::Fresh);
+
+    // Same plan again — even from a *different* connection — is served
+    // from the shared result cache.
+    let mut other = Client::connect(server.addr()).unwrap();
+    let (v2, served2) = other
+        .query(r"sum({x.v | \x <- DB})")
+        .unwrap()
+        .into_value()
+        .unwrap();
+    assert_eq!(v2, v1);
+    assert_eq!(served2, ServedFrom::SharedCache);
+
+    let stats = other.stats().unwrap();
+    for field in [
+        "\"plan_cache\"",
+        "\"result_cache\"",
+        "\"queries\"",
+        "\"served_cached\":1",
+        "\"budget\"",
+    ] {
+        assert!(stats.contains(field), "missing {field} in {stats}");
+    }
+}
+
+#[test]
+fn compile_errors_come_back_as_error_frames() {
+    let server = serve_ephemeral(ServerConfig::default(), local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query(r"{x | \x <- NoSuchSource}").unwrap() {
+        QueryReply::Error(message) => {
+            assert!(message.contains("NoSuchSource"), "{message}");
+        }
+        QueryReply::Value { .. } => panic!("expected an error frame"),
+    }
+    // The connection survives an error and still serves queries.
+    let (v, _) = client
+        .query(r"count(DB)")
+        .unwrap()
+        .into_value()
+        .unwrap();
+    assert_eq!(v, Value::Int(50));
+}
+
+#[test]
+fn n_identical_concurrent_queries_compile_once_and_evaluate_once() {
+    const N: usize = 8;
+    let fed = slow_federation(30);
+    let server = serve_ephemeral(ServerConfig::default(), federation_registrar(&fed)).unwrap();
+    let addr = server.addr();
+    let src = r#"count({l | \l <- GDB-Tab("locus")})"#;
+
+    let values: Vec<(Value, ServedFrom)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client.query(src).unwrap().into_value().unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (v, _) in &values {
+        assert_eq!(*v, Value::Int(40));
+    }
+    let fresh = values
+        .iter()
+        .filter(|(_, s)| *s == ServedFrom::Fresh)
+        .count();
+    assert_eq!(fresh, 1, "exactly one evaluation for {N} identical queries");
+
+    let plans = server.plan_cache().stats();
+    assert_eq!(plans.misses, 1, "exactly one compile: {plans:?}");
+    // Every non-compiling query hits at least once; a query landing
+    // between the plan commit and the result commit hits twice (the
+    // warm fast path peeks the plan, finds no committed result, and
+    // falls through to the ordinary lookup).
+    assert!(plans.hits as usize >= N - 1, "{plans:?}");
+    let results = server.result_cache().stats();
+    assert_eq!(results.misses, 1, "one populate flight: {results:?}");
+    assert_eq!(results.hits as usize, N - 1);
+}
+
+#[test]
+fn cancel_mid_flight_reports_error_and_does_not_poison_the_cache() {
+    let fed = slow_federation(400);
+    let server = serve_ephemeral(ServerConfig::default(), federation_registrar(&fed)).unwrap();
+    let src = r#"count({l | \l <- GDB-Tab("locus")})"#;
+
+    let mut victim = Client::connect(server.addr()).unwrap();
+    let id = victim.send_query(src).unwrap();
+    thread::sleep(Duration::from_millis(50));
+    victim.cancel(id).unwrap();
+    match victim.wait_reply(id).unwrap() {
+        QueryReply::Error(message) => {
+            assert!(
+                message.to_lowercase().contains("cancel"),
+                "expected a cancellation error, got: {message}"
+            );
+        }
+        QueryReply::Value { .. } => panic!("cancelled query returned a value"),
+    }
+
+    // The aborted populate flight must not wedge the shared cell: a new
+    // client computes the same plan to completion.
+    let mut retry = Client::connect(server.addr()).unwrap();
+    let (v, served) = retry.query(src).unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(40));
+    assert_eq!(served, ServedFrom::Fresh, "aborted flight cached nothing");
+}
+
+#[test]
+fn queue_depth_overflow_is_rejected_not_stalled() {
+    let fed = slow_federation(300);
+    let config = ServerConfig {
+        max_queries_per_connection: 1,
+        queue_depth_per_connection: 1,
+        ..ServerConfig::default()
+    };
+    let server = serve_ephemeral(config, federation_registrar(&fed)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Distinct plans so the shared result cache cannot absorb the burst.
+    let sources = [
+        r#"count({l | \l <- GDB-Tab("locus")})"#,
+        r#"count({l.locus_symbol | \l <- GDB-Tab("locus")})"#,
+        r#"count({l | \l <- GDB-Tab("object_genbank_eref")})"#,
+        r#"count({l | \l <- GDB-Tab("locus_cyto_location")})"#,
+    ];
+    let ids: Vec<u64> = sources
+        .iter()
+        .map(|src| client.send_query(src).unwrap())
+        .collect();
+
+    let mut busy = 0;
+    let mut ok = 0;
+    for _ in &ids {
+        match client.read_response().unwrap() {
+            Response::Error { message, .. } if message.starts_with("busy:") => busy += 1,
+            Response::Error { message, .. } => panic!("unexpected error: {message}"),
+            Response::Result { .. } => ok += 1,
+            Response::Stats { .. } => panic!("unrequested stats frame"),
+        }
+    }
+    // 1 running + 1 queued; with 4 pipelined queries at least one must
+    // overflow the queue (scheduling may let an early finisher admit a
+    // later arrival, so the exact split varies).
+    assert!(busy >= 1, "no busy rejection in {busy}/{ok} split");
+    assert!(ok >= 2, "admitted queries must still complete ({ok})");
+    assert_eq!(busy + ok, 4);
+
+    let stats = server.stats_json();
+    assert!(stats.contains("\"rejected\":"), "{stats}");
+}
+
+#[test]
+fn result_cache_budget_is_enforced_over_the_wire() {
+    // A tiny budget: every distinct query's result evicts the previous
+    // one, and resident bytes never exceed the cap.
+    let config = ServerConfig {
+        result_cache_budget: 4096,
+        ..ServerConfig::default()
+    };
+    let server = serve_ephemeral(config, local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for k in 0..7 {
+        let src = format!(r"{{[a = x.v, b = {k}] | \x <- DB}}");
+        let (v, _) = client.query(&src).unwrap().into_value().unwrap();
+        assert_eq!(v.len(), Some(50));
+        let stats = server.result_cache().stats();
+        assert!(
+            stats.bytes <= stats.budget,
+            "resident {} exceeds budget {}",
+            stats.bytes,
+            stats.budget
+        );
+        assert!(
+            stats.peak_bytes <= stats.budget,
+            "peak {} exceeds budget {}",
+            stats.peak_bytes,
+            stats.budget
+        );
+    }
+    let stats = server.result_cache().stats();
+    assert!(stats.evictions > 0, "budget pressure must evict: {stats:?}");
+}

@@ -1,0 +1,140 @@
+//! Cross-session shared-cache semantics at the `Session` API level
+//! (below the server): two sessions sharing one `PlanCache` and one
+//! `ResultCache` compile a common query once and populate the result
+//! cache once, and a cancellation mid-flight neither poisons the shared
+//! cell nor caches a partial result.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use bio_data::{GdbConfig, GenBankConfig};
+use kleisli::{bio_federation, BioFederation, PlanCache, Session, SharedQuery};
+use kleisli_core::{LatencyModel, Value};
+use kleisli_exec::ResultCache;
+
+fn shared_pair(fed: &BioFederation) -> (Session, Session, Arc<PlanCache>, Arc<ResultCache>) {
+    let plans = PlanCache::new(16);
+    let results = ResultCache::with_default_budget();
+    let make = || {
+        let mut s = Session::new();
+        s.register_driver(fed.gdb.clone());
+        s.register_driver(fed.genbank.clone());
+        // Shared caches attach *after* registration (registration
+        // invalidates whatever caches are attached).
+        s.share_plan_cache(Arc::clone(&plans));
+        s.share_result_cache(Arc::clone(&results));
+        s
+    };
+    let a = make();
+    let b = make();
+    (a, b, plans, results)
+}
+
+fn federation(latency_ms: u64) -> BioFederation {
+    bio_federation(
+        &GdbConfig {
+            loci: 30,
+            seed: 23,
+            ..Default::default()
+        },
+        &GenBankConfig {
+            extra_entries: 5,
+            links_per_entry: 2,
+            seq_len: 20,
+            seed: 23,
+        },
+        LatencyModel::real(Duration::from_millis(latency_ms), Duration::ZERO),
+        LatencyModel::real(Duration::from_millis(latency_ms), Duration::ZERO),
+    )
+    .expect("federation")
+}
+
+const COUNT_LOCI: &str = r#"count({l | \l <- GDB-Tab("locus")})"#;
+
+/// Redeem a `SharedQuery`, committing fresh results — what a server
+/// connection does per query.
+fn redeem(q: SharedQuery) -> Value {
+    match q {
+        SharedQuery::Cached(v) => v,
+        SharedQuery::Fresh { handle, commit } => {
+            let v = handle.wait().expect("query");
+            commit.commit(v.clone());
+            v
+        }
+        SharedQuery::Uncached(handle) => handle.wait().expect("query"),
+    }
+}
+
+#[test]
+fn two_concurrent_sessions_compile_once_and_populate_once() {
+    let fed = federation(25);
+    let (a, b, plans, results) = shared_pair(&fed);
+    let barrier = Barrier::new(2);
+
+    let (va, vb) = thread::scope(|scope| {
+        let ta = scope.spawn(|| {
+            barrier.wait();
+            redeem(a.submit_shared(COUNT_LOCI).expect("submit"))
+        });
+        let tb = scope.spawn(|| {
+            barrier.wait();
+            redeem(b.submit_shared(COUNT_LOCI).expect("submit"))
+        });
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+
+    assert_eq!(va, Value::Int(30));
+    assert_eq!(vb, va);
+
+    // Exactly one compile across both sessions (single-flight plan
+    // cache), and exactly one populate flight in the result cache.
+    let p = plans.stats();
+    assert_eq!(p.misses, 1, "one compile: {p:?}");
+    assert_eq!(p.hits, 1, "the other session hit: {p:?}");
+    let r = results.stats();
+    assert_eq!(r.misses, 1, "one result computation: {r:?}");
+    assert_eq!(r.hits, 1, "the other session was served: {r:?}");
+    assert_eq!(r.entries, 1);
+}
+
+#[test]
+fn cancelled_flight_does_not_poison_the_shared_cell() {
+    let fed = federation(300);
+    let (a, b, _plans, results) = shared_pair(&fed);
+
+    // Session A wins the populate flight, then is cancelled mid-flight;
+    // dropping its commit must wake waiters, not cache anything.
+    match a.submit_shared(COUNT_LOCI).expect("submit") {
+        SharedQuery::Fresh { handle, commit } => {
+            handle.cancel();
+            let err = handle.wait().expect_err("cancelled query");
+            assert!(
+                err.to_string().to_lowercase().contains("cancel"),
+                "{err}"
+            );
+            drop(commit);
+        }
+        _ => panic!("first submission must win the flight"),
+    }
+    assert_eq!(results.stats().entries, 0, "nothing cached by the abort");
+
+    // Session B retries the same plan_hash and completes — the cell was
+    // released, not poisoned.
+    let v = redeem(b.submit_shared(COUNT_LOCI).expect("submit"));
+    assert_eq!(v, Value::Int(30));
+    let r = results.stats();
+    assert_eq!(r.entries, 1, "retry cached the result: {r:?}");
+    assert_eq!(r.misses, 2, "both flights counted as misses: {r:?}");
+}
+
+#[test]
+fn plan_hash_is_stable_across_sessions_and_recompiles() {
+    let fed = federation(0);
+    let (a, b, _, _) = shared_pair(&fed);
+    let ha = a.compile(COUNT_LOCI).unwrap().plan_hash();
+    let hb = b.compile(COUNT_LOCI).unwrap().plan_hash();
+    assert_eq!(ha, hb, "same topology, same source, same key");
+    let other = a.compile(r#"count({l | \l <- GDB-Tab("object_genbank_eref")})"#).unwrap();
+    assert_ne!(ha, other.plan_hash());
+}
