@@ -9,7 +9,7 @@
 //! method" end of the API; see `kleisli_core::driver` for the lifecycle.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use kleisli_core::{
     Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, MetricsSnapshot,
@@ -21,7 +21,11 @@ use kleisli_core::{
 /// `TableScan { table: "publications" }` requests.
 pub struct MemorySource {
     name: String,
-    tables: HashMap<String, Arc<Vec<Value>>>,
+    /// Behind a mutex so a registered (hence shared, immutable `self`)
+    /// source can be refreshed in place with [`MemorySource::replace_table`]
+    /// — the cache-invalidation tests model "the source changed
+    /// underneath the mediator" this way.
+    tables: Mutex<HashMap<String, Arc<Vec<Value>>>>,
     metrics: DriverMetrics,
 }
 
@@ -29,26 +33,44 @@ impl MemorySource {
     pub fn new(name: impl Into<String>) -> MemorySource {
         MemorySource {
             name: name.into(),
-            tables: HashMap::new(),
+            tables: Mutex::new(HashMap::new()),
             metrics: DriverMetrics::default(),
         }
     }
 
+    fn tables(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Vec<Value>>>> {
+        self.tables.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Register a collection value under a table name (builder-style).
     /// Non-collection values are wrapped as a single-row table.
-    pub fn with_table(mut self, table: impl Into<String>, rows: Value) -> MemorySource {
-        let elems = match rows.elements() {
-            Some(es) => es.to_vec(),
-            None => vec![rows],
-        };
-        self.tables.insert(table.into(), Arc::new(elems));
+    pub fn with_table(self, table: impl Into<String>, rows: Value) -> MemorySource {
+        self.tables()
+            .insert(table.into(), Arc::new(table_rows(rows)));
         self
+    }
+
+    /// Replace (or create) a table's contents in place — the "refreshed
+    /// source" half of a FLUSH round-trip. Scans already streaming keep
+    /// the old row vector alive through their own `Arc`s; new scans see
+    /// the new rows.
+    pub fn replace_table(&self, table: impl Into<String>, rows: Value) {
+        self.tables()
+            .insert(table.into(), Arc::new(table_rows(rows)));
     }
 
     /// A source named `Pubs` serving the paper's publication database as
     /// the `publications` table.
     pub fn publications(n: usize, seed: u64) -> MemorySource {
         MemorySource::new("Pubs").with_table("publications", crate::publications(n, seed))
+    }
+}
+
+/// Rows of a table value; non-collection values become one-row tables.
+fn table_rows(rows: Value) -> Vec<Value> {
+    match rows.elements() {
+        Some(es) => es.to_vec(),
+        None => vec![rows],
     }
 }
 
@@ -85,15 +107,15 @@ impl Driver for MemorySource {
             }
         };
         let rows = self
-            .tables
+            .tables()
             .get(table)
+            .cloned()
             .ok_or_else(|| KError::driver(&self.name, format!("no table '{table}'")))?;
         // A local source ships nothing over a wire; the whole table is
         // accounted at request time and the stream shares the row vector.
         for v in rows.iter() {
             self.metrics.record_row(v.approx_size());
         }
-        let rows = Arc::clone(rows);
         let mut i = 0;
         Ok(blocks_of_rows(Box::new(std::iter::from_fn(move || {
             let out = rows.get(i).cloned().map(Ok);
@@ -103,7 +125,7 @@ impl Driver for MemorySource {
     }
 
     fn table_stats(&self, table: &str) -> Option<TableStats> {
-        self.tables.get(table).map(|rows| TableStats {
+        self.tables().get(table).map(|rows| TableStats {
             rows: rows.len() as u64,
             ..TableStats::default()
         })

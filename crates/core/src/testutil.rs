@@ -363,3 +363,246 @@ impl Driver for SlowDriver {
         self.metrics.reset();
     }
 }
+
+// ------------------------------------------------------------------------
+// ChaosProxy: a fault-injecting TCP proxy for protocol torture tests
+// ------------------------------------------------------------------------
+
+/// A fault to inject into one direction of a proxied TCP connection;
+/// see [`ChaosProxy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Forward bytes unmodified.
+    Pass,
+    /// Forward exactly this many bytes, then close the whole proxied
+    /// connection — the peer sees a truncated stream (for a framed
+    /// protocol: EOF mid-frame).
+    TruncateAfter(usize),
+    /// Forward this many bytes, then *stop reading* without closing.
+    /// Backpressure propagates: the sender's kernel buffers fill and
+    /// its next write blocks — the stalled-reader (slow-client)
+    /// scenario when applied server→client.
+    StallAfter(usize),
+    /// Close the whole proxied connection this long after it opened,
+    /// wherever the byte stream happens to be — the mid-query
+    /// disconnect scenario.
+    CloseAfter(Duration),
+    /// Forward at most `chunk` bytes at a time with `delay` between
+    /// reads — the byte-at-a-time slow-loris peer.
+    SlowLoris {
+        /// Bytes forwarded per read.
+        chunk: usize,
+        /// Pause between forwarded chunks.
+        delay: Duration,
+    },
+}
+
+/// Per-connection fault plan for a [`ChaosProxy`]: independent faults
+/// for the client→server (`up`) and server→client (`down`) directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Fault on bytes flowing client→server.
+    pub up: WireFault,
+    /// Fault on bytes flowing server→client.
+    pub down: WireFault,
+}
+
+impl ChaosPlan {
+    /// A plan that forwards both directions unmodified.
+    pub fn passthrough() -> ChaosPlan {
+        ChaosPlan {
+            up: WireFault::Pass,
+            down: WireFault::Pass,
+        }
+    }
+}
+
+/// A fault-injecting TCP proxy for torture-testing servers: listens on
+/// an ephemeral loopback port, forwards each accepted connection to a
+/// fixed upstream address, and applies the *current* [`ChaosPlan`]
+/// (snapshotted per connection at accept time) to the two byte
+/// directions. Set a plan with [`ChaosProxy::set_plan`], connect a
+/// client through [`ChaosProxy::addr`], and the configured misbehavior
+/// — truncation, stalls, disconnects, slow-loris trickle — happens on
+/// the wire, exactly as a hostile or unlucky peer would produce it.
+/// Dropping the proxy closes the listener and joins every forwarding
+/// thread.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    plan: Arc<Mutex<ChaosPlan>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy forwarding to `upstream`, initially in
+    /// passthrough.
+    pub fn new(upstream: std::net::SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let plan = Arc::new(Mutex::new(ChaosPlan::passthrough()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let plan = Arc::clone(&plan);
+            let stop = Arc::clone(&stop);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("chaos-proxy-accept".to_string())
+                .spawn(move || {
+                    for incoming in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(client) = incoming else { continue };
+                        let Ok(server) = std::net::TcpStream::connect(upstream) else {
+                            continue;
+                        };
+                        client.set_nodelay(true).ok();
+                        server.set_nodelay(true).ok();
+                        let snapshot = *plan.lock().unwrap_or_else(|e| e.into_inner());
+                        let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) else {
+                            continue;
+                        };
+                        let up_stop = Arc::clone(&stop);
+                        let down_stop = Arc::clone(&stop);
+                        let mut spawned = Vec::new();
+                        if let Ok(h) = std::thread::Builder::new()
+                            .name("chaos-proxy-up".to_string())
+                            .spawn(move || forward(client, server, snapshot.up, &up_stop))
+                        {
+                            spawned.push(h);
+                        }
+                        if let Ok(h) = std::thread::Builder::new()
+                            .name("chaos-proxy-down".to_string())
+                            .spawn(move || forward(s2, c2, snapshot.down, &down_stop))
+                        {
+                            spawned.push(h);
+                        }
+                        workers
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .extend(spawned);
+                    }
+                })
+                .expect("spawn chaos proxy accept thread")
+        };
+        Ok(ChaosProxy {
+            addr,
+            plan,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Set the fault plan applied to connections accepted from now on
+    /// (connections already proxied keep their snapshot).
+    pub fn set_plan(&self, plan: ChaosPlan) {
+        *self.plan.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop awake, then join everything.
+        let _ = std::net::TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let workers = std::mem::take(
+            &mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One direction of a proxied connection: pump bytes `from` → `to`
+/// under `fault` until EOF, error, fault-mandated closure, or proxy
+/// shutdown. Read timeouts keep the loop responsive to `stop`.
+fn forward(
+    from: std::net::TcpStream,
+    to: std::net::TcpStream,
+    fault: WireFault,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    use std::io::{Read, Write};
+    let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+    let started = std::time::Instant::now();
+    let mut from = from;
+    let mut to = to;
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let budget = match fault {
+            WireFault::Pass => buf.len(),
+            WireFault::CloseAfter(after) => {
+                if started.elapsed() >= after {
+                    break;
+                }
+                buf.len()
+            }
+            WireFault::TruncateAfter(limit) => {
+                if forwarded >= limit {
+                    break;
+                }
+                (limit - forwarded).min(buf.len())
+            }
+            WireFault::StallAfter(limit) => {
+                if forwarded >= limit {
+                    // Deliberately stop *reading*: the sender backs up.
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                (limit - forwarded).min(buf.len())
+            }
+            WireFault::SlowLoris { chunk, .. } => chunk.clamp(1, buf.len()),
+        };
+        match from.read(&mut buf[..budget]) {
+            Ok(0) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                forwarded += n;
+                if let WireFault::SlowLoris { delay, .. } = fault {
+                    // Sleep in short slices so proxy shutdown stays
+                    // prompt even with long trickle delays.
+                    let end = std::time::Instant::now() + delay;
+                    while std::time::Instant::now() < end {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(std::net::Shutdown::Both);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}

@@ -115,6 +115,13 @@ impl PopulateTicket {
         self.committed = true;
         self.cell.put(v);
     }
+
+    /// The cell this ticket populates — the result cache compares it by
+    /// identity at commit time to avoid charging a detached flight's
+    /// bytes against a newer entry under the same key.
+    pub(crate) fn cell(&self) -> &Arc<CacheCell> {
+        &self.cell
+    }
 }
 
 impl Drop for PopulateTicket {

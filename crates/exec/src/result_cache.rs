@@ -29,6 +29,17 @@
 //!   evictions, entry count, resident bytes, and the high-water mark
 //!   (`peak_bytes`) — the server's STATS frame and the `server_report`
 //!   bench assert `peak_bytes <= budget` from it.
+//!
+//! Entries may additionally be **tagged with source names**
+//! ([`ResultCache::lookup_or_begin_tagged`]): the drivers the cached
+//! plan read from. [`ResultCache::flush_source`] then drops exactly the
+//! entries derived from a refreshed source and bumps that source's
+//! invalidation generation ([`ResultCache::generation`]) — the
+//! result-side half of the wire-level FLUSH verb. An in-flight
+//! population of a flushed key is detached rather than aborted: its
+//! populator commits into the detached cell (waiters already parked
+//! there still wake), while post-flush lookups of the same key start a
+//! fresh flight against the refreshed source.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +62,9 @@ pub struct ResultCacheStats {
     pub misses: u64,
     /// Committed entries dropped to fit the byte budget.
     pub evictions: u64,
+    /// Entries dropped by [`ResultCache::flush_source`] (deliberate
+    /// invalidation — counted separately from `evictions`).
+    pub flushes: u64,
     /// Committed entries currently resident (in-flight populations are
     /// not counted — an abandoned flight leaves nothing behind).
     pub entries: usize,
@@ -69,6 +83,9 @@ struct Entry {
     cell: Arc<CacheCell>,
     /// Bytes charged for the committed value; `None` while in flight.
     bytes: Option<u64>,
+    /// Source names the cached plan reads from (empty for untagged
+    /// entries); what [`ResultCache::flush_source`] matches against.
+    deps: Vec<Arc<str>>,
     /// Monotone use tick for LRU eviction.
     last_used: u64,
     /// Commit sequence number (`0` while in flight): distinguishes one
@@ -86,6 +103,9 @@ struct CacheMap {
     tick: u64,
     /// Monotone commit counter feeding `Entry::seq`.
     commits: u64,
+    /// Per-source invalidation generations: bumped by `flush_source`,
+    /// never reset. Sources never flushed are implicitly at generation 0.
+    generations: HashMap<Arc<str>, u64>,
 }
 
 /// The shared cache; see the module docs. Construct with
@@ -96,6 +116,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    flushes: AtomicU64,
     peak_bytes: AtomicU64,
 }
 
@@ -133,11 +154,13 @@ impl ResultCache {
                 bytes: 0,
                 tick: 0,
                 commits: 0,
+                generations: HashMap::new(),
             }),
             budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
             peak_bytes: AtomicU64::new(0),
         })
     }
@@ -156,6 +179,15 @@ impl ResultCache {
     /// compute it. Blocks while another session's population of the same
     /// key is in flight (single-flight: the work runs once process-wide).
     pub fn lookup_or_begin(self: &Arc<Self>, key: u64) -> ResultLookup {
+        self.lookup_or_begin_tagged(key, &[])
+    }
+
+    /// [`ResultCache::lookup_or_begin`] with source tags: `deps` names
+    /// the drivers the plan behind `key` reads from, so a later
+    /// [`ResultCache::flush_source`] of any of them invalidates this
+    /// entry. Tags are recorded when the entry is created; identical
+    /// keys are identical plans, so re-lookups carry the same tags.
+    pub fn lookup_or_begin_tagged(self: &Arc<Self>, key: u64, deps: &[Arc<str>]) -> ResultLookup {
         let cell = {
             let mut map = self.lock_map();
             map.tick += 1;
@@ -163,6 +195,7 @@ impl ResultCache {
             let entry = map.entries.entry(key).or_insert_with(|| Entry {
                 cell: Arc::new(CacheCell::default()),
                 bytes: None,
+                deps: deps.to_vec(),
                 last_used: 0,
                 seq: 0,
             });
@@ -244,6 +277,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
             entries: map.entries.values().filter(|e| e.bytes.is_some()).count(),
             bytes: map.bytes,
             peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
@@ -261,6 +295,41 @@ impl ResultCache {
         map.bytes = 0;
     }
 
+    /// Drop every entry tagged with `source` and bump that source's
+    /// invalidation generation. Returns the keys of the dropped entries
+    /// so a derived cache (the server's serialized-response cache) can
+    /// prune its copies. Committed entries release their bytes and count
+    /// toward the `flushes` stat; in-flight entries are detached like
+    /// [`ResultCache::clear`] does — the populator commits into the
+    /// detached cell, post-flush lookups start fresh.
+    pub fn flush_source(&self, source: &str) -> Vec<u64> {
+        let mut map = self.lock_map();
+        let keys: Vec<u64> = map
+            .entries
+            .iter()
+            .filter(|(_, e)| e.deps.iter().any(|d| &**d == source))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &keys {
+            if let Some(e) = map.entries.remove(k) {
+                map.bytes -= e.bytes.unwrap_or(0);
+            }
+        }
+        self.flushes.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        *map.generations.entry(Arc::from(source)).or_insert(0) += 1;
+        keys
+    }
+
+    /// The invalidation generation of `source`: 0 until the first
+    /// [`ResultCache::flush_source`], then +1 per flush.
+    pub fn generation(&self, source: &str) -> u64 {
+        self.lock_map()
+            .generations
+            .get(source)
+            .copied()
+            .unwrap_or(0)
+    }
+
     fn lock_map(&self) -> std::sync::MutexGuard<'_, CacheMap> {
         self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -268,16 +337,25 @@ impl ResultCache {
     /// Charge a freshly committed value and evict LRU committed entries
     /// until the budget holds again. Called *after* the value is
     /// published to the cell, so waiters are never delayed by eviction.
-    fn account_commit(&self, key: u64, bytes: u64) {
+    /// `cell` is the cell the commit actually populated: if a `clear` or
+    /// `flush_source` detached that flight and a new entry was since
+    /// created under the same key, the identities differ and nothing is
+    /// charged — the stale value lives only in the detached cell.
+    fn account_commit(&self, key: u64, bytes: u64, cell: &Arc<CacheCell>) {
         let mut map = self.lock_map();
         map.commits += 1;
         let seq = map.commits;
         if let Some(entry) = map.entries.get_mut(&key) {
-            // A racing `clear` may have detached the entry; then there
-            // is nothing to charge.
+            if !Arc::ptr_eq(&entry.cell, cell) {
+                return;
+            }
             entry.bytes = Some(bytes);
             entry.seq = seq;
             map.bytes += bytes;
+        } else {
+            // A racing `clear`/`flush_source` detached the entry; there
+            // is nothing to charge.
+            return;
         }
         // Evict oldest committed entries (never the one just committed —
         // its waiters are being served from it right now) until we fit.
@@ -319,9 +397,10 @@ impl ResultTicket {
         let bytes = v.approx_bytes();
         let cache = Arc::clone(&self.cache);
         let key = self.key;
+        let cell = Arc::clone(self.inner.cell());
         // Publish first (wakes waiters), account second (may evict).
         self.inner.commit(v);
-        cache.account_commit(key, bytes);
+        cache.account_commit(key, bytes, &cell);
     }
 }
 
@@ -446,6 +525,61 @@ mod tests {
         }
         assert_eq!(cache.peek(1), Some(vint(1)), "recently used survives");
         assert_eq!(cache.peek(2), None, "LRU evicted");
+    }
+
+    fn tag(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn flush_source_drops_exactly_tagged_entries() {
+        let cache = ResultCache::new(1 << 20);
+        for (key, deps) in [(1u64, vec![tag("A")]), (2, vec![tag("A"), tag("B")]), (3, vec![tag("B")])] {
+            match cache.lookup_or_begin_tagged(key, &deps) {
+                ResultLookup::Miss(t) => t.commit(vint(key as i64)),
+                _ => panic!("fresh keys must miss"),
+            }
+        }
+        let before = cache.stats().bytes;
+        assert_eq!(cache.generation("A"), 0);
+
+        let mut flushed = cache.flush_source("A");
+        flushed.sort_unstable();
+        assert_eq!(flushed, vec![1, 2], "exactly the A-tagged keys");
+        assert_eq!(cache.generation("A"), 1);
+        assert_eq!(cache.generation("B"), 0);
+        assert_eq!(cache.peek(1), None);
+        assert_eq!(cache.peek(2), None);
+        assert_eq!(cache.peek(3), Some(vint(3)), "B-only entry survives");
+        let s = cache.stats();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.evictions, 0, "flushes are not evictions");
+        assert!(s.bytes < before, "flushed bytes released");
+    }
+
+    #[test]
+    fn inflight_flush_detaches_without_poisoning_or_double_charging() {
+        let cache = ResultCache::new(1 << 20);
+        let deps = [tag("A")];
+        let stale = match cache.lookup_or_begin_tagged(4, &deps) {
+            ResultLookup::Miss(t) => t,
+            _ => panic!("fresh key must miss"),
+        };
+        cache.flush_source("A");
+        // A post-flush lookup starts a fresh flight against the
+        // refreshed source...
+        let fresh = match cache.lookup_or_begin_tagged(4, &deps) {
+            ResultLookup::Miss(t) => t,
+            _ => panic!("flushed key must miss again"),
+        };
+        // ...and the stale populator's late commit lands in the
+        // detached cell: it must not charge bytes against (or publish
+        // into) the fresh entry.
+        stale.commit(vint(-1));
+        assert_eq!(cache.peek(4), None, "stale value not reachable");
+        assert_eq!(cache.stats().bytes, 0, "stale commit not charged");
+        fresh.commit(vint(44));
+        assert_eq!(cache.peek(4), Some(vint(44)));
     }
 
     #[test]

@@ -21,7 +21,14 @@
 //! * **Eviction accounting.** [`PlanCacheStats`] now counts `evictions`
 //!   (plans dropped for capacity), alongside the existing hit/miss
 //!   counters. `misses` equals the number of compiles started.
+//! * **Source-scoped invalidation.** [`PlanCache::flush_source`] drops
+//!   exactly the plans whose [`Compiled::deps`] mention a refreshed
+//!   driver and bumps that source's generation counter
+//!   ([`PlanCache::generation`]), so a stale plan can never be served
+//!   after the flush returns. This is the compile-side half of the
+//!   wire-level FLUSH verb.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use kleisli_core::KResult;
@@ -39,6 +46,9 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Plans dropped by [`PlanCache::flush_source`] (invalidation, not
+    /// capacity pressure — counted separately from `evictions`).
+    pub flushes: u64,
     /// Plans currently cached.
     pub entries: usize,
     /// Maximum plans kept (`0` disables retention).
@@ -52,10 +62,14 @@ struct State {
     entries: Vec<(String, OptConfig, Arc<Compiled>)>,
     /// Keys whose compile is currently in flight (single-flight gate).
     in_flight: Vec<(String, OptConfig)>,
+    /// Per-source invalidation generations: bumped by `flush_source`,
+    /// never reset. Sources never flushed are implicitly at generation 0.
+    generations: HashMap<Arc<str>, u64>,
     capacity: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
+    flushes: u64,
 }
 
 /// The compiled-plan cache; see the module docs. Construct with
@@ -75,10 +89,12 @@ impl PlanCache {
             state: StdMutex::new(State {
                 entries: Vec::new(),
                 in_flight: Vec::new(),
+                generations: HashMap::new(),
                 capacity,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                flushes: 0,
             }),
             cv: Condvar::new(),
         })
@@ -164,9 +180,38 @@ impl PlanCache {
             hits: st.hits,
             misses: st.misses,
             evictions: st.evictions,
+            flushes: st.flushes,
             entries: st.entries.len(),
             capacity: st.capacity,
         }
+    }
+
+    /// Drop every cached plan whose [`Compiled::deps`] mention `source`
+    /// and bump that source's invalidation generation. Returns how many
+    /// plans were dropped. Plans not reading `source` are untouched; an
+    /// in-flight compile of a flushed key commits its (freshly compiled)
+    /// plan normally, which is correct — it started after the caller
+    /// decided to refresh.
+    pub fn flush_source(&self, source: &str) -> usize {
+        let mut st = self.lock();
+        let before = st.entries.len();
+        st.entries
+            .retain(|(_, _, plan)| !plan.deps.iter().any(|d| &**d == source));
+        let dropped = before - st.entries.len();
+        st.flushes += dropped as u64;
+        *st.generations.entry(Arc::from(source)).or_insert(0) += 1;
+        dropped
+    }
+
+    /// The invalidation generation of `source`: 0 until the first
+    /// [`PlanCache::flush_source`], then +1 per flush. Lets tests and
+    /// callers observe that a refresh actually invalidated.
+    pub fn generation(&self, source: &str) -> u64 {
+        self.lock()
+            .generations
+            .get(source)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The current capacity bound.
@@ -221,6 +266,18 @@ mod tests {
             optimized: e,
             trace: Vec::new(),
             ty: Type::Int,
+            deps: Vec::new(),
+        })
+    }
+
+    fn plan_on(sources: &[&str]) -> Arc<Compiled> {
+        let e = nrc::Expr::int(1);
+        Arc::new(Compiled {
+            raw: e.clone(),
+            optimized: e,
+            trace: Vec::new(),
+            ty: Type::Int,
+            deps: sources.iter().map(|s| Arc::from(*s)).collect(),
         })
     }
 
@@ -289,5 +346,32 @@ mod tests {
         // The key is compilable again — no wedged in-flight marker.
         cache.get_or_compile("bad", &cfg, || Ok(plan())).unwrap();
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn flush_source_drops_exactly_dependent_plans() {
+        let cache = PlanCache::new(8);
+        let cfg = OptConfig::default();
+        cache
+            .get_or_compile("qa", &cfg, || Ok(plan_on(&["A"])))
+            .unwrap();
+        cache
+            .get_or_compile("qab", &cfg, || Ok(plan_on(&["A", "B"])))
+            .unwrap();
+        cache
+            .get_or_compile("qb", &cfg, || Ok(plan_on(&["B"])))
+            .unwrap();
+        assert_eq!(cache.generation("A"), 0);
+
+        let dropped = cache.flush_source("A");
+        assert_eq!(dropped, 2, "both plans reading A are flushed");
+        assert_eq!(cache.generation("A"), 1);
+        assert_eq!(cache.generation("B"), 0);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "the B-only plan survives");
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.evictions, 0, "flushes are not evictions");
+        assert!(cache.peek("qb", &cfg).is_some());
+        assert!(cache.peek("qa", &cfg).is_none());
     }
 }

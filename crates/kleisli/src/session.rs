@@ -65,6 +65,23 @@ use parking_lot::Mutex;
 
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 
+/// What [`Session::flush_source`] invalidated; see its docs for the
+/// precise-vs-conservative split.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceFlush {
+    /// Compiled plans dropped from the plan cache.
+    pub plans: u64,
+    /// Entries dropped from the shared result cache.
+    pub results: u64,
+    /// Plan-hash keys of the dropped result entries, so a derived cache
+    /// (the server's serialized-response cache) can prune its copies.
+    /// Empty on a conservative flush — the deriver must clear wholesale.
+    pub flushed_keys: Vec<u64>,
+    /// `source` was a value binding (untraceable in compiled plans), so
+    /// both caches were cleared rather than matched.
+    pub conservative: bool,
+}
+
 /// The result of running one top-level statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtResult {
@@ -85,6 +102,24 @@ pub struct Compiled {
     pub trace: Vec<TraceEntry>,
     /// Inferred (gradual) result type.
     pub ty: Type,
+    /// Driver names this plan reads from (sorted, deduplicated),
+    /// collected from the raw and optimized NRC. Definitions are inlined
+    /// at desugar time, so a plan reaching a driver through any chain of
+    /// `define`s still lists it here. This is what [`Session::flush_source`]
+    /// matches against to invalidate exactly the plans derived from a
+    /// refreshed source.
+    pub deps: Vec<nrc::Name>,
+}
+
+/// Collect every driver name mentioned by `Remote`/`RemoteApp` nodes
+/// into `deps` (callers sort + dedup afterwards).
+fn collect_driver_deps(expr: &Expr, deps: &mut Vec<nrc::Name>) {
+    expr.visit(&mut |e| match e {
+        Expr::Remote { driver, .. } | Expr::RemoteApp { driver, .. } => {
+            deps.push(driver.clone());
+        }
+        _ => {}
+    });
 }
 
 impl Compiled {
@@ -622,6 +657,57 @@ impl Session {
         self.interner.lock().clear();
     }
 
+    /// Invalidate every cached plan and result derived from `source` —
+    /// the session-level half of the wire-level FLUSH verb, for when a
+    /// source has been refreshed underneath the mediator.
+    ///
+    /// * A registered **driver** is flushed precisely: plans are matched
+    ///   by [`Compiled::deps`], results by the source tags recorded at
+    ///   population time. Entries derived only from other sources
+    ///   survive.
+    /// * A **value binding** cannot be traced — desugaring inlines the
+    ///   bound constant, erasing the name from the plan — so the flush
+    ///   falls back to clearing both caches wholesale
+    ///   ([`SourceFlush::conservative`] is set).
+    /// * An unknown name is an error: flushing everything on a typo
+    ///   would be an availability incident, not a refresh.
+    ///
+    /// Either way the source's invalidation generations (plan and
+    /// result side) are bumped, so a refresh is observable even when
+    /// nothing was resident.
+    pub fn flush_source(&self, source: &str) -> KResult<SourceFlush> {
+        let is_driver = self.ctx.driver(source).is_ok();
+        if !is_driver && self.defs.get(source).is_none() {
+            return Err(KError::eval(format!(
+                "flush: no such source or binding: {source}"
+            )));
+        }
+        let mut flush = SourceFlush::default();
+        if !is_driver {
+            flush.conservative = true;
+            flush.plans = self.plan_cache.stats().entries as u64;
+            flush.results = self
+                .result_cache
+                .as_ref()
+                .map_or(0, |c| c.stats().entries as u64);
+            self.clear_plan_cache();
+        }
+        // For drivers this does the precise matching; after a
+        // conservative clear it drops nothing but still bumps the
+        // source's generations.
+        let plans = self.plan_cache.flush_source(source) as u64;
+        let keys = self
+            .result_cache
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.flush_source(source));
+        if !flush.conservative {
+            flush.plans = plans;
+            flush.results = keys.len() as u64;
+            flush.flushed_keys = keys;
+        }
+        Ok(flush)
+    }
+
     fn ctx_mut(&mut self) -> &mut Context {
         Arc::get_mut(&mut self.ctx)
             .expect("session context is uniquely owned between queries")
@@ -702,11 +788,17 @@ impl Session {
         let raw = cpl::desugar(&ast, &self.defs)?;
         let ty = nrc::infer(&raw, &TypeEnv::new())?;
         let (optimized, trace) = self.intern_and_optimize(raw.clone());
+        let mut deps = Vec::new();
+        collect_driver_deps(&raw, &mut deps);
+        collect_driver_deps(&optimized, &mut deps);
+        deps.sort_unstable();
+        deps.dedup();
         Ok(Compiled {
             raw,
             optimized: (*optimized).clone(),
             trace,
             ty,
+            deps,
         })
     }
 
@@ -810,7 +902,7 @@ impl Session {
                 None,
             )));
         };
-        match cache.lookup_or_begin(compiled.plan_hash()) {
+        match cache.lookup_or_begin_tagged(compiled.plan_hash(), &compiled.deps) {
             ResultLookup::Hit(v) => Ok(SharedQuery::Cached(v)),
             ResultLookup::Reentrant => {
                 self.ctx.cache_clear();

@@ -107,6 +107,7 @@ fn main() {
         result_cache_budget: args.budget_mb * 1024 * 1024,
         max_queries_per_connection: args.max_concurrent,
         queue_depth_per_connection: args.queue_depth,
+        ..ServerConfig::default()
     };
     let handle = serve(
         args.addr.as_str(),

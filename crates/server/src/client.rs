@@ -5,7 +5,8 @@
 //! issued call-and-response with [`Client::query`].
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use kleisli_core::Value;
 
@@ -13,23 +14,45 @@ use crate::proto::{
     encode_request, read_frame, write_frame, Request, Response, ServedFrom,
 };
 
-/// The terminal outcome of one query.
+/// The terminal outcome of one query. The server's admission and drain
+/// rejections arrive as `Error` frames with well-known message
+/// prefixes; the client surfaces them as their own variants so callers
+/// can retry (`Busy`), fail over (`ShuttingDown`), or report
+/// (`Error`) without string matching.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryReply {
     /// The query produced a value (and the server says where from).
     Value { value: Value, served: ServedFrom },
-    /// The server reported an error (compile, evaluation, cancellation,
-    /// or admission rejection — `busy:` prefix).
+    /// Admission rejection (`busy:` prefix): this tenant's queue or the
+    /// server's connection capacity is full; retrying later is safe.
+    Busy(String),
+    /// Drain rejection (`shutting-down:` prefix): the server is
+    /// draining and takes no new queries.
+    ShuttingDown(String),
+    /// Any other server-side error (compile, evaluation, cancellation).
     Error(String),
 }
 
 impl QueryReply {
-    /// The value, treating a server-side error as `Err` with the
-    /// message wrapped in [`io::ErrorKind::Other`].
+    /// The value, treating every server-side rejection or error as
+    /// `Err` with the message wrapped in [`io::ErrorKind::Other`].
     pub fn into_value(self) -> io::Result<(Value, ServedFrom)> {
         match self {
             QueryReply::Value { value, served } => Ok((value, served)),
-            QueryReply::Error(message) => Err(io::Error::other(message)),
+            QueryReply::Busy(message)
+            | QueryReply::ShuttingDown(message)
+            | QueryReply::Error(message) => Err(io::Error::other(message)),
+        }
+    }
+
+    /// Classify a server error message by its rejection prefix.
+    fn from_error(message: String) -> QueryReply {
+        if message.starts_with("busy:") {
+            QueryReply::Busy(message)
+        } else if message.starts_with("shutting-down:") {
+            QueryReply::ShuttingDown(message)
+        } else {
+            QueryReply::Error(message)
         }
     }
 }
@@ -46,6 +69,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Client { stream, next_id: 1 })
+    }
+
+    /// [`Client::connect`] bounded by `timeout` — a server that is not
+    /// accepting fails fast instead of riding the OS connect timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Bound every subsequent response read: a server that stops
+    /// writing surfaces as a timed-out `Err` instead of a hung client.
+    /// `None` restores blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -96,7 +134,7 @@ impl Client {
                     return Ok(QueryReply::Value { value, served });
                 }
                 Response::Error { id: got, message } if got == id => {
-                    return Ok(QueryReply::Error(message));
+                    return Ok(QueryReply::from_error(message));
                 }
                 _ => continue,
             }
@@ -118,6 +156,29 @@ impl Client {
                 if got == id {
                     return Ok(json);
                 }
+            }
+        }
+    }
+
+    /// Flush every cached plan and result derived from `source` — the
+    /// wire-level invalidation verb for a refreshed source. Returns
+    /// `(plans, results)` dropped; a server-side error (for instance an
+    /// unknown source name) comes back as `Err`.
+    pub fn flush(&mut self, source: &str) -> io::Result<(u64, u64)> {
+        let id = self.fresh_id();
+        self.send(&Request::Flush {
+            id,
+            source: source.to_string(),
+        })?;
+        loop {
+            match self.read_response()? {
+                Response::Flushed { id: got, plans, results } if got == id => {
+                    return Ok((plans, results));
+                }
+                Response::Error { id: got, message } if got == id => {
+                    return Err(io::Error::other(message));
+                }
+                _ => continue,
             }
         }
     }

@@ -9,12 +9,15 @@
 //!
 //! Requests: [`Request::Query`] (body: CPL source, UTF-8),
 //! [`Request::Cancel`] (empty body; the id names the query to stop),
-//! [`Request::Stats`] (empty body).
+//! [`Request::Stats`] (empty body), [`Request::Flush`] (body: a source
+//! name, UTF-8 — the wire-level cache-invalidation verb: drop every
+//! cached plan and result derived from that source).
 //!
 //! Responses: [`Response::Result`] (body: one served-from byte — `0`
 //! freshly evaluated, `1` shared result cache — then the value in the
 //! core exchange format, UTF-8), [`Response::Error`] (message, UTF-8),
-//! [`Response::Stats`] (a JSON document, UTF-8).
+//! [`Response::Stats`] (a JSON document, UTF-8), [`Response::Flushed`]
+//! (two 8-byte big-endian counts: plans flushed, results flushed).
 //!
 //! Values cross the wire in the [`kleisli_core::write_exchange`] token
 //! format — the same self-describing exchange format drivers use, per
@@ -31,9 +34,11 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 const OP_QUERY: u8 = 0x01;
 const OP_CANCEL: u8 = 0x02;
 const OP_STATS: u8 = 0x03;
+const OP_FLUSH: u8 = 0x04;
 const OP_RESULT: u8 = 0x81;
 const OP_ERROR: u8 = 0x82;
 const OP_STATS_REPLY: u8 = 0x83;
+const OP_FLUSHED: u8 = 0x84;
 
 /// Where a query result came from (the first body byte of a
 /// [`Response::Result`] frame).
@@ -56,13 +61,20 @@ pub enum Request {
     Cancel { id: u64 },
     /// Reply with a `Stats` frame (shared-cache and admission counters).
     Stats { id: u64 },
+    /// Invalidate every cached plan and result derived from `source`
+    /// (a refreshed driver or binding); reply with a `Flushed` frame.
+    /// Entries derived only from other sources survive.
+    Flush { id: u64, source: String },
 }
 
 impl Request {
     /// The request id (echoed by the matching response).
     pub fn id(&self) -> u64 {
         match self {
-            Request::Query { id, .. } | Request::Cancel { id } | Request::Stats { id } => *id,
+            Request::Query { id, .. }
+            | Request::Cancel { id }
+            | Request::Stats { id }
+            | Request::Flush { id, .. } => *id,
         }
     }
 }
@@ -81,15 +93,19 @@ pub enum Response {
     Error { id: u64, message: String },
     /// Server statistics as a JSON document.
     Stats { id: u64, json: String },
+    /// Acknowledgement of a [`Request::Flush`]: how many cached plans
+    /// and how many cached results were dropped.
+    Flushed { id: u64, plans: u64, results: u64 },
 }
 
 impl Response {
     /// The id of the request this responds to.
     pub fn id(&self) -> u64 {
         match self {
-            Response::Result { id, .. } | Response::Error { id, .. } | Response::Stats { id, .. } => {
-                *id
-            }
+            Response::Result { id, .. }
+            | Response::Error { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Flushed { id, .. } => *id,
         }
     }
 }
@@ -127,6 +143,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Cancel { id } => header(OP_CANCEL, *id, 0),
         Request::Stats { id } => header(OP_STATS, *id, 0),
+        Request::Flush { id, source } => {
+            let mut out = header(OP_FLUSH, *id, source.len());
+            out.extend_from_slice(source.as_bytes());
+            out
+        }
     }
 }
 
@@ -140,6 +161,10 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request> {
         }),
         OP_CANCEL => Ok(Request::Cancel { id }),
         OP_STATS => Ok(Request::Stats { id }),
+        OP_FLUSH => Ok(Request::Flush {
+            id,
+            source: utf8_body(body, "flush source name")?,
+        }),
         other => Err(malformed(format!("unknown request opcode {other:#04x}"))),
     }
 }
@@ -158,6 +183,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Stats { id, json } => {
             let mut out = header(OP_STATS_REPLY, *id, json.len());
             out.extend_from_slice(json.as_bytes());
+            out
+        }
+        Response::Flushed { id, plans, results } => {
+            let mut out = header(OP_FLUSHED, *id, 16);
+            out.extend_from_slice(&plans.to_be_bytes());
+            out.extend_from_slice(&results.to_be_bytes());
             out
         }
     }
@@ -204,6 +235,14 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             id,
             json: utf8_body(body, "stats json")?,
         }),
+        OP_FLUSHED => {
+            if body.len() != 16 {
+                return Err(malformed("flushed frame body must be 16 bytes"));
+            }
+            let plans = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+            let results = u64::from_be_bytes(body[8..].try_into().expect("8 bytes"));
+            Ok(Response::Flushed { id, plans, results })
+        }
         other => Err(malformed(format!("unknown response opcode {other:#04x}"))),
     }
 }
@@ -259,6 +298,10 @@ mod tests {
             },
             Request::Cancel { id: u64::MAX },
             Request::Stats { id: 0 },
+            Request::Flush {
+                id: 9,
+                source: "GDB-Tab".to_string(),
+            },
         ] {
             let decoded = decode_request(&encode_request(&req)).unwrap();
             assert_eq!(decoded, req);
@@ -280,6 +323,11 @@ mod tests {
             Response::Stats {
                 id: 5,
                 json: "{\"queries\":{\"total\":1}}".to_string(),
+            },
+            Response::Flushed {
+                id: 6,
+                plans: 2,
+                results: 3,
             },
         ] {
             let decoded = decode_response(&encode_response(&resp)).unwrap();

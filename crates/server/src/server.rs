@@ -3,14 +3,14 @@
 //!
 //! # Topology
 //!
-//! Each accepted connection gets its own reader thread and its own
-//! [`Session`] — built by the server's *registrar* (the closure that
-//! registers drivers and bindings), then attached to the **shared**
-//! [`PlanCache`] and [`ResultCache`]. Driver `Arc`s captured by the
-//! registrar are shared across sessions, so per-driver admission gates,
-//! resilience policies, and metrics are process-wide, exactly as they
-//! were per-session; and every session evaluates on the process-wide
-//! compute [`Executor`](kleisli_core::Executor).
+//! Each accepted connection gets its own reader thread, its own writer
+//! thread, and its own [`Session`] — built by the server's *registrar*
+//! (the closure that registers drivers and bindings), then attached to
+//! the **shared** [`PlanCache`] and [`ResultCache`]. Driver `Arc`s
+//! captured by the registrar are shared across sessions, so per-driver
+//! admission gates, resilience policies, and metrics are process-wide,
+//! exactly as they were per-session; and every session evaluates on the
+//! process-wide compute [`Executor`](kleisli_core::Executor).
 //!
 //! # Admission (per-tenant fair share)
 //!
@@ -24,7 +24,34 @@
 //! tenant therefore saturates *its own* gate and queue while every other
 //! tenant's queries keep flowing — downstream, the shared executor and
 //! the per-driver gates arbitrate between tenants' admitted queries on
-//! equal terms.
+//! equal terms. Process-wide, at most
+//! [`ServerConfig::max_connections`] reader threads exist at once;
+//! further connections are shed at accept time with a best-effort
+//! `busy:` frame (counted in `connections_shed`).
+//!
+//! # Slow-client isolation
+//!
+//! Responses are never written from a worker or reader thread directly.
+//! Every frame goes onto a bounded per-connection outbound queue
+//! ([`ServerConfig::writer_queue_frames`]) drained by the connection's
+//! writer thread under a write deadline
+//! ([`ServerConfig::write_deadline`]). A client that stops reading
+//! fills its kernel send buffer, the writer's next write times out (or
+//! the queue overflows first), and the connection is *condemned*: the
+//! socket is shut down, pending frames are dropped, and its in-flight
+//! queries are cancelled. The stall costs the stalled tenant its
+//! connection and nothing else — no worker thread, and no other
+//! tenant's responses, ever block on a hostile peer's socket.
+//!
+//! # Graceful drain
+//!
+//! [`ServerHandle::shutdown`] (and `shutdown_within`) drains rather
+//! than drops: accepting stops, new QUERY frames are rejected with a
+//! `shutting-down:` error, in-flight queries run to completion and
+//! flush their terminal frames through the writer queues — all bounded
+//! by [`ServerConfig::drain_deadline`], after which stragglers are
+//! cancelled. Connection reader/writer/worker threads are all joined
+//! before `shutdown` returns.
 //!
 //! # Cancellation
 //!
@@ -33,18 +60,28 @@
 //! that id, normally an `Error` reporting the cancellation). Cancelling
 //! a query that is populating the shared result cache drops its populate
 //! ticket, waking any waiting sessions to compute the result themselves
-//! — the shared cache is never poisoned by a cancelled flight.
+//! — the shared cache is never poisoned by a cancelled flight. CANCEL
+//! for an unknown or already-finished id is an acknowledged no-op.
+//!
+//! # Wire-level cache invalidation
+//!
+//! A FLUSH frame names a refreshed source. The connection's session
+//! flushes exactly the cached plans and results derived from it
+//! ([`Session::flush_source`]), the server prunes its serialized-frame
+//! copies, and the client gets back a `Flushed` frame with the drop
+//! counts. Source generations are observable through the caches'
+//! `generation` accessors.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use kleisli::{PlanCache, QueryCanceller, Session, SharedQuery};
-use kleisli_core::{write_exchange, RequestGate};
+use kleisli_core::RequestGate;
 use kleisli_exec::ResultCache;
 
 use crate::proto::{
@@ -58,8 +95,10 @@ use crate::proto::{
 const WIRE_CACHE_CAP: usize = 128;
 
 /// Tuning knobs for a [`serve`] call. `Default` gives a 64-plan shared
-/// cache, the result cache's default 64 MiB budget, and per-connection
-/// limits of 4 running + 16 queued queries.
+/// cache, the result cache's default 64 MiB budget, per-connection
+/// limits of 4 running + 16 queued queries, a 256-connection process
+/// cap, a 64-frame writer queue with a 5 s write deadline, and a 5 s
+/// drain deadline.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Capacity of the shared compiled-plan cache (entries).
@@ -72,6 +111,24 @@ pub struct ServerConfig {
     /// Queries one connection may have *waiting* for its gate beyond the
     /// running ones; the excess is rejected with a `busy:` error.
     pub queue_depth_per_connection: usize,
+    /// Connections served at once, process-wide; the excess is shed at
+    /// accept time with a best-effort `busy:` frame. Bounds the
+    /// thread-per-connection model.
+    pub max_connections: usize,
+    /// Response frames buffered per connection before the client is
+    /// condemned as a non-reader (see the module docs on slow-client
+    /// isolation).
+    pub writer_queue_frames: usize,
+    /// Longest a single frame write may block on the client's socket
+    /// before the connection is condemned.
+    pub write_deadline: Duration,
+    /// Longest [`ServerHandle::shutdown`] lets in-flight queries finish
+    /// before cancelling the stragglers.
+    pub drain_deadline: Duration,
+    /// Largest result frame the server will send (capped by the
+    /// protocol's `MAX_FRAME_LEN`); a larger result becomes a clean
+    /// `Error` frame instead of a hung client.
+    pub max_result_frame: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +138,11 @@ impl Default for ServerConfig {
             result_cache_budget: kleisli_exec::DEFAULT_RESULT_CACHE_BUDGET,
             max_queries_per_connection: 4,
             queue_depth_per_connection: 16,
+            max_connections: 256,
+            writer_queue_frames: 64,
+            write_deadline: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            max_result_frame: MAX_FRAME_LEN,
         }
     }
 }
@@ -102,16 +164,34 @@ struct ServerShared {
     wire_cache: Mutex<HashMap<u64, (u64, Arc<String>)>>,
     registrar: Arc<Registrar>,
     config: ServerConfig,
+    /// Stop accepting and reject new QUERYs; in-flight work continues.
+    draining: AtomicBool,
+    /// Final stop: connection readers exit at the next poll tick.
     shutdown: AtomicBool,
     started: Instant,
+    /// Live connections by id: reader join handle + per-connection
+    /// state, so shutdown can cancel stragglers and join every thread.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_conn_id: AtomicU64,
+    /// Queries admitted (queued or running) but not yet terminal —
+    /// what the drain phase waits on.
+    active_queries: AtomicU64,
     connections_total: AtomicU64,
     connections_open: AtomicU64,
+    connections_shed: AtomicU64,
     queries: AtomicU64,
     served_fresh: AtomicU64,
     served_cached: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
     cancel_requests: AtomicU64,
+    flush_requests: AtomicU64,
+}
+
+/// One live connection as seen by the accept loop and shutdown.
+struct ConnEntry {
+    handle: Option<JoinHandle<()>>,
+    conn: Arc<Conn>,
 }
 
 impl ServerShared {
@@ -123,31 +203,35 @@ impl ServerShared {
         format!(
             concat!(
                 "{{\"uptime_ms\":{},",
-                "\"connections\":{{\"total\":{},\"open\":{}}},",
+                "\"connections\":{{\"total\":{},\"open\":{},\"shed\":{}}},",
                 "\"queries\":{{\"total\":{},\"served_fresh\":{},\"served_cached\":{},",
-                "\"errors\":{},\"rejected\":{},\"cancel_requests\":{}}},",
-                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"errors\":{},\"rejected\":{},\"cancel_requests\":{},\"flush_requests\":{}}},",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"flushes\":{},",
                 "\"entries\":{},\"capacity\":{}}},",
-                "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"result_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"flushes\":{},",
                 "\"entries\":{},\"bytes\":{},\"peak_bytes\":{},\"budget\":{}}}}}"
             ),
             self.started.elapsed().as_millis(),
             self.connections_total.load(Ordering::Relaxed),
             self.connections_open.load(Ordering::Relaxed),
+            self.connections_shed.load(Ordering::Relaxed),
             self.queries.load(Ordering::Relaxed),
             self.served_fresh.load(Ordering::Relaxed),
             self.served_cached.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.cancel_requests.load(Ordering::Relaxed),
+            self.flush_requests.load(Ordering::Relaxed),
             p.hits,
             p.misses,
             p.evictions,
+            p.flushes,
             p.entries,
             p.capacity,
             r.hits,
             r.misses,
             r.evictions,
+            r.flushes,
             r.entries,
             r.bytes,
             r.peak_bytes,
@@ -156,14 +240,26 @@ impl ServerShared {
     }
 }
 
+/// What a graceful shutdown accomplished; see
+/// [`ServerHandle::shutdown_within`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Every in-flight query finished (and its terminal frame was
+    /// handed to its writer) before the deadline; `false` means
+    /// stragglers were cancelled.
+    pub drained: bool,
+    /// Wall-clock time the whole shutdown took, joins included.
+    pub elapsed: Duration,
+}
+
 /// A running server: the accept loop lives on its own thread. Dropping
-/// the handle shuts the server down (set the flag, nudge the listener,
-/// join the accept thread); in-flight queries finish on their own
-/// threads.
+/// the handle shuts the server down gracefully (drain in-flight queries
+/// up to the configured deadline, then join every connection thread).
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     accept: Option<JoinHandle<()>>,
+    stopped: bool,
 }
 
 impl ServerHandle {
@@ -188,6 +284,30 @@ impl ServerHandle {
         self.shared.stats_json()
     }
 
+    /// Connections currently being served.
+    pub fn connections_open(&self) -> u64 {
+        self.shared.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted and handed to a reader thread, ever.
+    pub fn connections_total(&self) -> u64 {
+        self.shared.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused at accept time (connection cap, or resource
+    /// exhaustion spawning their reader).
+    pub fn connections_shed(&self) -> u64 {
+        self.shared.connections_shed.load(Ordering::Relaxed)
+    }
+
+    /// Queries admitted but not yet terminal — the quantity the drain
+    /// phase waits on; `0` means no query worker holds a gate ticket
+    /// anywhere in the server (what the chaos suite asserts after every
+    /// injected fault).
+    pub fn active_queries(&self) -> u64 {
+        self.shared.active_queries.load(Ordering::SeqCst)
+    }
+
     /// Block on the accept loop (for a daemon main: serve until killed).
     pub fn wait(mut self) {
         if let Some(accept) = self.accept.take() {
@@ -195,25 +315,77 @@ impl ServerHandle {
         }
     }
 
-    /// Stop accepting, wake idle connection readers, and join the accept
-    /// thread. Queries already running complete on their worker threads.
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Gracefully shut down within the configured
+    /// [`ServerConfig::drain_deadline`]; see
+    /// [`ServerHandle::shutdown_within`].
+    pub fn shutdown(mut self) -> DrainReport {
+        let deadline = self.shared.config.drain_deadline;
+        self.stop(deadline)
     }
 
-    fn stop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+    /// Gracefully shut down: stop accepting, let in-flight queries
+    /// finish and flush their terminal frames (new QUERYs are rejected
+    /// with a `shutting-down:` error meanwhile), cancel any query still
+    /// running at the deadline, and join every connection thread —
+    /// readers, writers, and query workers alike.
+    pub fn shutdown_within(mut self, deadline: Duration) -> DrainReport {
+        self.stop(deadline)
+    }
+
+    fn stop(&mut self, deadline: Duration) -> DrainReport {
+        if self.stopped {
+            return DrainReport {
+                drained: true,
+                elapsed: Duration::ZERO,
+            };
+        }
+        self.stopped = true;
+        let start = Instant::now();
+        // Phase 1: stop accepting. New QUERYs on live connections are
+        // rejected by the readers once `draining` is up.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // nudge the listener
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        // Phase 2: drain — wait out admitted queries, bounded.
+        let mut drained = true;
+        while self.shared.active_queries.load(Ordering::SeqCst) > 0 {
+            if start.elapsed() >= deadline {
+                drained = false;
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        // Phase 3: stop the readers (they poll `shutdown` at 50 ms) and
+        // cancel whatever outlived the deadline so worker joins are
+        // prompt.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let entries: Vec<ConnEntry> = {
+            let mut conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.drain().map(|(_, e)| e).collect()
+        };
+        if !drained {
+            for entry in &entries {
+                entry.conn.cancel_all_pending();
+            }
+        }
+        for mut entry in entries {
+            if let Some(handle) = entry.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        DrainReport {
+            drained,
+            elapsed: start.elapsed(),
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop();
+        let deadline = self.shared.config.drain_deadline;
+        self.stop(deadline);
     }
 }
 
@@ -233,16 +405,22 @@ pub fn serve(
         wire_cache: Mutex::new(HashMap::new()),
         registrar,
         config,
+        draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
+        conns: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
+        active_queries: AtomicU64::new(0),
         connections_total: AtomicU64::new(0),
         connections_open: AtomicU64::new(0),
+        connections_shed: AtomicU64::new(0),
         queries: AtomicU64::new(0),
         served_fresh: AtomicU64::new(0),
         served_cached: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         cancel_requests: AtomicU64::new(0),
+        flush_requests: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept = thread::Builder::new()
@@ -253,6 +431,7 @@ pub fn serve(
         addr,
         shared,
         accept: Some(accept),
+        stopped: false,
     })
 }
 
@@ -263,27 +442,113 @@ pub fn serve_ephemeral(config: ServerConfig, registrar: Arc<Registrar>) -> io::R
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+    for incoming in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let Ok(stream) = incoming else { continue };
         stream.set_nodelay(true).ok();
-        let n = shared.connections_total.fetch_add(1, Ordering::Relaxed);
-        let conn_shared = Arc::clone(&shared);
-        let spawned = thread::Builder::new()
-            .name(format!("kleislid-conn-{n}"))
-            .spawn(move || {
-                conn_shared.connections_open.fetch_add(1, Ordering::Relaxed);
-                handle_connection(stream, &conn_shared);
-                conn_shared.connections_open.fetch_sub(1, Ordering::Relaxed);
-            });
-        if spawned.is_err() {
-            // Thread exhaustion: drop the connection rather than the
-            // whole server.
+        // Reap finished connections so the registry (and the live count
+        // it implies) tracks reality.
+        let open = {
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            let done: Vec<u64> = conns
+                .iter()
+                .filter(|(_, e)| e.handle.as_ref().is_none_or(|h| h.is_finished()))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in done {
+                if let Some(mut entry) = conns.remove(&id) {
+                    if let Some(handle) = entry.handle.take() {
+                        let _ = handle.join();
+                    }
+                }
+            }
+            conns.len()
+        };
+        if open >= shared.config.max_connections {
+            shed(stream, &shared);
             continue;
         }
+        let Ok(socket) = stream.try_clone() else {
+            shed(stream, &shared);
+            continue;
+        };
+        // The write deadline is a socket option shared by both handles;
+        // reads are governed separately by the reader's poll timeout.
+        let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
+        let conn = Arc::new(Conn {
+            socket,
+            writer: WriterQueue {
+                state: Mutex::new(WriterState {
+                    frames: VecDeque::new(),
+                    closing: false,
+                    dead: false,
+                }),
+                cv: Condvar::new(),
+                capacity: shared.config.writer_queue_frames.max(1),
+            },
+            gate: RequestGate::new(shared.config.max_queries_per_connection),
+            queued: AtomicUsize::new(0),
+            pending: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let reader_conn = Arc::clone(&conn);
+        let spawned = thread::Builder::new()
+            .name(format!("kleislid-conn-{id}"))
+            .spawn(move || {
+                conn_shared.connections_open.fetch_add(1, Ordering::Relaxed);
+                handle_connection(stream, reader_conn, &conn_shared);
+                conn_shared.connections_open.fetch_sub(1, Ordering::Relaxed);
+            });
+        match spawned {
+            Ok(handle) => {
+                // Counted only now: a connection is "handled" once its
+                // reader thread actually exists.
+                shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(
+                        id,
+                        ConnEntry {
+                            handle: Some(handle),
+                            conn,
+                        },
+                    );
+            }
+            Err(_) => {
+                // Thread exhaustion: shed the connection rather than
+                // dropping the whole server.
+                match conn.socket.try_clone() {
+                    Ok(socket) => shed(socket, &shared),
+                    Err(_) => {
+                        shared.connections_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Refuse a connection at accept time: count it, tell the client why
+/// (best effort, briefly bounded — a peer that won't read its rejection
+/// doesn't get to block the accept loop), drop the socket.
+fn shed(stream: TcpStream, shared: &ServerShared) {
+    shared.connections_shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let payload = encode_response(&Response::Error {
+        id: 0,
+        message: format!(
+            "busy: connection limit {} reached",
+            shared.config.max_connections
+        ),
+    });
+    let _ = write_frame(&mut &stream, &payload);
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// The lifecycle of one query id on a connection, from QUERY frame to
@@ -298,38 +563,155 @@ enum Pending {
     Running(QueryCanceller),
 }
 
-/// Per-connection state shared between the reader thread and its query
-/// threads.
+/// The bounded outbound frame queue one writer thread drains; see the
+/// module docs on slow-client isolation.
+struct WriterQueue {
+    state: Mutex<WriterState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct WriterState {
+    frames: VecDeque<Vec<u8>>,
+    /// No further enqueues; the writer drains what's left, then exits.
+    closing: bool,
+    /// The connection is condemned: frames are dropped, not sent.
+    dead: bool,
+}
+
+/// Per-connection state shared between the reader thread, the writer
+/// thread, and the query worker threads.
 struct Conn {
-    writer: Mutex<TcpStream>,
+    /// The connection's socket (a second handle to the reader's): the
+    /// writer thread writes through it, and condemnation shuts it down
+    /// — which unblocks the reader too.
+    socket: TcpStream,
+    writer: WriterQueue,
     /// This tenant's admission gate (`max_queries_per_connection` wide).
     gate: Arc<RequestGate>,
     /// Queries waiting on the gate (admission queue occupancy).
     queued: AtomicUsize,
     /// In-flight queries by id, for CANCEL routing.
     pending: Mutex<HashMap<u64, Pending>>,
+    /// Query worker threads, joined when the reader exits.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Conn {
     fn send(&self, resp: &Response) {
-        self.send_payload(&encode_response(resp));
+        self.send_payload(encode_response(resp));
     }
 
-    fn send_payload(&self, payload: &[u8]) {
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        // A dead client socket is the client's problem; its queries
-        // already ran. Errors here just mean nobody is listening.
-        let _ = write_frame(&mut *w, payload);
+    /// Hand a frame to the writer thread. Never blocks: a full queue
+    /// means the client has stopped reading, and the connection is
+    /// condemned on the spot.
+    fn send_payload(&self, payload: Vec<u8>) {
+        let overflow = {
+            let mut st = self.lock_writer();
+            if st.dead || st.closing {
+                // Condemned or draining shut: the frame has nowhere to
+                // go; its query already ran.
+                return;
+            }
+            if st.frames.len() >= self.writer.capacity {
+                true
+            } else {
+                st.frames.push_back(payload);
+                false
+            }
+        };
+        self.writer.cv.notify_all();
+        if overflow {
+            self.condemn();
+        }
+    }
+
+    /// Kill a connection whose peer has stopped reading (queue overflow
+    /// or write deadline): drop undeliverable frames, shut the socket
+    /// (unblocking the reader), cancel this tenant's in-flight queries.
+    fn condemn(&self) {
+        {
+            let mut st = self.lock_writer();
+            st.dead = true;
+            st.frames.clear();
+        }
+        self.writer.cv.notify_all();
+        let _ = self.socket.shutdown(Shutdown::Both);
+        self.cancel_all_pending();
+    }
+
+    /// Stop cooperatively everything this connection has in flight;
+    /// queries not yet started are marked cancelled so their workers
+    /// short-circuit.
+    fn cancel_all_pending(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        for p in pending.values_mut() {
+            match p {
+                Pending::Requested => *p = Pending::Cancelled,
+                Pending::Running(canceller) => canceller.cancel(),
+                Pending::Cancelled => {}
+            }
+        }
+    }
+
+    /// Flag the queue closed and wait for the writer to drain it (each
+    /// residual frame write is bounded by the write deadline).
+    fn finish_writer(&self) {
+        {
+            let mut st = self.lock_writer();
+            st.closing = true;
+        }
+        self.writer.cv.notify_all();
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.writer.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
-    let Ok(writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = stream;
+/// The writer thread: drain the queue one frame at a time, each write
+/// bounded by the socket's write deadline. Any write failure — timeout
+/// included — condemns the connection.
+fn writer_loop(conn: &Conn) {
+    loop {
+        let frame = {
+            let mut st = conn.lock_writer();
+            loop {
+                if st.dead {
+                    return;
+                }
+                if let Some(frame) = st.frames.pop_front() {
+                    break frame;
+                }
+                if st.closing {
+                    return;
+                }
+                st = conn
+                    .writer
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if write_frame(&mut &conn.socket, &frame).is_err() {
+            conn.condemn();
+            return;
+        }
+    }
+}
+
+fn handle_connection(mut reader: TcpStream, conn: Arc<Conn>, shared: &Arc<ServerShared>) {
     // Idle readers must notice shutdown: poll with a short read timeout.
     let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+
+    let writer_conn = Arc::clone(&conn);
+    let Ok(writer) = thread::Builder::new()
+        .name("kleislid-writer".to_string())
+        .spawn(move || writer_loop(&writer_conn))
+    else {
+        conn.condemn();
+        return;
+    };
 
     // Build this tenant's session: registrar first (drivers, bindings),
     // shared caches after, so registration never clears them.
@@ -339,14 +721,22 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     session.share_result_cache(Arc::clone(&shared.result_cache));
     let session = Arc::new(session);
 
-    let conn = Arc::new(Conn {
-        writer: Mutex::new(writer),
-        gate: RequestGate::new(shared.config.max_queries_per_connection),
-        queued: AtomicUsize::new(0),
-        pending: Mutex::new(HashMap::new()),
-    });
-
-    while let Ok(Some(payload)) = read_frame_with_shutdown(&mut reader, &shared.shutdown) {
+    loop {
+        let payload = match read_frame_with_shutdown(&mut reader, &shared.shutdown) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // An oversized length announcement: the stream cannot be
+                // resynchronized, but the client can at least be told
+                // before its connection (and only its connection) goes.
+                conn.send(&Response::Error {
+                    id: 0,
+                    message: format!("protocol error: {e}"),
+                });
+                break;
+            }
+            Err(_) => break,
+        };
         let req = match decode_request(&payload) {
             Ok(req) => req,
             Err(e) => {
@@ -377,19 +767,82 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
                     Some(Pending::Cancelled) | None => {}
                 }
             }
+            Request::Flush { id, source } => {
+                shared.flush_requests.fetch_add(1, Ordering::Relaxed);
+                match session.flush_source(&source) {
+                    Ok(flush) => {
+                        let mut wire =
+                            shared.wire_cache.lock().unwrap_or_else(|e| e.into_inner());
+                        if flush.conservative {
+                            wire.clear();
+                        } else {
+                            for key in &flush.flushed_keys {
+                                wire.remove(key);
+                            }
+                        }
+                        drop(wire);
+                        conn.send(&Response::Flushed {
+                            id,
+                            plans: flush.plans,
+                            results: flush.results,
+                        });
+                    }
+                    Err(e) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        conn.send(&Response::Error {
+                            id,
+                            message: e.to_string(),
+                        });
+                    }
+                }
+            }
             Request::Query { id, src } => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    conn.send(&Response::Error {
+                        id,
+                        message: "shutting-down: server is draining; no new queries".to_string(),
+                    });
+                    continue;
+                }
                 start_query(shared, &conn, &session, id, src);
             }
         }
     }
 
-    // Reader gone: stop this tenant's in-flight queries; their threads
-    // drain (writing to the dead socket is a no-op).
-    let pending = conn.pending.lock().unwrap_or_else(|e| e.into_inner());
-    for p in pending.values() {
-        if let Pending::Running(canceller) = p {
-            canceller.cancel();
-        }
+    // Reader gone (EOF, condemned, or shutdown): stop this tenant's
+    // in-flight queries, join the workers so every terminal frame is
+    // enqueued, then let the writer drain and join it. After this no
+    // thread of the connection survives.
+    conn.cancel_all_pending();
+    let workers = std::mem::take(&mut *conn.workers.lock().unwrap_or_else(|e| e.into_inner()));
+    for worker in workers {
+        let _ = worker.join();
+    }
+    conn.finish_writer();
+    let _ = writer.join();
+    // The registry ([`ServerShared::conns`]) still holds this
+    // connection's socket clone until the accept loop reaps it, which
+    // may be much later: actively shut the socket down so the peer sees
+    // EOF now, not at the next accept.
+    let _ = conn.socket.shutdown(Shutdown::Both);
+}
+
+/// Send a result frame, unless it exceeds the configured frame bound —
+/// then the client gets a clean `Error` frame instead of a frame it
+/// would refuse to read (a silently hung client).
+fn send_bounded(shared: &ServerShared, conn: &Conn, id: u64, payload: Vec<u8>) {
+    let limit = shared.config.max_result_frame.min(MAX_FRAME_LEN);
+    if payload.len() > limit {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        conn.send(&Response::Error {
+            id,
+            message: format!(
+                "result too large: {}-byte frame exceeds the {limit}-byte limit",
+                payload.len()
+            ),
+        });
+    } else {
+        conn.send_payload(payload);
     }
 }
 
@@ -439,6 +892,7 @@ fn start_query(
         }
         pending.insert(id, Pending::Requested);
     }
+    shared.active_queries.fetch_add(1, Ordering::SeqCst);
     let worker_shared = Arc::clone(shared);
     let worker_conn = Arc::clone(conn);
     let worker_session = Arc::clone(session);
@@ -453,24 +907,58 @@ fn start_query(
                     ticket
                 }
             };
-            run_query(&worker_shared, &worker_conn, &worker_session, id, &src);
+            // A connection that died (or a CANCEL that landed) while
+            // this query sat in the admission queue: don't evaluate a
+            // query nobody is waiting for.
+            let cancelled_early = matches!(
+                worker_conn
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get(&id),
+                Some(Pending::Cancelled)
+            );
+            if cancelled_early {
+                worker_conn
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&id);
+                worker_shared.queries.fetch_add(1, Ordering::Relaxed);
+                worker_shared.errors.fetch_add(1, Ordering::Relaxed);
+                worker_conn.send(&Response::Error {
+                    id,
+                    message: "query cancelled before it started".to_string(),
+                });
+            } else {
+                run_query(&worker_shared, &worker_conn, &worker_session, id, &src);
+            }
             drop(ticket);
+            worker_shared.active_queries.fetch_sub(1, Ordering::SeqCst);
         });
-    if spawned.is_err() {
-        // The unrun closure was dropped with it, releasing any inline
-        // ticket; only the queued counter needs undoing by hand.
-        if was_queued {
-            conn.queued.fetch_sub(1, Ordering::AcqRel);
+    match spawned {
+        Ok(handle) => {
+            let mut workers = conn.workers.lock().unwrap_or_else(|e| e.into_inner());
+            workers.retain(|w| !w.is_finished());
+            workers.push(handle);
         }
-        conn.pending
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&id);
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
-        conn.send(&Response::Error {
-            id,
-            message: "busy: cannot spawn query worker".to_string(),
-        });
+        Err(_) => {
+            shared.active_queries.fetch_sub(1, Ordering::SeqCst);
+            // The unrun closure was dropped with it, releasing any inline
+            // ticket; only the queued counter needs undoing by hand.
+            if was_queued {
+                conn.queued.fetch_sub(1, Ordering::AcqRel);
+            }
+            conn.pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            conn.send(&Response::Error {
+                id,
+                message: "busy: cannot spawn query worker".to_string(),
+            });
+        }
     }
 }
 
@@ -514,7 +1002,7 @@ fn try_fast_path(
                 // Evicted between `get_seq` and here; evaluate normally.
                 return false;
             };
-            let text = Arc::new(write_exchange(&value));
+            let text = Arc::new(kleisli_core::write_exchange(&value));
             let mut wire = shared.wire_cache.lock().unwrap_or_else(|e| e.into_inner());
             if wire.len() >= WIRE_CACHE_CAP && !wire.contains_key(&hash) {
                 wire.clear();
@@ -525,7 +1013,12 @@ fn try_fast_path(
     };
     shared.queries.fetch_add(1, Ordering::Relaxed);
     shared.served_cached.fetch_add(1, Ordering::Relaxed);
-    conn.send_payload(&encode_result_text(id, ServedFrom::SharedCache, &text));
+    send_bounded(
+        shared,
+        conn,
+        id,
+        encode_result_text(id, ServedFrom::SharedCache, &text),
+    );
     true
 }
 
@@ -542,11 +1035,16 @@ fn run_query(shared: &ServerShared, conn: &Conn, session: &Session, id: u64, src
                 .unwrap_or_else(|e| e.into_inner())
                 .remove(&id);
             shared.served_cached.fetch_add(1, Ordering::Relaxed);
-            conn.send(&Response::Result {
+            send_bounded(
+                shared,
+                conn,
                 id,
-                served: ServedFrom::SharedCache,
-                value,
-            });
+                encode_response(&Response::Result {
+                    id,
+                    served: ServedFrom::SharedCache,
+                    value,
+                }),
+            );
             return;
         }
         Ok(SharedQuery::Fresh { handle, commit }) => {
@@ -571,11 +1069,16 @@ fn run_query(shared: &ServerShared, conn: &Conn, session: &Session, id: u64, src
     match outcome {
         Ok(value) => {
             shared.served_fresh.fetch_add(1, Ordering::Relaxed);
-            conn.send(&Response::Result {
+            send_bounded(
+                shared,
+                conn,
                 id,
-                served: ServedFrom::Fresh,
-                value,
-            });
+                encode_response(&Response::Result {
+                    id,
+                    served: ServedFrom::Fresh,
+                    value,
+                }),
+            );
         }
         Err(e) => {
             shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -600,8 +1103,10 @@ fn arm_canceller(conn: &Conn, id: u64, canceller: QueryCanceller) {
 }
 
 /// [`crate::proto::read_frame`] for the server side: the stream has a
-/// short read timeout so idle readers can observe `shutdown`; timeouts
-/// mid-frame keep waiting (the peer is mid-write, not gone).
+/// short read timeout so readers can observe `shutdown` — idle or
+/// mid-frame alike (a peer trickling bytes must not pin the drain);
+/// otherwise timeouts mid-frame keep waiting (the peer is mid-write,
+/// not gone).
 fn read_frame_with_shutdown(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
@@ -629,7 +1134,8 @@ fn read_frame_with_shutdown(
 
 /// Fill `buf`, riding out read timeouts. `Ok(false)`: clean EOF (or
 /// shutdown) before the first byte; EOF after the first byte is an
-/// error.
+/// error. At shutdown a partially read frame is abandoned — the
+/// connection is closing either way.
 fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> io::Result<bool> {
     if buf.is_empty() {
         return Ok(true);
@@ -653,7 +1159,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> i
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
                 ) =>
             {
-                if shutdown.load(Ordering::SeqCst) && filled == 0 {
+                if shutdown.load(Ordering::SeqCst) {
                     return Ok(false);
                 }
                 continue;

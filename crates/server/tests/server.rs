@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use bio_data::{GdbConfig, GenBankConfig};
+use bio_data::{GdbConfig, GenBankConfig, MemorySource};
 use kleisli::{bio_federation, BioFederation, Session};
 use kleisli_core::{LatencyModel, Value};
 use kleisli_server::{serve_ephemeral, Client, QueryReply, Response, ServedFrom, ServerConfig};
@@ -105,7 +105,7 @@ fn compile_errors_come_back_as_error_frames() {
         QueryReply::Error(message) => {
             assert!(message.contains("NoSuchSource"), "{message}");
         }
-        QueryReply::Value { .. } => panic!("expected an error frame"),
+        other => panic!("expected an error frame, got {other:?}"),
     }
     // The connection survives an error and still serves queries.
     let (v, _) = client
@@ -174,7 +174,7 @@ fn cancel_mid_flight_reports_error_and_does_not_poison_the_cache() {
                 "expected a cancellation error, got: {message}"
             );
         }
-        QueryReply::Value { .. } => panic!("cancelled query returned a value"),
+        other => panic!("cancelled query must end in a cancellation error, got {other:?}"),
     }
 
     // The aborted populate flight must not wedge the shared cell: a new
@@ -215,7 +215,7 @@ fn queue_depth_overflow_is_rejected_not_stalled() {
             Response::Error { message, .. } if message.starts_with("busy:") => busy += 1,
             Response::Error { message, .. } => panic!("unexpected error: {message}"),
             Response::Result { .. } => ok += 1,
-            Response::Stats { .. } => panic!("unrequested stats frame"),
+            other => panic!("unrequested frame: {other:?}"),
         }
     }
     // 1 running + 1 queued; with 4 pipelined queries at least one must
@@ -260,4 +260,168 @@ fn result_cache_budget_is_enforced_over_the_wire() {
     }
     let stats = server.result_cache().stats();
     assert!(stats.evictions > 0, "budget pressure must evict: {stats:?}");
+}
+
+// ---------------------------------------------------------------------
+// CANCEL edge cases: every shape of misdirected cancel is an
+// acknowledged no-op, never an error or a wedged connection.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cancel_for_an_unknown_id_is_a_noop() {
+    let server = serve_ephemeral(ServerConfig::default(), local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.cancel(999).unwrap();
+    // The connection is unharmed and still serves queries.
+    let (v, _) = client.query(r"count(DB)").unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(50));
+    assert!(server.stats_json().contains("\"cancel_requests\":1"));
+}
+
+#[test]
+fn cancel_after_the_terminal_frame_is_a_noop() {
+    let server = serve_ephemeral(ServerConfig::default(), local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let id = client.send_query(r"count(DB)").unwrap();
+    let reply = client.wait_reply(id).unwrap();
+    assert!(matches!(reply, QueryReply::Value { .. }));
+
+    // The query is already terminal; cancelling its id does nothing.
+    client.cancel(id).unwrap();
+    let (v, _) = client.query(r"sum({x.v | \x <- DB})").unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int((0..50).sum::<i64>()));
+}
+
+#[test]
+fn double_cancel_is_idempotent() {
+    let fed = slow_federation(400);
+    let server = serve_ephemeral(ServerConfig::default(), federation_registrar(&fed)).unwrap();
+    let src = r#"count({l | \l <- GDB-Tab("locus")})"#;
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let id = client.send_query(src).unwrap();
+    thread::sleep(Duration::from_millis(50));
+    client.cancel(id).unwrap();
+    client.cancel(id).unwrap();
+    match client.wait_reply(id).unwrap() {
+        QueryReply::Error(message) => {
+            assert!(message.to_lowercase().contains("cancel"), "{message}");
+        }
+        other => panic!("expected exactly one cancellation error, got {other:?}"),
+    }
+    // One terminal frame only; the connection still serves.
+    let (v, _) = client.query(src).unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(40));
+}
+
+// ---------------------------------------------------------------------
+// The outbound frame-size limit: a result too large for the configured
+// bound becomes a clean ERROR frame, not a hung or killed connection.
+// (The inbound direction — an oversized length announcement — is
+// covered in tests/chaos.rs.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_results_become_clean_error_frames() {
+    let config = ServerConfig {
+        max_result_frame: 64,
+        ..ServerConfig::default()
+    };
+    let server = serve_ephemeral(config, local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    match client.query(r"{x | \x <- DB}").unwrap() {
+        QueryReply::Error(message) => {
+            assert!(message.contains("result too large"), "{message}");
+            assert!(message.contains("64-byte limit"), "{message}");
+        }
+        other => panic!("expected a too-large error, got {other:?}"),
+    }
+    // Small results still fit, on the same connection.
+    let (v, _) = client.query(r"count(DB)").unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(50));
+}
+
+// ---------------------------------------------------------------------
+// FLUSH over the wire: refreshing a source invalidates exactly the
+// entries derived from it, and the invalidation generations move.
+// ---------------------------------------------------------------------
+
+#[test]
+fn flush_invalidates_exactly_the_refreshed_source() {
+    let src_a = Arc::new(
+        MemorySource::new("SrcA")
+            .with_table("t", Value::set(vec![Value::Int(1), Value::Int(2)])),
+    );
+    let src_b = Arc::new(
+        MemorySource::new("SrcB").with_table("t", Value::set(vec![Value::Int(10)])),
+    );
+    let registrar: Arc<kleisli_server::Registrar> = {
+        let (a, b) = (src_a.clone(), src_b.clone());
+        Arc::new(move |session: &mut Session| {
+            session.register_driver(a.clone());
+            session.register_driver(b.clone());
+        })
+    };
+    let server = serve_ephemeral(ServerConfig::default(), registrar).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let qa = r#"sum(SrcA([table = "t"]))"#;
+    let qb = r#"sum(SrcB([table = "t"]))"#;
+
+    // Warm both sources into the shared caches.
+    let (v, _) = client.query(qa).unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(3));
+    let (v, served) = client.query(qa).unwrap().into_value().unwrap();
+    assert_eq!((v, served), (Value::Int(3), ServedFrom::SharedCache));
+    let (v, _) = client.query(qb).unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(10));
+
+    // The source changes underneath the mediator; FLUSH tells it so.
+    src_a.replace_table("t", Value::set(vec![Value::Int(5), Value::Int(7)]));
+    let (plans, results) = client.flush("SrcA").unwrap();
+    assert!(plans >= 1, "the SrcA plan was resident ({plans})");
+    assert_eq!(results, 1, "exactly SrcA's result entry dropped");
+
+    // The same query text now recompiles and re-evaluates fresh...
+    let (v, served) = client.query(qa).unwrap().into_value().unwrap();
+    assert_eq!(
+        (v, served),
+        (Value::Int(12), ServedFrom::Fresh),
+        "the flushed plan must re-evaluate against the new rows"
+    );
+    // ...while the untouched source's entry survives the flush.
+    let (v, served) = client.query(qb).unwrap().into_value().unwrap();
+    assert_eq!((v, served), (Value::Int(10), ServedFrom::SharedCache));
+
+    // The refresh is observable in the invalidation generations.
+    assert_eq!(server.plan_cache().generation("SrcA"), 1);
+    assert_eq!(server.plan_cache().generation("SrcB"), 0);
+    assert_eq!(server.result_cache().generation("SrcA"), 1);
+    assert_eq!(server.result_cache().generation("SrcB"), 0);
+    assert!(server.stats_json().contains("\"flush_requests\":1"));
+}
+
+#[test]
+fn flush_of_a_value_binding_is_conservative_and_typos_are_errors() {
+    let server = serve_ephemeral(ServerConfig::default(), local_registrar()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (v, _) = client.query(r"count(DB)").unwrap().into_value().unwrap();
+    assert_eq!(v, Value::Int(50));
+    let (_, served) = client.query(r"count(DB)").unwrap().into_value().unwrap();
+    assert_eq!(served, ServedFrom::SharedCache);
+
+    // A binding is inlined at desugar time and cannot be traced in the
+    // plan: the flush falls back to clearing everything resident.
+    let (plans, results) = client.flush("DB").unwrap();
+    assert_eq!((plans, results), (1, 1));
+    let (_, served) = client.query(r"count(DB)").unwrap().into_value().unwrap();
+    assert_eq!(served, ServedFrom::Fresh, "conservative flush dropped the entry");
+
+    // Unknown names are refused — flushing everything on a typo would
+    // be an availability incident, not a refresh.
+    let err = client.flush("NoSuchSource").unwrap_err();
+    assert!(err.to_string().contains("no such source"), "{err}");
 }
