@@ -17,6 +17,8 @@
 //!   transfer between drivers, the prefetch buffer, and the executor.
 //! * [`driver`] — the driver trait, request language, capabilities,
 //!   statistics, and traffic metrics.
+//! * [`batch`] — request coalescing (shared in-flight flights keyed by
+//!   request hash) and batched multi-key wire round-trips.
 //! * [`pool`] — per-driver worker pools and the adaptive row-prefetch
 //!   buffer (row-pipelined execution).
 //! * [`executor`] — the shared session-level compute executor behind
@@ -34,6 +36,7 @@
 // the repo root links into these module docs.
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod block;
 pub mod driver;
 pub mod error;
@@ -49,10 +52,12 @@ pub mod token;
 pub mod types;
 pub mod value;
 
+pub use batch::{request_key, BatchPolicy, BatchWindow, Flight, SharedReply};
 pub use block::{blocks_of_rows, charged_blocks, BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
 pub use driver::{
-    Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest, GateTicket, MetricsSnapshot,
-    RequestGate, RequestHandle, RequestStatus, TableStats, ValueStream,
+    BatchCompletion, BatchReply, Capabilities, Driver, DriverMetrics, DriverRef, DriverRequest,
+    GateTicket, MetricsSnapshot, RequestGate, RequestHandle, RequestStatus, TableStats,
+    ValueStream,
 };
 pub use error::{KError, KResult};
 pub use executor::Executor;

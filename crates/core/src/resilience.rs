@@ -36,12 +36,26 @@
 //! (`timeouts`, `retries`, `hedges_fired`, `hedge_wins`,
 //! `breaker_opens`); the session layer merges these resilience-side
 //! counters with the driver's own traffic counters.
+//!
+//! # Coalescing and batching
+//!
+//! When a driver advertises [`crate::Capabilities::batching`], this
+//! layer additionally routes coalescable requests through the driver's
+//! [`crate::batch::BatchWindow`]: identical in-flight requests share one
+//! wire round-trip (and therefore at most one hedge, one retry loop,
+//! and one breaker charge per wire failure), and the multi-key
+//! [`DriverResilience::submit_batch`] path folds many per-key requests
+//! into single wire requests. See [`crate::batch`] for the flight state
+//! machine and its invariants.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
-use crate::driver::{DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, RequestHandle};
+use crate::batch::{BatchPolicy, BatchWindow, Flight, Joined, SharedReply};
+use crate::driver::{
+    BatchCompletion, DriverMetrics, DriverRef, DriverRequest, MetricsSnapshot, RequestHandle,
+};
 use crate::error::{KError, KResult};
 use crate::latency::RttEstimator;
 use crate::oneshot::{Pulsable, WaitFor};
@@ -406,11 +420,32 @@ pub struct DriverResilience {
     breaker: Option<CircuitBreaker>,
     rtt: RttEstimator,
     metrics: Arc<DriverMetrics>,
+    /// The driver's coalescing window, present only when its
+    /// capabilities advertise [`crate::Capabilities::batching`].
+    batching: Option<BatchState>,
+}
+
+struct BatchState {
+    policy: BatchPolicy,
+    window: BatchWindow,
 }
 
 impl DriverResilience {
-    /// Resilience state for driver `name` under `policy`.
+    /// Resilience state for driver `name` under `policy`, with no
+    /// coalescing window — every submission keeps its own wire
+    /// round-trip, byte-identical to the pre-batching behavior.
     pub fn new(name: impl Into<String>, policy: ResiliencePolicy) -> DriverResilience {
+        DriverResilience::with_batching(name, policy, None)
+    }
+
+    /// Resilience state for driver `name` under `policy`, with a
+    /// coalescing/batching window when the driver advertises one
+    /// ([`crate::Capabilities::batching`]).
+    pub fn with_batching(
+        name: impl Into<String>,
+        policy: ResiliencePolicy,
+        batching: Option<BatchPolicy>,
+    ) -> DriverResilience {
         let breaker = policy.breaker.clone().map(CircuitBreaker::new);
         DriverResilience {
             name: name.into(),
@@ -418,7 +453,17 @@ impl DriverResilience {
             breaker,
             rtt: RttEstimator::new(),
             metrics: Arc::new(DriverMetrics::default()),
+            batching: batching.map(|policy| BatchState {
+                window: BatchWindow::new(policy.coalesce_window),
+                policy,
+            }),
         }
+    }
+
+    /// The driver's batching advertisement, when this state carries a
+    /// coalescing window.
+    pub fn batch_policy(&self) -> Option<&BatchPolicy> {
+        self.batching.as_ref().map(|b| &b.policy)
     }
 
     /// The driver name this state belongs to.
@@ -484,6 +529,19 @@ impl DriverResilience {
     /// A synchronous submit error (inline drivers) is captured into the
     /// handle rather than returned, so the retry loop can still
     /// resubmit it; breaker rejection is returned immediately.
+    ///
+    /// When the driver advertises [`crate::Capabilities::batching`] and
+    /// the request is [`DriverRequest::coalescable`], the submission
+    /// goes through the driver's [`crate::batch::BatchWindow`]: an
+    /// identical in-flight (or still-warm) request answers this one
+    /// too. With a *non-zero* coalesce window this submission may also
+    /// lead a fresh shared flight — the explicit opt-in to
+    /// materializing replies for replay. With a zero window a plain
+    /// submission never leads (its reply keeps streaming lazily, so
+    /// `first_n` stays cheap against large scans); only flights already
+    /// in the window — batch warm-up seeds or concurrent leads — can
+    /// answer it. Either way the returned handle redeems exactly like a
+    /// direct one.
     pub fn submit(
         self: &Arc<Self>,
         driver: &DriverRef,
@@ -491,12 +549,41 @@ impl DriverResilience {
         deadline: Option<Instant>,
         cancel: Option<Arc<CancelToken>>,
     ) -> KResult<ResilientHandle> {
-        let deadline = match (deadline, self.policy.deadline) {
+        let deadline = self.merge_deadline(deadline);
+        if let Some(b) = &self.batching {
+            if req.coalescable() {
+                if b.policy.coalesce_window > Duration::ZERO {
+                    return self.submit_coalesced(driver, req, deadline, cancel);
+                }
+                if let Some(flight) = b.window.try_attach(req) {
+                    self.metrics.record_coalesced();
+                    return Ok(self.attached(flight, deadline, cancel));
+                }
+            }
+        }
+        self.submit_direct(driver, req, deadline, cancel)
+    }
+
+    /// The caller's absolute budget tightened by the policy's own
+    /// per-request deadline.
+    fn merge_deadline(&self, deadline: Option<Instant>) -> Option<Instant> {
+        match (deadline, self.policy.deadline) {
             (Some(d), Some(p)) => Some(d.min(Instant::now() + p)),
             (Some(d), None) => Some(d),
             (None, Some(p)) => Some(Instant::now() + p),
             (None, None) => None,
-        };
+        }
+    }
+
+    /// The pre-batching submit path: breaker, one wire submission, one
+    /// direct handle. `deadline` is already merged with the policy's.
+    fn submit_direct(
+        self: &Arc<Self>,
+        driver: &DriverRef,
+        req: &DriverRequest,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<CancelToken>>,
+    ) -> KResult<ResilientHandle> {
         if let Some(b) = &self.breaker {
             if !b.try_admit() {
                 return Err(KError::circuit_open(&self.name));
@@ -510,14 +597,271 @@ impl DriverResilience {
             Err(e) if e.is_retryable() && self.policy.retry.is_some() => Err(e),
             Err(e) => return Err(e),
         };
+        let retry = self.policy.retry.as_ref();
         Ok(ResilientHandle {
             res: Arc::clone(self),
-            driver: Arc::clone(driver),
-            req: req.clone(),
             deadline,
             cancel,
-            attempt: Some(attempt),
+            mode: HandleMode::Direct(Box::new(DirectState {
+                driver: Arc::clone(driver),
+                req: req.clone(),
+                attempt: Some(attempt),
+                retries_left: retry.map_or(0, |r| r.max_retries),
+                backoff: retry.map_or(Duration::ZERO, |r| r.base_backoff),
+                pending_retry: None,
+            })),
         })
+    }
+
+    /// Submit through the coalescing window: attach to an existing
+    /// flight for `req`, or lead a fresh one whose wire request is the
+    /// shared round-trip every attached waiter redeems.
+    fn submit_coalesced(
+        self: &Arc<Self>,
+        driver: &DriverRef,
+        req: &DriverRequest,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<CancelToken>>,
+    ) -> KResult<ResilientHandle> {
+        let window = &self.batching.as_ref().expect("checked by submit").window;
+        match window.join(&self.name, req, true) {
+            Joined::Attached(flight) => {
+                self.metrics.record_coalesced();
+                Ok(self.attached(flight, deadline, cancel))
+            }
+            Joined::Lead(flight) => {
+                // The wire attempt is bounded by the *policy's* deadline
+                // only and carries no cancel token: individual waiters'
+                // budgets must never cancel the shared round-trip.
+                let wire_deadline = self.policy.deadline.map(|p| Instant::now() + p);
+                match self.submit_direct(driver, req, wire_deadline, None) {
+                    Ok(wire) => {
+                        flight.install_wire(wire);
+                        Ok(self.attached(flight, deadline, cancel))
+                    }
+                    Err(e) => {
+                        // Give back the waiter slot `join` counted for
+                        // us — no handle will exist to release it.
+                        flight.waiters.fetch_sub(1, Ordering::AcqRel);
+                        self.finish_flight(&flight, Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wrap `flight` in an attached handle (the waiter slot was already
+    /// counted by `join` / [`DriverResilience::attach_seeded`]).
+    fn attached(
+        self: &Arc<Self>,
+        flight: Arc<Flight>,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<CancelToken>>,
+    ) -> ResilientHandle {
+        ResilientHandle {
+            res: Arc::clone(self),
+            deadline,
+            cancel,
+            mode: HandleMode::Attached { flight },
+        }
+    }
+
+    /// Attach to a flight previously registered by
+    /// [`DriverResilience::submit_batch`] (the executor's warm-up path
+    /// hands these out through its seed table). The caller must have
+    /// checked that `flight.request()` equals the request it wants
+    /// answered. `deadline` is merged with the policy's.
+    pub fn attach_seeded(
+        self: &Arc<Self>,
+        flight: &Arc<Flight>,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<CancelToken>>,
+    ) -> ResilientHandle {
+        flight.waiters.fetch_add(1, Ordering::AcqRel);
+        self.attached(Arc::clone(flight), self.merge_deadline(deadline), cancel)
+    }
+
+    /// Fold a set of per-key coalescable requests into batched wire
+    /// requests of at most [`BatchPolicy::max_keys`] keys each, one
+    /// admission ticket per wire request, and return the flight of
+    /// every distinct key (newly led or already in the window) so
+    /// per-key consumers can attach via
+    /// [`DriverResilience::attach_seeded`]. Returns `None` when this
+    /// driver has no batching window — callers fall back to per-key
+    /// submission. Non-coalescable and duplicate requests are skipped
+    /// (duplicates share their key's flight by construction).
+    pub fn submit_batch(
+        self: &Arc<Self>,
+        driver: &DriverRef,
+        reqs: &[DriverRequest],
+    ) -> Option<Vec<Arc<Flight>>> {
+        let b = self.batching.as_ref()?;
+        let mut seeds: Vec<Arc<Flight>> = Vec::new();
+        let mut fresh: Vec<Arc<Flight>> = Vec::new();
+        for req in reqs.iter().filter(|r| r.coalescable()) {
+            if seeds.iter().any(|f| f.request() == req) {
+                continue;
+            }
+            match b.window.join(&self.name, req, false) {
+                Joined::Attached(flight) => seeds.push(flight),
+                Joined::Lead(flight) => {
+                    fresh.push(Arc::clone(&flight));
+                    seeds.push(flight);
+                }
+            }
+        }
+        for chunk in fresh.chunks(b.policy.keys_per_request()) {
+            let op = Arc::new(BatchOp {
+                res: Arc::clone(self),
+                driver: Arc::clone(driver),
+                reqs: chunk.iter().map(|f| f.request().clone()).collect(),
+                flights: chunk.to_vec(),
+                retries_left: AtomicU32::new(
+                    self.policy.retry.as_ref().map_or(0, |r| r.max_retries),
+                ),
+                backoff: Mutex::new(
+                    self.policy
+                        .retry
+                        .as_ref()
+                        .map_or(Duration::ZERO, |r| r.base_backoff),
+                ),
+                wire: Mutex::new(Vec::new()),
+            });
+            self.metrics.record_batch_request(chunk.len() as u64);
+            op.launch();
+        }
+        Some(seeds)
+    }
+
+    /// Resolve `flight` and update its window entry: successful
+    /// completions may linger for the coalesce window, failures leave
+    /// immediately (errors are never cached).
+    pub(crate) fn finish_flight(
+        &self,
+        flight: &Arc<Flight>,
+        result: Result<Arc<SharedReply>, KError>,
+    ) {
+        let keep = result.is_ok();
+        flight.finish(result);
+        if let Some(b) = &self.batching {
+            b.window.complete(flight, keep);
+        }
+    }
+
+    /// An attached handle dropped; when it was the last one and the
+    /// flight's wire request is parked un-driven, abandon it.
+    pub(crate) fn release_flight(&self, flight: &Arc<Flight>) {
+        if flight.waiters.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(b) = &self.batching {
+                b.window.abandon_if_orphan(flight);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Batched wire requests
+// ------------------------------------------------------------------------
+
+/// One batched wire request in flight: the chunk of per-key requests,
+/// their flights, and the retry state. The completion callback resolves
+/// every flight (per-key results on success, the cloned batch error on
+/// terminal failure) or relaunches the wire request on a retryable one.
+struct BatchOp {
+    res: Arc<DriverResilience>,
+    driver: DriverRef,
+    reqs: Vec<DriverRequest>,
+    flights: Vec<Arc<Flight>>,
+    retries_left: AtomicU32,
+    backoff: Mutex<Duration>,
+    /// Pool handles of every wire attempt, kept alive until the op
+    /// resolves — dropping a `RequestHandle` cancels it.
+    wire: Mutex<Vec<RequestHandle>>,
+}
+
+impl BatchOp {
+    fn launch(self: &Arc<Self>) {
+        let op = Arc::clone(self);
+        let complete: BatchCompletion = Box::new(move |outcome| op.complete(outcome));
+        if let Some(handle) = self.driver.submit_batch(self.reqs.clone(), complete) {
+            self.wire
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    }
+
+    /// Runs exactly once per wire attempt, on the pool worker that
+    /// performed it (or inline under the default adapter).
+    fn complete(self: &Arc<Self>, outcome: KResult<crate::driver::BatchReply>) {
+        match outcome {
+            Ok(per_key) => {
+                self.res.record_success();
+                let mut results = per_key.into_iter();
+                for flight in &self.flights {
+                    let r = results.next().unwrap_or_else(|| {
+                        Err(KError::driver(
+                            &self.res.name,
+                            "batched reply is missing a key",
+                        ))
+                    });
+                    self.res.finish_flight(flight, r.map(Arc::new));
+                }
+            }
+            Err(e) => {
+                // Charged once per wire failure, exactly like a direct
+                // request — never once per attached waiter.
+                self.res.record_failure(&e);
+                if self.try_retry(&e) {
+                    return;
+                }
+                for flight in &self.flights {
+                    self.res.finish_flight(flight, Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    /// Mirror of the direct retry loop: jittered exponential backoff
+    /// (slept on this worker), breaker re-admission, one `retries`
+    /// count, resubmit. Returns whether a retry was launched.
+    fn try_retry(self: &Arc<Self>, err: &KError) -> bool {
+        if !err.is_retryable() || self.res.policy.retry.is_none() {
+            return false;
+        }
+        if self
+            .retries_left
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_err()
+        {
+            return false;
+        }
+        let pause = {
+            let mut b = self.backoff.lock().unwrap_or_else(|e| e.into_inner());
+            let pause = jittered(*b);
+            let max = self
+                .res
+                .policy
+                .retry
+                .as_ref()
+                .map_or(Duration::ZERO, |r| r.max_backoff);
+            *b = (*b * 2).min(max);
+            pause
+        };
+        std::thread::sleep(pause);
+        if let Some(b) = &self.res.breaker {
+            if !b.try_admit() {
+                let e = KError::circuit_open(&self.res.name);
+                for flight in &self.flights {
+                    self.res.finish_flight(flight, Err(e.clone()));
+                }
+                return true;
+            }
+        }
+        self.res.metrics.record_retry();
+        self.launch();
+        true
     }
 }
 
@@ -525,21 +869,89 @@ impl DriverResilience {
 // The resilient handle
 // ------------------------------------------------------------------------
 
-/// The caller's half of one *resilient* submission: a
-/// [`RequestHandle`] plus the deadline, hedge, retry, and cancellation
-/// behavior of the driver's policy, applied when the handle is redeemed
-/// with [`ResilientHandle::wait`]. Dropping the handle unredeemed
-/// abandons whatever round-trip is still in flight (ticket reclaimed,
-/// wedged worker orphaned) — nobody will ever take its result.
+/// The caller's half of one *resilient* submission: the deadline,
+/// hedge, retry, and cancellation behavior of the driver's policy,
+/// applied when the handle is redeemed with [`ResilientHandle::wait`].
+///
+/// A handle is either **direct** — it owns its wire [`RequestHandle`]
+/// and the retry state, as before batching — or **attached** to a
+/// shared [`Flight`] in the driver's coalescing window, in which case
+/// redeeming replays the flight's shared reply (driving the shared wire
+/// request itself if no other waiter got there first). Dropping a
+/// direct handle unredeemed abandons the in-flight round-trip (ticket
+/// reclaimed, wedged worker orphaned); dropping an attached handle only
+/// detaches this waiter — the shared flight is abandoned only when its
+/// *last* waiter lets go.
 pub struct ResilientHandle {
     res: Arc<DriverResilience>,
-    driver: DriverRef,
-    req: DriverRequest,
     deadline: Option<Instant>,
     cancel: Option<Arc<CancelToken>>,
-    /// The primary attempt (or its synchronous submit error, kept for
+    mode: HandleMode,
+}
+
+enum HandleMode {
+    // Boxed: the direct state (request, retry budget, parked attempt) is
+    // an order of magnitude larger than the attached variant's pointer.
+    Direct(Box<DirectState>),
+    Attached { flight: Arc<Flight> },
+}
+
+/// The wire-owning half of a direct (or flight-leading) submission,
+/// including the retry budget. Kept separate from [`ResilientHandle`]
+/// so a flight waiter can drive it under *its own* bounds and hand it
+/// back intact when they fire (the retry/backoff state survives the
+/// hand-off; a charged failure is never re-charged).
+struct DirectState {
+    driver: DriverRef,
+    req: DriverRequest,
+    /// The current attempt (or its synchronous submit error, kept for
     /// the retry loop). `None` once redeemed.
     attempt: Option<Result<RequestHandle, KError>>,
+    retries_left: u32,
+    backoff: Duration,
+    /// A retryable failure already charged to the breaker/metrics whose
+    /// backoff was interrupted by a yield; the next driver resumes at
+    /// the backoff step without re-charging it.
+    pending_retry: Option<KError>,
+}
+
+/// What [`DirectState::drive`] produced.
+pub(crate) enum DriveStep {
+    /// The request ran to an outcome under the policy.
+    Resolved(KResult<BlockStream>),
+    /// The *caller's* yield bound fired while the wire was still in
+    /// flight; the state is intact for the next driver.
+    Yielded,
+}
+
+enum RoundStep {
+    Resolved(KResult<BlockStream>),
+    Yielded(RequestHandle),
+}
+
+enum RetryStep {
+    Continue,
+    Resolve(KError),
+    Yield,
+}
+
+/// The per-drive context: the owning resilience state and the *flight's*
+/// bounds (deadline/cancel of the submission that owns the wire). A
+/// waiter's own bounds arrive separately as the yield bound;
+/// `yield_watch` is the waiter's cancel token, watched on the wire
+/// handles so a mid-wait cancellation wakes the blocked driver to
+/// re-check its yield predicate (it never cancels the wire itself).
+struct DriveCtx<'a> {
+    res: &'a Arc<DriverResilience>,
+    deadline: Option<Instant>,
+    cancel: Option<&'a Arc<CancelToken>>,
+    yield_watch: Option<&'a Arc<CancelToken>>,
+}
+
+impl DriveCtx<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|t| t.is_cancelled())
+    }
 }
 
 impl ResilientHandle {
@@ -547,9 +959,12 @@ impl ResilientHandle {
     /// `true` also for captured submit errors and redeemed handles —
     /// "a wait would not block".
     pub fn is_ready(&self) -> bool {
-        match &self.attempt {
-            Some(Ok(h)) => h.poll() != crate::driver::RequestStatus::Pending,
-            _ => true,
+        match &self.mode {
+            HandleMode::Direct(st) => match &st.attempt {
+                Some(Ok(h)) => h.poll() != crate::driver::RequestStatus::Pending,
+                _ => true,
+            },
+            HandleMode::Attached { flight } => flight.is_done(),
         }
     }
 
@@ -558,99 +973,222 @@ impl ResilientHandle {
         self.deadline
     }
 
-    fn cancelled(&self) -> bool {
-        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
-    }
-
     /// Block until the request resolves under the policy: deadline
     /// enforced (with the ticket stolen back from a wedged worker on
     /// expiry), hedge fired after the EWMA-p99 delay, retryable errors
     /// resubmitted with jittered exponential backoff, cancellation
-    /// honored promptly. Consumes the handle.
+    /// honored promptly. An attached handle waits on its shared flight
+    /// instead (driving the shared wire request when it is this
+    /// waiter's turn) and replays the shared reply. Consumes the handle.
     pub fn wait(mut self) -> KResult<BlockStream> {
-        let first = match self.attempt.take() {
-            Some(a) => a,
-            None => return Err(KError::eval("request result already taken")),
-        };
-        let retry = self.res.policy.retry.clone();
-        let mut retries_left = retry.as_ref().map_or(0, |r| r.max_retries);
-        let mut backoff = retry.as_ref().map_or(Duration::ZERO, |r| r.base_backoff);
-        let mut attempt = first;
+        let res = Arc::clone(&self.res);
+        let deadline = self.deadline;
+        let cancel = self.cancel.clone();
+        match &mut self.mode {
+            HandleMode::Direct(st) => {
+                let cx = DriveCtx {
+                    res: &res,
+                    deadline,
+                    cancel: cancel.as_ref(),
+                    yield_watch: None,
+                };
+                match st.drive(&cx, None, &mut || false) {
+                    DriveStep::Resolved(r) => r,
+                    // Unreachable: no yield bound was given.
+                    DriveStep::Yielded => Err(KError::eval("drive yielded without a bound")),
+                }
+            }
+            HandleMode::Attached { flight } => {
+                let flight = Arc::clone(flight);
+                await_flight(&res, &flight, deadline, cancel.as_ref())
+            }
+        }
+    }
+
+    /// Drive a parked wire handle under a *foreign* waiter's bounds:
+    /// the handle's own deadline/cancel still resolve the flight, while
+    /// `yield_deadline`/`yield_interrupt` merely hand the wire back
+    /// (`yield_watch` wakes the blocked drive when the waiter's cancel
+    /// token fires so the predicate is re-checked promptly).
+    pub(crate) fn drive_parked(
+        &mut self,
+        yield_deadline: Option<Instant>,
+        yield_interrupt: &mut dyn FnMut() -> bool,
+        yield_watch: Option<&Arc<CancelToken>>,
+    ) -> DriveStep {
+        let res = Arc::clone(&self.res);
+        let deadline = self.deadline;
+        let cancel = self.cancel.clone();
+        match &mut self.mode {
+            HandleMode::Direct(st) => {
+                let cx = DriveCtx {
+                    res: &res,
+                    deadline,
+                    cancel: cancel.as_ref(),
+                    yield_watch,
+                };
+                st.drive(&cx, yield_deadline, yield_interrupt)
+            }
+            HandleMode::Attached { .. } => {
+                DriveStep::Resolved(Err(KError::eval("attached handles cannot be driven")))
+            }
+        }
+    }
+}
+
+impl DirectState {
+    /// The retry loop, resumable across yields. Each iteration: finish
+    /// any pending backoff, then run one round on the current attempt.
+    fn drive(
+        &mut self,
+        cx: &DriveCtx<'_>,
+        yd: Option<Instant>,
+        yi: &mut dyn FnMut() -> bool,
+    ) -> DriveStep {
         loop {
+            if self.pending_retry.is_some() {
+                match self.backoff_and_resubmit(cx, yd, yi) {
+                    RetryStep::Continue => {}
+                    RetryStep::Resolve(e) => return DriveStep::Resolved(Err(e)),
+                    RetryStep::Yield => return DriveStep::Yielded,
+                }
+            }
+            let attempt = match self.attempt.take() {
+                Some(a) => a,
+                None => {
+                    return DriveStep::Resolved(Err(KError::eval(
+                        "request result already taken",
+                    )))
+                }
+            };
             let started = Instant::now();
             let outcome = match attempt {
-                Ok(handle) => self.wait_round(handle),
+                Ok(handle) => match self.round(cx, handle, yd, yi) {
+                    RoundStep::Resolved(r) => r,
+                    RoundStep::Yielded(h) => {
+                        self.attempt = Some(Ok(h));
+                        return DriveStep::Yielded;
+                    }
+                },
                 Err(e) => Err(e),
             };
             match outcome {
                 Ok(stream) => {
-                    self.res.rtt.observe(started.elapsed());
-                    self.res.record_success();
-                    return Ok(stream);
+                    cx.res.rtt.observe(started.elapsed());
+                    cx.res.record_success();
+                    return DriveStep::Resolved(Ok(stream));
                 }
                 Err(e) => {
-                    self.res.record_failure(&e);
-                    if !e.is_retryable() || retries_left == 0 || self.cancelled() {
-                        return Err(e);
+                    cx.res.record_failure(&e);
+                    if !e.is_retryable() || self.retries_left == 0 || cx.cancelled() {
+                        return DriveStep::Resolved(Err(e));
                     }
-                    // Retry only if the backoff still fits the deadline.
-                    let pause = jittered(backoff);
-                    if let Some(d) = self.deadline {
-                        if Instant::now() + pause >= d {
-                            return Err(e);
-                        }
-                    }
-                    std::thread::sleep(pause);
-                    if let Some(r) = &retry {
-                        backoff = (backoff * 2).min(r.max_backoff);
-                    }
-                    retries_left -= 1;
-                    if let Some(b) = &self.res.breaker {
-                        if !b.try_admit() {
-                            return Err(KError::circuit_open(&self.res.name));
-                        }
-                    }
-                    self.res.metrics.record_retry();
-                    attempt = self.driver.submit(&self.req);
+                    self.pending_retry = Some(e);
                 }
             }
         }
     }
 
+    /// Serve the pending retry's backoff (in slices, so a yield bound
+    /// can reclaim this waiter mid-backoff), re-admit through the
+    /// breaker, and resubmit.
+    fn backoff_and_resubmit(
+        &mut self,
+        cx: &DriveCtx<'_>,
+        yd: Option<Instant>,
+        yi: &mut dyn FnMut() -> bool,
+    ) -> RetryStep {
+        let e = self.pending_retry.clone().expect("checked by drive");
+        // Retry only if the backoff still fits the deadline.
+        let pause = jittered(self.backoff);
+        if let Some(d) = cx.deadline {
+            if Instant::now() + pause >= d {
+                self.pending_retry = None;
+                return RetryStep::Resolve(e);
+            }
+        }
+        let wake = Instant::now() + pause;
+        loop {
+            if yi() || yd.is_some_and(|d| Instant::now() >= d) {
+                // The backoff stays pending: the failure was already
+                // charged, the next driver resumes the sleep.
+                return RetryStep::Yield;
+            }
+            let now = Instant::now();
+            if now >= wake {
+                break;
+            }
+            std::thread::sleep((wake - now).min(Duration::from_millis(1)));
+        }
+        self.pending_retry = None;
+        let max = cx
+            .res
+            .policy
+            .retry
+            .as_ref()
+            .map_or(Duration::ZERO, |r| r.max_backoff);
+        self.backoff = (self.backoff * 2).min(max);
+        self.retries_left -= 1;
+        if let Some(b) = &cx.res.breaker {
+            if !b.try_admit() {
+                return RetryStep::Resolve(KError::circuit_open(&cx.res.name));
+            }
+        }
+        cx.res.metrics.record_retry();
+        self.attempt = Some(self.driver.submit(&self.req));
+        RetryStep::Continue
+    }
+
     /// One round: wait on `primary` until it resolves, the hedge delay
     /// elapses (then race a second submit against it), the deadline
-    /// passes (abandon everything, `Timeout`), or cancellation fires
-    /// (abandon everything, `Cancelled`).
-    fn wait_round(&self, primary: RequestHandle) -> KResult<BlockStream> {
-        if let Some(t) = &self.cancel {
+    /// passes (abandon everything, `Timeout`), cancellation fires
+    /// (abandon everything, `Cancelled`), or a yield bound fires (hand
+    /// the primary back intact).
+    fn round(
+        &self,
+        cx: &DriveCtx<'_>,
+        primary: RequestHandle,
+        yd: Option<Instant>,
+        yi: &mut dyn FnMut() -> bool,
+    ) -> RoundStep {
+        for t in [cx.cancel, cx.yield_watch].into_iter().flatten() {
             t.watch(primary.watcher());
         }
         // Phase 1: wait for the primary alone until the hedge point.
-        let hedge_at = self.hedge_fire_at(&primary);
-        let phase1 = match (hedge_at, self.deadline) {
-            (Some(h), Some(d)) => Some(h.min(d)),
-            (Some(h), None) => Some(h),
-            (None, d) => d,
-        };
-        match primary.wait_for_ref(phase1, || self.cancelled()) {
-            WaitFor::Ready => return primary.wait(),
-            WaitFor::Interrupted => return self.abandon_cancelled(primary, None),
-            WaitFor::TimedOut => {}
-        }
-        let hedging_now = match (hedge_at, self.deadline) {
-            (Some(h), Some(d)) => h < d,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if !hedging_now {
-            return self.timeout(primary, None);
+        let hedge_at = self.hedge_fire_at(cx);
+        let phase1 = min_deadline(min_deadline(hedge_at, cx.deadline), yd);
+        loop {
+            match primary.wait_for_ref(phase1, || cx.cancelled() || yi()) {
+                WaitFor::Ready => return RoundStep::Resolved(primary.wait()),
+                WaitFor::Interrupted => {
+                    if cx.cancelled() {
+                        return RoundStep::Resolved(abandon_cancelled(cx, primary, None));
+                    }
+                    return RoundStep::Yielded(primary);
+                }
+                WaitFor::TimedOut => {
+                    let now = Instant::now();
+                    // The flight's own deadline outranks a yield bound;
+                    // the hedge point only matters once neither has
+                    // passed. A clock race re-enters the wait.
+                    if cx.deadline.is_some_and(|d| now >= d) {
+                        return RoundStep::Resolved(timeout(cx, primary, None));
+                    }
+                    if yd.is_some_and(|d| now >= d) {
+                        return RoundStep::Yielded(primary);
+                    }
+                    if hedge_at.is_some_and(|h| now >= h) {
+                        break;
+                    }
+                }
+            }
         }
         // Phase 2: fire the hedge and wait for either handle.
-        self.res.metrics.record_hedge_fired();
+        cx.res.metrics.record_hedge_fired();
         let mut hedge = match self.driver.submit(&self.req) {
             Ok(h) => {
                 h.mirror_into(&primary);
-                if let Some(t) = &self.cancel {
+                for t in [cx.cancel, cx.yield_watch].into_iter().flatten() {
                     t.watch(h.watcher());
                 }
                 Some(h)
@@ -659,33 +1197,51 @@ impl ResilientHandle {
             // is still in flight.
             Err(_) => None,
         };
+        let phase2 = min_deadline(cx.deadline, yd);
         loop {
             let hedge_ready = || {
-                hedge.as_ref().is_some_and(|h| {
-                    h.poll() != crate::driver::RequestStatus::Pending
-                })
+                hedge
+                    .as_ref()
+                    .is_some_and(|h| h.poll() != crate::driver::RequestStatus::Pending)
             };
-            match primary.wait_for_ref(self.deadline, || self.cancelled() || hedge_ready()) {
+            match primary.wait_for_ref(phase2, || cx.cancelled() || yi() || hedge_ready()) {
                 WaitFor::Ready => {
                     if let Some(h) = hedge.take() {
                         h.abandon(KError::cancelled("hedged request lost the race"));
                     }
-                    return primary.wait();
+                    return RoundStep::Resolved(primary.wait());
                 }
-                WaitFor::TimedOut => return self.timeout(primary, hedge.take()),
-                WaitFor::Interrupted => {
-                    if self.cancelled() {
-                        return self.abandon_cancelled(primary, hedge.take());
+                WaitFor::TimedOut => {
+                    let now = Instant::now();
+                    if cx.deadline.is_some_and(|d| now >= d) {
+                        return RoundStep::Resolved(timeout(cx, primary, hedge.take()));
                     }
-                    // The hedge resolved first.
-                    // A failed hedge: keep waiting on the primary
-                    // alone (hedge stays taken/None).
-                    if let Some(Ok(stream)) = hedge.take().map(RequestHandle::wait) {
-                        self.res.metrics.record_hedge_win();
-                        primary.abandon(KError::cancelled(
-                            "primary request lost to its hedge",
-                        ));
-                        return Ok(stream);
+                    if yd.is_some_and(|d| now >= d) {
+                        if let Some(h) = hedge.take() {
+                            h.abandon(KError::cancelled("hedge abandoned on waiter yield"));
+                        }
+                        return RoundStep::Yielded(primary);
+                    }
+                }
+                WaitFor::Interrupted => {
+                    if cx.cancelled() {
+                        return RoundStep::Resolved(abandon_cancelled(cx, primary, hedge.take()));
+                    }
+                    if hedge_ready() {
+                        // The hedge resolved first. A failed hedge:
+                        // keep waiting on the primary alone (hedge
+                        // stays taken/None).
+                        if let Some(Ok(stream)) = hedge.take().map(RequestHandle::wait) {
+                            cx.res.metrics.record_hedge_win();
+                            primary
+                                .abandon(KError::cancelled("primary request lost to its hedge"));
+                            return RoundStep::Resolved(Ok(stream));
+                        }
+                    } else if yi() {
+                        if let Some(h) = hedge.take() {
+                            h.abandon(KError::cancelled("hedge abandoned on waiter yield"));
+                        }
+                        return RoundStep::Yielded(primary);
                     }
                 }
             }
@@ -696,12 +1252,12 @@ impl ResilientHandle {
     /// policy present, and the driver's submission genuinely
     /// non-blocking (hedging through an inline adapter would *run* the
     /// duplicate on this thread instead of putting it in flight).
-    fn hedge_fire_at(&self, _primary: &RequestHandle) -> Option<Instant> {
-        let h = self.res.policy.hedge.as_ref()?;
+    fn hedge_fire_at(&self, cx: &DriveCtx<'_>) -> Option<Instant> {
+        let h = cx.res.policy.hedge.as_ref()?;
         if !self.driver.nonblocking_submit() {
             return None;
         }
-        let est = self
+        let est = cx
             .res
             .rtt
             .p99_estimate()
@@ -709,50 +1265,184 @@ impl ResilientHandle {
             .clamp(h.min_delay, h.max_delay);
         Some(Instant::now() + est)
     }
+}
 
-    fn timeout(
-        &self,
-        primary: RequestHandle,
-        hedge: Option<RequestHandle>,
-    ) -> KResult<BlockStream> {
-        if let Some(h) = hedge {
-            h.abandon(KError::timeout(&self.res.name, "request deadline exceeded"));
-        }
-        let err = KError::timeout(&self.res.name, "request deadline exceeded");
-        if primary.abandon(err.clone()) {
-            self.res.metrics.record_timeout();
-            Err(err)
-        } else {
-            // The worker's answer won the set-once race: use it.
-            primary.wait()
-        }
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
     }
+}
 
-    fn abandon_cancelled(
-        &self,
-        primary: RequestHandle,
-        hedge: Option<RequestHandle>,
-    ) -> KResult<BlockStream> {
-        if let Some(h) = hedge {
-            h.abandon(KError::cancelled("query cancelled"));
-        }
-        let err = KError::cancelled("query cancelled while the request was in flight");
-        if primary.abandon(err.clone()) {
-            Err(err)
-        } else {
-            primary.wait()
+fn timeout(
+    cx: &DriveCtx<'_>,
+    primary: RequestHandle,
+    hedge: Option<RequestHandle>,
+) -> KResult<BlockStream> {
+    if let Some(h) = hedge {
+        h.abandon(KError::timeout(&cx.res.name, "request deadline exceeded"));
+    }
+    let err = KError::timeout(&cx.res.name, "request deadline exceeded");
+    if primary.abandon(err.clone()) {
+        cx.res.metrics.record_timeout();
+        Err(err)
+    } else {
+        // The worker's answer won the set-once race: use it.
+        primary.wait()
+    }
+}
+
+fn abandon_cancelled(
+    _cx: &DriveCtx<'_>,
+    primary: RequestHandle,
+    hedge: Option<RequestHandle>,
+) -> KResult<BlockStream> {
+    if let Some(h) = hedge {
+        h.abandon(KError::cancelled("query cancelled"));
+    }
+    let err = KError::cancelled("query cancelled while the request was in flight");
+    if primary.abandon(err.clone()) {
+        Err(err)
+    } else {
+        primary.wait()
+    }
+}
+
+/// An attached waiter's loop over its shared flight: replay a resolved
+/// result, drive the parked wire handle when it is free, or sleep on
+/// the flight's condvar until something changes. The waiter's own
+/// deadline/cancel resolve only *this waiter* — the shared flight is
+/// never cancelled or poisoned by one waiter giving up.
+fn await_flight(
+    res: &Arc<DriverResilience>,
+    flight: &Arc<Flight>,
+    deadline: Option<Instant>,
+    cancel: Option<&Arc<CancelToken>>,
+) -> KResult<BlockStream> {
+    use crate::batch::FlightState;
+    if let Some(t) = cancel {
+        let p: Arc<dyn Pulsable> = Arc::clone(flight) as Arc<dyn Pulsable>;
+        t.watch(Arc::downgrade(&p));
+    }
+    enum Role {
+        Replay(Result<Arc<SharedReply>, KError>),
+        Drive(Box<ResilientHandle>),
+        Park,
+    }
+    loop {
+        let role = {
+            let mut st = flight.lock_state();
+            match &mut *st {
+                FlightState::Done { result, .. } => Role::Replay(result.clone()),
+                FlightState::Pending { wire } => match wire.take() {
+                    Some(h) => Role::Drive(h),
+                    None => Role::Park,
+                },
+            }
+        };
+        match role {
+            Role::Replay(Ok(reply)) => return Ok(reply.replay()),
+            Role::Replay(Err(e)) => return Err(e),
+            Role::Drive(mut h) => {
+                let mut yi = || cancel.is_some_and(|t| t.is_cancelled());
+                match h.drive_parked(deadline, &mut yi, cancel) {
+                    DriveStep::Resolved(r) => {
+                        // Materialize on this waiter's clock (per-row
+                        // charges fire once, here), publish, replay.
+                        let result = match r {
+                            Ok(stream) => Ok(Arc::new(SharedReply::materialize(stream))),
+                            Err(e) => Err(e),
+                        };
+                        res.finish_flight(flight, result.clone());
+                        return match result {
+                            Ok(reply) => Ok(reply.replay()),
+                            Err(e) => Err(e),
+                        };
+                    }
+                    DriveStep::Yielded => {
+                        // Our own bound fired: hand the wire back for
+                        // the next waiter and resolve only ourselves.
+                        {
+                            let mut st = flight.lock_state();
+                            if let FlightState::Pending { wire } = &mut *st {
+                                *wire = Some(h);
+                            }
+                        }
+                        flight.pulse_now();
+                        return Err(waiter_bound_error(res, deadline, cancel));
+                    }
+                }
+            }
+            Role::Park => {
+                let st = flight.lock_state();
+                // Re-check under the lock: resolution or a wire
+                // hand-back may have raced our snapshot.
+                match &*st {
+                    FlightState::Done { .. } => continue,
+                    FlightState::Pending { wire } if wire.is_some() => continue,
+                    FlightState::Pending { .. } => {}
+                }
+                if cancel.is_some_and(|t| t.is_cancelled()) {
+                    return Err(KError::cancelled(
+                        "query cancelled while the request was in flight",
+                    ));
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    res.metrics.record_timeout();
+                    return Err(KError::timeout(&res.name, "request deadline exceeded"));
+                }
+                // Bounded nap: pulses (cancellation, resolution, wire
+                // hand-back) cut it short; the cap keeps an un-wired
+                // flight responsive even without one.
+                let cap = Duration::from_millis(20);
+                let nap = deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()).min(cap))
+                    .unwrap_or(cap);
+                let _ = flight
+                    .cv
+                    .wait_timeout(st, nap)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
     }
 }
 
+/// The error an attached waiter resolves with when its *own* bound
+/// fired while the shared flight was still pending.
+fn waiter_bound_error(
+    res: &Arc<DriverResilience>,
+    deadline: Option<Instant>,
+    cancel: Option<&Arc<CancelToken>>,
+) -> KError {
+    if cancel.is_some_and(|t| t.is_cancelled()) {
+        return KError::cancelled("query cancelled while the request was in flight");
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        res.metrics.record_timeout();
+        return KError::timeout(&res.name, "request deadline exceeded");
+    }
+    KError::eval("flight waiter yielded without a bound")
+}
+
 impl Drop for ResilientHandle {
     fn drop(&mut self) {
-        // An unredeemed in-flight attempt has no future consumer: don't
-        // just flag it cancelled (the worker would hold the admission
-        // ticket until the — possibly wedged — work returns), abandon it
-        // so the ticket is reclaimed now.
-        if let Some(Ok(h)) = self.attempt.take() {
-            h.abandon(KError::cancelled("resilient handle dropped unredeemed"));
+        match &mut self.mode {
+            // An unredeemed in-flight attempt has no future consumer:
+            // don't just flag it cancelled (the worker would hold the
+            // admission ticket until the — possibly wedged — work
+            // returns), abandon it so the ticket is reclaimed now.
+            HandleMode::Direct(st) => {
+                if let Some(Ok(h)) = st.attempt.take() {
+                    h.abandon(KError::cancelled("resilient handle dropped unredeemed"));
+                }
+            }
+            // Detach from the shared flight; the last waiter out
+            // abandons a parked, un-driven wire request.
+            HandleMode::Attached { flight } => {
+                let flight = Arc::clone(flight);
+                self.res.release_flight(&flight);
+            }
         }
     }
 }
@@ -829,6 +1519,224 @@ mod tests {
             assert!(j >= base / 2 - Duration::from_nanos(1));
         }
         assert_eq!(jittered(Duration::ZERO), Duration::ZERO);
+    }
+
+    // --------------------------------------------------------------
+    // Request coalescing and batched wire requests
+    // --------------------------------------------------------------
+
+    use crate::batch::BatchPolicy;
+    use crate::block::DEFAULT_BLOCK_ROWS;
+    use crate::driver::DriverRef;
+    use crate::testutil::{Fault, SlowDriver};
+
+    fn links(uid: i64) -> DriverRequest {
+        DriverRequest::EntrezLinks {
+            db: "na".into(),
+            uid,
+        }
+    }
+
+    /// Count the rows of a redeemed stream, panicking on any error row.
+    fn drain(mut stream: BlockStream) -> usize {
+        let mut n = 0;
+        while let Some(block) = stream.next_block(DEFAULT_BLOCK_ROWS) {
+            for row in block.rows() {
+                row.as_ref().expect("no error rows");
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn coalescing(name: &str, policy: ResiliencePolicy, window: Duration) -> Arc<DriverResilience> {
+        Arc::new(DriverResilience::with_batching(
+            name,
+            policy,
+            Some(BatchPolicy {
+                max_keys: 16,
+                coalesce_window: window,
+            }),
+        ))
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_one_wire_request() {
+        let d = SlowDriver::new("co", 4, Duration::from_millis(2), 4);
+        d.set_fault(Fault::NeverRespond);
+        let dref: DriverRef = d.clone();
+        let res = coalescing("co", ResiliencePolicy::default(), Duration::from_millis(200));
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let res = Arc::clone(&res);
+            let dref = Arc::clone(&dref);
+            joins.push(thread::spawn(move || {
+                let h = res.submit(&dref, &links(7), None, None).expect("submit");
+                h.wait().map(drain)
+            }));
+        }
+        // Every submission lands while the single wire request is
+        // wedged, so all eight must share it.
+        thread::sleep(Duration::from_millis(100));
+        d.release_wedged();
+        for j in joins {
+            assert_eq!(j.join().expect("thread").expect("rows"), 4);
+        }
+        assert_eq!(d.performs.load(Ordering::SeqCst), 1, "one perform for 8 waiters");
+        assert_eq!(res.metrics_snapshot().coalesced, 7);
+    }
+
+    #[test]
+    fn one_waiter_cancelling_never_poisons_the_shared_flight() {
+        let d = SlowDriver::new("co", 3, Duration::from_millis(2), 2);
+        d.set_fault(Fault::NeverRespond);
+        let dref: DriverRef = d.clone();
+        let res = coalescing("co", ResiliencePolicy::default(), Duration::from_millis(200));
+        let cancel = Arc::new(CancelToken::new());
+        let h1 = res
+            .submit(&dref, &links(1), None, Some(Arc::clone(&cancel)))
+            .expect("submit");
+        let h2 = res.submit(&dref, &links(1), None, None).expect("submit");
+        let t1 = thread::spawn(move || h1.wait());
+        let t2 = thread::spawn(move || h2.wait().map(drain));
+        thread::sleep(Duration::from_millis(50));
+        cancel.cancel();
+        let r1 = t1.join().expect("thread");
+        let e = match r1 {
+            Err(e) => e,
+            Ok(_) => panic!("cancelled waiter must resolve with its own error"),
+        };
+        assert!(format!("{e}").contains("cancelled"), "got: {e}");
+        // The surviving waiter still redeems the shared flight.
+        d.release_wedged();
+        assert_eq!(t2.join().expect("thread").expect("rows"), 3);
+        assert_eq!(d.performs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn warm_flights_answer_followers_within_the_window_only() {
+        let d = SlowDriver::new("co", 2, Duration::from_millis(1), 2);
+        let dref: DriverRef = d.clone();
+        let res = coalescing("co", ResiliencePolicy::default(), Duration::from_millis(200));
+        let first = res.submit(&dref, &links(9), None, None).expect("submit");
+        assert_eq!(drain(first.wait().expect("rows")), 2);
+        // Immediately after: the completed flight is still warm.
+        let second = res.submit(&dref, &links(9), None, None).expect("submit");
+        assert_eq!(drain(second.wait().expect("rows")), 2);
+        assert_eq!(d.performs.load(Ordering::SeqCst), 1, "warm flight replayed");
+        assert_eq!(res.metrics_snapshot().coalesced, 1);
+        // After the window expires the flight is pruned: fresh wire.
+        thread::sleep(Duration::from_millis(250));
+        let third = res.submit(&dref, &links(9), None, None).expect("submit");
+        assert_eq!(drain(third.wait().expect("rows")), 2);
+        assert_eq!(d.performs.load(Ordering::SeqCst), 2, "expired flight not replayed");
+    }
+
+    #[test]
+    fn zero_window_never_replays_completed_flights() {
+        let d = SlowDriver::new("co", 2, Duration::from_millis(1), 2);
+        let dref: DriverRef = d.clone();
+        let res = coalescing("co", ResiliencePolicy::default(), Duration::ZERO);
+        for _ in 0..3 {
+            let h = res.submit(&dref, &links(4), None, None).expect("submit");
+            assert_eq!(drain(h.wait().expect("rows")), 2);
+        }
+        assert_eq!(
+            d.performs.load(Ordering::SeqCst),
+            3,
+            "sequential requests keep their own round-trips under a zero window"
+        );
+        assert_eq!(res.metrics_snapshot().coalesced, 0);
+    }
+
+    #[test]
+    fn last_waiter_dropping_abandons_the_parked_flight() {
+        let d = SlowDriver::new("co", 2, Duration::from_millis(2), 2);
+        d.set_fault(Fault::NeverRespond);
+        let dref: DriverRef = d.clone();
+        let res = coalescing("co", ResiliencePolicy::default(), Duration::ZERO);
+        let h = res.submit(&dref, &links(3), None, None).expect("submit");
+        thread::sleep(Duration::from_millis(20));
+        drop(h); // last waiter out: the parked wire request is abandoned
+        d.release_wedged();
+        d.set_fault(Fault::None);
+        // The abandoned flight left the window: a new submission leads a
+        // fresh wire request instead of attaching to a poisoned entry.
+        let again = res.submit(&dref, &links(3), None, None).expect("submit");
+        assert_eq!(drain(again.wait().expect("rows")), 2);
+        assert_eq!(d.performs.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn submit_batch_folds_keys_into_chunked_wire_requests() {
+        let d = SlowDriver::new("bat", 3, Duration::from_millis(2), 2);
+        let dref: DriverRef = d.clone();
+        let res = Arc::new(DriverResilience::with_batching(
+            "bat",
+            ResiliencePolicy::default(),
+            Some(BatchPolicy {
+                max_keys: 4,
+                coalesce_window: Duration::ZERO,
+            }),
+        ));
+        // Seven logical keys, six distinct: the duplicate shares its
+        // key's flight instead of adding a slot.
+        let reqs: Vec<DriverRequest> = (0..6).map(links).chain(std::iter::once(links(0))).collect();
+        let seeds = res.submit_batch(&dref, &reqs).expect("batching advertised");
+        assert_eq!(seeds.len(), 6);
+        for f in &seeds {
+            let h = res.attach_seeded(f, None, None);
+            assert_eq!(drain(h.wait().expect("batched rows")), 3);
+        }
+        assert_eq!(
+            d.batch_performs.load(Ordering::SeqCst),
+            2,
+            "6 keys under max_keys=4 is two wire requests"
+        );
+        assert_eq!(d.performs.load(Ordering::SeqCst), 0, "no per-key round-trips");
+        let m = res.metrics_snapshot();
+        assert_eq!(m.batch_requests, 2);
+        assert_eq!(m.batched_keys, 6);
+    }
+
+    #[test]
+    fn identical_hedged_queries_share_a_flight_and_hedge_once() {
+        let d = SlowDriver::new("hg", 2, Duration::from_millis(1), 8);
+        d.set_fault(Fault::NeverRespond);
+        let dref: DriverRef = d.clone();
+        let policy = ResiliencePolicy {
+            hedge: Some(HedgePolicy {
+                min_delay: Duration::from_millis(30),
+                max_delay: Duration::from_millis(30),
+            }),
+            ..ResiliencePolicy::default()
+        };
+        let res = coalescing("hg", policy, Duration::from_millis(200));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let res = Arc::clone(&res);
+            let dref = Arc::clone(&dref);
+            joins.push(thread::spawn(move || {
+                let h = res.submit(&dref, &links(5), None, None).expect("submit");
+                h.wait().map(drain)
+            }));
+        }
+        // Sit well past the hedge point while the wire is wedged: the
+        // four identical queries share one flight, so at most one hedge
+        // fires for the whole group (pre-coalescing: one per query).
+        thread::sleep(Duration::from_millis(150));
+        d.release_wedged();
+        for j in joins {
+            assert_eq!(j.join().expect("thread").expect("rows"), 2);
+        }
+        assert!(
+            d.performs.load(Ordering::SeqCst) <= 2,
+            "primary plus at most one hedge, got {}",
+            d.performs.load(Ordering::SeqCst)
+        );
+        let m = res.metrics_snapshot();
+        assert!(m.hedges_fired <= 1, "one shared flight hedges at most once");
+        assert_eq!(m.coalesced, 3, "three of four submissions attached");
     }
 
     #[test]

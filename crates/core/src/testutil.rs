@@ -21,10 +21,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use crate::block::{BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
+use crate::batch::{BatchPolicy, SharedReply};
+use crate::block::{blocks_of_rows, BlockSource, BlockStream, ValueBlock, DEFAULT_BLOCK_ROWS};
 use crate::driver::{
-    Capabilities, Driver, DriverMetrics, DriverRequest, MetricsSnapshot, RequestGate,
-    RequestHandle,
+    BatchCompletion, BatchReply, Capabilities, Driver, DriverMetrics, DriverRequest,
+    MetricsSnapshot, RequestGate, RequestHandle,
 };
 use crate::error::{KError, KResult};
 use crate::latency::LatencyModel;
@@ -120,11 +121,15 @@ pub struct SlowDriver {
     pub max_seen: Arc<AtomicUsize>,
     /// Total `perform` invocations.
     pub performs: Arc<AtomicU64>,
+    /// Total batched wire round-trips ([`Driver::batch`] invocations).
+    pub batch_performs: Arc<AtomicU64>,
     /// Traffic counters (rows shipped, rows prefetched/pulled, ...).
     pub metrics: Arc<DriverMetrics>,
     faults: Arc<FaultState>,
     /// The resilience policy advertised in `Capabilities`.
     policy: Mutex<ResiliencePolicy>,
+    /// The batching advertisement in `Capabilities` (default: none).
+    batching: Mutex<Option<BatchPolicy>>,
 }
 
 impl SlowDriver {
@@ -162,6 +167,7 @@ impl SlowDriver {
             current: Arc::new(AtomicUsize::new(0)),
             max_seen: Arc::new(AtomicUsize::new(0)),
             performs: Arc::new(AtomicU64::new(0)),
+            batch_performs: Arc::new(AtomicU64::new(0)),
             metrics,
             faults: Arc::new(FaultState {
                 fault: Mutex::new(Fault::None),
@@ -170,6 +176,7 @@ impl SlowDriver {
                 wedge: WedgeLatch::new(),
             }),
             policy: Mutex::new(ResiliencePolicy::default()),
+            batching: Mutex::new(None),
         })
     }
 
@@ -205,6 +212,74 @@ impl SlowDriver {
     /// [`Capabilities`] (the default advertises everything off).
     pub fn set_resilience(&self, policy: ResiliencePolicy) {
         *self.policy.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// Advertise (or withdraw, with `None`) a [`BatchPolicy`] in this
+    /// driver's [`Capabilities`], turning on request coalescing and the
+    /// batched wire path for its resilience state.
+    pub fn set_batching(&self, policy: Option<BatchPolicy>) {
+        *self.batching.lock().unwrap_or_else(|e| e.into_inner()) = policy;
+    }
+
+    /// One batched wire round-trip serving `n_reqs` logical keys:
+    /// charges one request admission and one request latency, then
+    /// packs each key's rows (per-row latency and traffic counted as
+    /// usual). Fault modes apply to the whole wire request.
+    #[allow(clippy::too_many_arguments)] // mirrors `run`, one slot per knob
+    fn run_batch(
+        name: &str,
+        rows: i64,
+        n_reqs: usize,
+        latency: &Arc<LatencyModel>,
+        current: &AtomicUsize,
+        max_seen: &AtomicUsize,
+        batch_performs: &AtomicU64,
+        metrics: &Arc<DriverMetrics>,
+        faults: &Arc<FaultState>,
+    ) -> KResult<BatchReply> {
+        let seq = faults.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        batch_performs.fetch_add(1, Ordering::SeqCst);
+        metrics.record_request();
+        let fault = faults.fault.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match &fault {
+            Fault::FailRequests(_) => {
+                let owed = faults
+                    .fail_remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok();
+                if owed {
+                    return Err(KError::transport(name, "injected transport failure"));
+                }
+            }
+            Fault::NeverRespond => {
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                max_seen.fetch_max(now, Ordering::SeqCst);
+                faults.wedge.wedge();
+                current.fetch_sub(1, Ordering::SeqCst);
+            }
+            Fault::SpikeEvery { every, extra } => {
+                if *every > 0 && seq.is_multiple_of(*every) {
+                    std::thread::sleep(*extra);
+                }
+            }
+            Fault::None | Fault::StallAfterRows(_) => {}
+        }
+        let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+        max_seen.fetch_max(now, Ordering::SeqCst);
+        latency.charge_request();
+        current.fetch_sub(1, Ordering::SeqCst);
+        Ok((0..n_reqs)
+            .map(|_| {
+                let mut out = Vec::with_capacity(rows.max(0) as usize);
+                for i in 0..rows {
+                    latency.charge_row();
+                    let v = Value::record_from(vec![("n", Value::Int(i))]);
+                    metrics.record_row(v.approx_size());
+                    out.push(v);
+                }
+                Ok(SharedReply::of_rows(out))
+            })
+            .collect())
     }
 
     #[allow(clippy::too_many_arguments)] // one slot per fault-injection knob
@@ -318,6 +393,7 @@ impl Driver for SlowDriver {
             max_concurrent_requests: self.limit,
             prefetch_rows: self.prefetch,
             resilience: self.policy.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            batching: self.batching.lock().unwrap_or_else(|e| e.into_inner()).clone(),
             ..Capabilities::default()
         }
     }
@@ -353,6 +429,51 @@ impl Driver for SlowDriver {
 
     fn nonblocking_submit(&self) -> bool {
         true
+    }
+
+    fn batch(&self, reqs: &[DriverRequest]) -> KResult<BatchReply> {
+        SlowDriver::run_batch(
+            &self.name,
+            self.rows,
+            reqs.len(),
+            &self.latency,
+            &self.current,
+            &self.max_seen,
+            &self.batch_performs,
+            &self.metrics,
+            &self.faults,
+        )
+    }
+
+    fn submit_batch(
+        &self,
+        reqs: Vec<DriverRequest>,
+        complete: BatchCompletion,
+    ) -> Option<RequestHandle> {
+        let name = self.name.clone();
+        let rows = self.rows;
+        let n = reqs.len();
+        let latency = Arc::clone(&self.latency);
+        let current = Arc::clone(&self.current);
+        let max_seen = Arc::clone(&self.max_seen);
+        let batch_performs = Arc::clone(&self.batch_performs);
+        let metrics = Arc::clone(&self.metrics);
+        let faults = Arc::clone(&self.faults);
+        // One pool job == one admission ticket for the whole wire batch.
+        Some(self.pool.submit(0, move || {
+            complete(SlowDriver::run_batch(
+                &name,
+                rows,
+                n,
+                &latency,
+                &current,
+                &max_seen,
+                &batch_performs,
+                &metrics,
+                &faults,
+            ));
+            Ok(blocks_of_rows(Box::new(std::iter::empty())))
+        }))
     }
 
     fn metrics(&self) -> MetricsSnapshot {

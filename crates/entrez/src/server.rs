@@ -11,13 +11,15 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use kleisli_core::driver::{BatchCompletion, BatchReply};
 use kleisli_core::{
-    Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, ResiliencePolicy, Value, WorkerPool, charged_blocks,
-    BlockStream,
+    blocks_of_rows, charged_blocks, BatchPolicy, BlockStream, Capabilities, Driver, DriverMetrics,
+    DriverRequest, KError, KResult, LatencyModel, MetricsSnapshot, RequestHandle,
+    ResiliencePolicy, SharedReply, Value, WorkerPool,
 };
 
 use crate::path::Path;
@@ -148,6 +150,11 @@ const ENTREZ_CONCURRENT_REQUESTS: usize = 5;
 /// with instant rows there is no latency to hide.
 pub const ENTREZ_PREFETCH_ROWS: usize = 16;
 
+/// Keys per batched wire round-trip: the multi-uid fetch ceiling the
+/// server advertises in [`Capabilities::batching`]. A 32-uid link
+/// workload costs two wire requests instead of thirty-two.
+pub const ENTREZ_BATCH_KEYS: usize = 16;
+
 impl EntrezServer {
     pub fn new(name: impl Into<String>, latency: LatencyModel) -> EntrezServer {
         let core = Arc::new(EntrezCore {
@@ -205,6 +212,39 @@ impl EntrezCore {
             Arc::clone(&self.latency),
             Arc::clone(&self.metrics),
         ))
+    }
+
+    /// Multi-uid / multi-query fetch: one wire round-trip — one request
+    /// charge, one availability check — answering every key. A key whose
+    /// lookup fails semantically (unknown uid, bad query) yields that
+    /// key's `Err` without poisoning its neighbours, exactly as the same
+    /// request would fail on the per-key path.
+    fn perform_batch(&self, reqs: &[DriverRequest]) -> KResult<BatchReply> {
+        self.metrics.record_request();
+        if !self.available.load(Ordering::Acquire) {
+            return Err(KError::transport(&self.name, "connection refused"));
+        }
+        self.latency.charge_request();
+        Ok(reqs
+            .iter()
+            .map(|req| {
+                let rows = match req {
+                    DriverRequest::EntrezFetch { db, query, path } => self.fetch(db, query, path),
+                    DriverRequest::EntrezLinks { db, uid } => self.links(db, *uid),
+                    other => Err(KError::driver(
+                        &self.name,
+                        format!("unsupported request: {}", other.describe()),
+                    )),
+                }?;
+                // Transfer cost and row traffic accrue on the worker's
+                // clock, just as the per-key path charges while shipping.
+                Ok(SharedReply::materialize(charged_blocks(
+                    rows,
+                    Arc::clone(&self.latency),
+                    Arc::clone(&self.metrics),
+                )))
+            })
+            .collect())
     }
 
     fn fetch(&self, db: &str, query: &str, path: &Option<String>) -> KResult<Vec<Value>> {
@@ -279,6 +319,14 @@ impl Driver for EntrezServer {
             prefetch_rows: self.core.latency.effective_prefetch(ENTREZ_PREFETCH_ROWS),
             // a remote source: advertise retry + circuit breaking
             resilience: ResiliencePolicy::standard(),
+            // multi-uid fetch: the rewriter may fold a per-element link
+            // loop into ceil(n/16) wire round-trips. The zero coalesce
+            // window means sequential identical requests still pay their
+            // own round-trips (concurrent ones share a flight).
+            batching: Some(BatchPolicy {
+                max_keys: ENTREZ_BATCH_KEYS,
+                coalesce_window: Duration::ZERO,
+            }),
         }
     }
 
@@ -291,6 +339,20 @@ impl Driver for EntrezServer {
         let req = req.clone();
         let prefetch = self.capabilities().prefetch_rows;
         Ok(self.pool.submit(prefetch, move || core.perform(&req)))
+    }
+
+    fn batch(&self, reqs: &[DriverRequest]) -> KResult<BatchReply> {
+        self.core.perform_batch(reqs)
+    }
+
+    fn submit_batch(&self, reqs: Vec<DriverRequest>, complete: BatchCompletion) -> Option<RequestHandle> {
+        let core = Arc::clone(&self.core);
+        // One admission ticket for the whole wire request, regardless of
+        // how many logical keys it answers.
+        Some(self.pool.submit(0, move || {
+            complete(core.perform_batch(&reqs));
+            Ok(blocks_of_rows(Box::new(std::iter::empty())))
+        }))
     }
 
     fn nonblocking_submit(&self) -> bool {

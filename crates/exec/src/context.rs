@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use kleisli_core::batch::{request_key, Flight};
 use kleisli_core::resilience::{CancelToken, DriverResilience, ResiliencePolicy, ResilientHandle};
 use kleisli_core::{
     DriverRef, DriverRequest, Executor, KError, KResult, MetricsSnapshot, Oid, Value,
@@ -174,6 +175,14 @@ struct CtxInner {
     resilience: HashMap<String, Arc<DriverResilience>>,
     object_stores: Vec<Arc<dyn ObjectStore>>,
     cache: Mutex<HashMap<u64, Arc<CacheCell>>>,
+    /// Flights pre-seeded by [`Context::submit_batch`] (the `ParExt`
+    /// warm-up), keyed by request hash. [`Context::submit_resilient`]
+    /// answers a matching request by attaching to the seeded flight —
+    /// even after it resolved, which is what guarantees the per-element
+    /// loop body observes the batched reply instead of issuing its own
+    /// round-trip. Entries live exactly as long as their
+    /// [`BatchGuard`].
+    batch_seeds: Mutex<HashMap<u64, Vec<Arc<Flight>>>>,
     /// The compute pool `ParExt` chunks (and the session's query
     /// workers) run on.
     executor: Arc<Executor>,
@@ -202,6 +211,7 @@ impl Context {
                 resilience: HashMap::new(),
                 object_stores: Vec::new(),
                 cache: Mutex::new(HashMap::new()),
+                batch_seeds: Mutex::new(HashMap::new()),
                 executor,
             }),
             deadline: None,
@@ -225,11 +235,16 @@ impl Context {
     /// until [`Context::set_resilience_policy`] overrides it.
     pub fn register_driver(&mut self, driver: DriverRef) {
         let name = driver.name().to_string();
-        let policy = driver.capabilities().resilience;
+        let caps = driver.capabilities();
         let inner = self.inner_mut();
-        inner
-            .resilience
-            .insert(name.clone(), Arc::new(DriverResilience::new(&name, policy)));
+        inner.resilience.insert(
+            name.clone(),
+            Arc::new(DriverResilience::with_batching(
+                &name,
+                caps.resilience,
+                caps.batching,
+            )),
+        );
         inner.drivers.insert(name, driver);
     }
 
@@ -239,12 +254,16 @@ impl Context {
     /// context to be uniquely owned, like registration.
     pub fn set_resilience_policy(&mut self, name: &str, policy: ResiliencePolicy) -> KResult<()> {
         let inner = self.inner_mut();
-        if !inner.drivers.contains_key(name) {
+        let Some(driver) = inner.drivers.get(name) else {
             return Err(KError::driver(name, "no such driver registered"));
-        }
-        inner
-            .resilience
-            .insert(name.to_string(), Arc::new(DriverResilience::new(name, policy)));
+        };
+        // Keep the driver's advertised batching window across policy
+        // swaps — the override replaces *resilience*, not coalescing.
+        let batching = driver.capabilities().batching;
+        inner.resilience.insert(
+            name.to_string(),
+            Arc::new(DriverResilience::with_batching(name, policy, batching)),
+        );
         Ok(())
     }
 
@@ -329,7 +348,55 @@ impl Context {
             .resilience
             .get(name)
             .ok_or_else(|| KError::driver(name, "no resilience state registered"))?;
+        // A flight pre-seeded by a batch warm-up answers this request
+        // even if it already resolved (the seed table outlives the
+        // coalescing window for exactly the span of the loop).
+        if req.coalescable() {
+            let seeds = self.inner.batch_seeds.lock();
+            if !seeds.is_empty() {
+                if let Some(flights) = seeds.get(&request_key(req)) {
+                    if let Some(f) = flights
+                        .iter()
+                        .find(|f| f.driver() == name && f.request() == req)
+                    {
+                        return Ok(res.attach_seeded(f, self.deadline, self.cancel.clone()));
+                    }
+                }
+            }
+        }
         res.submit(driver, req, self.deadline, self.cancel.clone())
+    }
+
+    /// Fold a `ParExt` warm-up's per-element requests into batched wire
+    /// round-trips (see [`kleisli_core::resilience::DriverResilience::submit_batch`])
+    /// and seed the resulting flights so the loop body's own
+    /// [`Context::submit_resilient`] calls attach to them instead of
+    /// issuing per-key requests. Returns `Ok(None)` when the driver does
+    /// not advertise batching (callers keep the latency-overlap path).
+    /// The returned guard unseeds the flights when dropped — hold it for
+    /// the duration of the loop.
+    pub fn submit_batch(&self, name: &str, reqs: &[DriverRequest]) -> KResult<Option<BatchGuard>> {
+        let driver = self.driver(name)?;
+        let res = self
+            .inner
+            .resilience
+            .get(name)
+            .ok_or_else(|| KError::driver(name, "no resilience state registered"))?;
+        let Some(flights) = res.submit_batch(driver, reqs) else {
+            return Ok(None);
+        };
+        if flights.is_empty() {
+            return Ok(None);
+        }
+        let mut seeds = self.inner.batch_seeds.lock();
+        for f in &flights {
+            seeds.entry(f.key()).or_default().push(Arc::clone(f));
+        }
+        drop(seeds);
+        Ok(Some(BatchGuard {
+            inner: Arc::clone(&self.inner),
+            flights,
+        }))
     }
 
     /// A driver's full metrics picture: its own traffic counters merged
@@ -387,6 +454,32 @@ impl Context {
     /// Drop all memoized results (between queries).
     pub fn cache_clear(&self) {
         self.inner.cache.lock().clear();
+    }
+}
+
+/// Keeps a batch warm-up's flights in the context's seed table for the
+/// duration of a `ParExt` loop; dropping it removes exactly the flights
+/// it seeded (concurrent loops over overlapping key sets each hold
+/// their own guard — a flight seeded twice stays until its last guard
+/// goes).
+pub struct BatchGuard {
+    inner: Arc<CtxInner>,
+    flights: Vec<Arc<Flight>>,
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        let mut seeds = self.inner.batch_seeds.lock();
+        for f in &self.flights {
+            if let Some(list) = seeds.get_mut(&f.key()) {
+                if let Some(at) = list.iter().position(|g| Arc::ptr_eq(g, f)) {
+                    list.swap_remove(at);
+                }
+                if list.is_empty() {
+                    seeds.remove(&f.key());
+                }
+            }
+        }
     }
 }
 

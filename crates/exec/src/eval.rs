@@ -266,9 +266,16 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
             body,
             source,
             max_in_flight,
+            batch,
         } => {
             let src = eval(source, env, ctx)?;
             let elems = any_coll_elems(&src, "parallel generator")?;
+            // Fold the loop's per-element requests into batched wire
+            // round-trips before the body runs; the guard keeps the
+            // seeded flights answerable for the whole loop.
+            let _seeds = batch
+                .as_ref()
+                .and_then(|spec| warm_up_batch(spec, elems, var, env, ctx));
             let pieces = eval_parallel(elems, var, body, env, ctx, *max_in_flight)?;
             let mut out = Vec::new();
             for piece in &pieces {
@@ -277,6 +284,43 @@ pub fn eval_rt(e: &Expr, env: &Env, ctx: &Context) -> KResult<Rt> {
             Ok(Rt::Val(Value::collection(*kind, out)))
         }
     }
+}
+
+/// The batching warm-up for a marked `ParExt`: evaluate the spec's
+/// request argument for every source element (it is pure-local by the
+/// optimizer's construction, so this duplicates no driver effects),
+/// and ship the distinct requests as a few multi-key wire round-trips
+/// via [`Context::submit_batch`]. Any surprise — an argument that fails
+/// to evaluate, a non-request value, too few distinct keys, a driver
+/// without batching — skips the warm-up entirely and returns `None`:
+/// the per-element path then behaves exactly as unbatched, surfacing
+/// its own errors in their usual place.
+pub(crate) fn warm_up_batch(
+    spec: &nrc::BatchSpec,
+    elems: &[Value],
+    var: &nrc::Name,
+    env: &Env,
+    ctx: &Context,
+) -> Option<crate::context::BatchGuard> {
+    if elems.len() < spec.min_keys.max(1) {
+        return None;
+    }
+    let mut reqs = Vec::with_capacity(elems.len());
+    for el in elems {
+        let env2 = env.bind(Arc::clone(var), Rt::Val(el.clone()));
+        let v = eval(&spec.arg, &env2, ctx).ok()?;
+        reqs.push(request_from_value(&v).ok()?);
+    }
+    let mut distinct = 0usize;
+    for (i, r) in reqs.iter().enumerate() {
+        if !reqs[..i].contains(r) {
+            distinct += 1;
+        }
+    }
+    if distinct < spec.min_keys.max(1) {
+        return None;
+    }
+    ctx.submit_batch(&spec.driver, &reqs).ok().flatten()
 }
 
 /// Evaluate `body` for every element of `elems`, at most `max_in_flight`
@@ -737,6 +781,7 @@ mod tests {
             body: Arc::new(body),
             source: Arc::new(Expr::Const(src)),
             max_in_flight: 8,
+            batch: None,
         };
         let ctx = Context::new();
         assert_eq!(
@@ -756,6 +801,7 @@ mod tests {
             body: Arc::new(body),
             source: Arc::new(Expr::Const(src.clone())),
             max_in_flight: 4,
+            batch: None,
         };
         let got = eval(&par, &Env::empty(), &Context::new()).unwrap();
         assert_eq!(got, src);

@@ -273,6 +273,7 @@ pub fn eval_blocks(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<BlockStre
             body,
             source,
             max_in_flight,
+            batch,
             ..
         } => {
             // Chunk assembly is order-sensitive (a chunk boundary is an
@@ -287,6 +288,8 @@ pub fn eval_blocks(e: &Expr, env: &Env, ctx: &Arc<Context>) -> KResult<BlockStre
                 env: env.clone(),
                 ctx: Arc::clone(ctx),
                 width: (*max_in_flight).max(1),
+                batch: batch.clone(),
+                guard: None,
                 failed: false,
             })))
         }
@@ -951,6 +954,14 @@ struct ParChunkStream {
     env: Env,
     ctx: Arc<Context>,
     width: usize,
+    /// The optimizer's batching mark: assemble chunks at the driver's
+    /// key-per-request grain (never below `width`) and warm each one up
+    /// into batched wire round-trips before its bodies run. Output
+    /// values and their order are unchanged — only the wire traffic is.
+    batch: Option<nrc::BatchSpec>,
+    /// The current chunk's seeded flights; replaced (and the previous
+    /// chunk's seeds released) at each warm-up.
+    guard: Option<crate::context::BatchGuard>,
     failed: bool,
 }
 
@@ -960,11 +971,15 @@ impl Iterator for ParChunkStream {
         if self.failed {
             return None;
         }
+        let grain = match &self.batch {
+            Some(spec) => self.width.max(spec.max_keys),
+            None => self.width,
+        };
         loop {
             if !self.buffer.is_empty() {
                 return Some(Ok(self.buffer.remove(0)));
             }
-            let mut chunk = Vec::with_capacity(self.width);
+            let mut chunk = Vec::with_capacity(grain);
             for item in self.source.by_ref() {
                 match item {
                     Err(e) => {
@@ -973,7 +988,7 @@ impl Iterator for ParChunkStream {
                     }
                     Ok(v) => {
                         chunk.push(v);
-                        if chunk.len() >= self.width {
+                        if chunk.len() >= grain {
                             break;
                         }
                     }
@@ -981,6 +996,10 @@ impl Iterator for ParChunkStream {
             }
             if chunk.is_empty() {
                 return None;
+            }
+            if let Some(spec) = &self.batch {
+                self.guard =
+                    crate::eval::warm_up_batch(spec, &chunk, &self.var, &self.env, &self.ctx);
             }
             match eval_parallel(
                 &chunk, &self.var, &self.body, &self.env, &self.ctx, self.width,
@@ -1270,6 +1289,7 @@ mod tests {
             body: Arc::new(body.clone()),
             source: Arc::new(src.clone()),
             max_in_flight: 4,
+            batch: None,
         };
         let seq = Expr::Ext {
             kind: CollKind::Set,

@@ -163,6 +163,7 @@ fn cached_subquery_under_parallel_generator_runs_once() {
         body: Arc::new(body),
         source: Arc::new(Expr::Const(Value::set((0..16).map(Value::Int).collect()))),
         max_in_flight: 8,
+        batch: None,
     };
     let v = eval(&e, &Env::empty(), &ctx).unwrap();
     assert_eq!(v.len(), Some(100));

@@ -51,6 +51,7 @@ fn admission_limit_is_enforced_beyond_plan_parallelism() {
         body: Arc::new(wrap_ext(scan("slow"))),
         source: Arc::new(Expr::Const(Value::set((0..16).map(Value::Int).collect()))),
         max_in_flight: 8,
+        batch: None,
     };
     let v = eval(&e, &Env::empty(), &ctx).unwrap();
     assert_eq!(v.len(), Some(4), "4 distinct rows per scan");
@@ -81,6 +82,7 @@ fn par_ext_runs_on_the_shared_executor_with_bounded_workers() {
         body: Arc::new(wrap_ext(scan("slow"))),
         source: Arc::new(Expr::Const(Value::set((0..64).map(Value::Int).collect()))),
         max_in_flight: 8,
+        batch: None,
     };
     let v = eval(&e, &Env::empty(), &ctx).unwrap();
     assert_eq!(v.len(), Some(2));
@@ -121,6 +123,7 @@ fn nested_par_ext_completes_on_a_one_worker_executor() {
         )),
         source: Arc::new(Expr::Const(Value::set((0..4).map(Value::Int).collect()))),
         max_in_flight: 3,
+        batch: None,
     };
     let outer = Expr::ParExt {
         kind: CollKind::Set,
@@ -128,6 +131,7 @@ fn nested_par_ext_completes_on_a_one_worker_executor() {
         body: Arc::new(inner),
         source: Arc::new(Expr::Const(Value::set((0..4).map(Value::Int).collect()))),
         max_in_flight: 3,
+        batch: None,
     };
     let v = eval(&outer, &Env::empty(), &ctx).unwrap();
     let mut expect: Vec<Value> = (0..4)

@@ -630,6 +630,18 @@ impl Session {
         &self.config
     }
 
+    /// Enable or disable batched driver round-trips (the IN-list /
+    /// multi-uid pushdown mark). A convenience over [`set_opt_config`]
+    /// for the equivalence harness and the batching benchmark, which
+    /// compare the two execution paths on the same session. Like any
+    /// config change, the toggle is part of the plan-cache key, so both
+    /// variants cache independently.
+    ///
+    /// [`set_opt_config`]: Session::set_opt_config
+    pub fn set_batching(&mut self, on: bool) {
+        self.config.enable_batching = on;
+    }
+
     /// Resize the plan cache; `0` disables it. Existing entries beyond
     /// the new capacity are evicted oldest-first.
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {

@@ -200,14 +200,40 @@ pub enum Expr {
     },
     /// `Ext` whose body issues remote requests: evaluate bodies for up to
     /// `max_in_flight` source elements concurrently and take the union of
-    /// the results.
+    /// the results. When `batch` is set, the executor first folds the
+    /// per-element requests into batched wire round-trips (the loop body
+    /// is unchanged; per-element submissions attach to the pre-seeded
+    /// flights).
     ParExt {
         kind: CollKind,
         var: Name,
         body: Arc<Expr>,
         source: Arc<Expr>,
         max_in_flight: usize,
+        batch: Option<BatchSpec>,
     },
+}
+
+/// The optimizer's batching mark on a [`Expr::ParExt`]: the per-element
+/// remote request inside the loop body, abstracted over the loop
+/// variable, so the executor can pre-compute the whole key set's
+/// requests and ship them as a few multi-key wire round-trips (the
+/// paper's Section 4 semijoin strategy — ship the *set* of keys, not
+/// one round-trip per element).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// The driver the body's remote call targets.
+    pub driver: Name,
+    /// The remote request argument (a record, see
+    /// `kleisli_exec::request_from_value`), with the loop variable
+    /// still free — evaluated once per source element during warm-up.
+    pub arg: Arc<Expr>,
+    /// Skip warm-up below this many distinct keys: small key sets keep
+    /// the plain latency-overlap path.
+    pub min_keys: usize,
+    /// The driver's advertised per-request key ceiling (warm-up chunk
+    /// grain).
+    pub max_keys: usize,
 }
 
 impl Expr {
@@ -581,12 +607,14 @@ impl Expr {
                 body,
                 source,
                 max_in_flight,
+                batch,
             } => Expr::ParExt {
                 kind: *kind,
                 var: Arc::clone(var),
                 body: step(body, f, &mut changed),
                 source: step(source, f, &mut changed),
                 max_in_flight: *max_in_flight,
+                batch: batch.clone(),
             },
         };
         if changed {
@@ -688,12 +716,14 @@ impl Expr {
                 body,
                 source,
                 max_in_flight,
+                batch,
             } => Expr::ParExt {
                 kind: *kind,
                 var: Arc::clone(var),
                 body: dc(body),
                 source: dc(source),
                 max_in_flight: *max_in_flight,
+                batch: batch.clone(),
             },
         }
     }
@@ -952,9 +982,16 @@ impl Expr {
                         body,
                         source,
                         max_in_flight,
+                        ..
                     } => (*kind, var, body, source, Some(*max_in_flight)),
                     _ => unreachable!(),
                 };
+                // A substitution that actually rebuilds the node would
+                // leave a `batch` mark's cached request argument stale,
+                // so the rebuilt node drops it — the batch pass runs
+                // after every substituting rewrite and re-derives it.
+                // (The no-change fast path below keeps the shared node,
+                // mark included.)
                 let rebuild = |v: Name, body: Arc<Expr>, source: Arc<Expr>| match par {
                     None => Expr::Ext {
                         kind,
@@ -968,6 +1005,7 @@ impl Expr {
                         body,
                         source,
                         max_in_flight: m,
+                        batch: None,
                     },
                 };
                 let source2 = Expr::subst_rec(source, var, repl, free_in_repl);

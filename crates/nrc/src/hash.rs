@@ -157,11 +157,23 @@ fn shallow_hash(e: &Expr, child_hash: &mut dyn FnMut(&Arc<Expr>) -> u64) -> u64 
             kind,
             var,
             max_in_flight,
+            batch,
             ..
         } => {
             kind.hash(&mut h);
             var.hash(&mut h);
             max_in_flight.hash(&mut h);
+            // The batching mark changes execution strategy, so marked
+            // and unmarked plans must not collide in the plan cache.
+            // The request argument is derived from the body (already
+            // hashed as a child); the scalar fields identify the mark.
+            if let Some(b) = batch {
+                b.driver.hash(&mut h);
+                b.min_keys.hash(&mut h);
+                b.max_keys.hash(&mut h);
+            } else {
+                false.hash(&mut h);
+            }
         }
     }
     e.for_each_child(&mut |c| child_hash(c).hash(&mut h));

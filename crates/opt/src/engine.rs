@@ -46,6 +46,9 @@ pub struct OptConfig {
     pub enable_joins: bool,
     pub enable_cache: bool,
     pub enable_parallel: bool,
+    /// Mark remote inner loops over batching-capable servers with a
+    /// [`nrc::BatchSpec`] (IN-list / multi-uid pushdown).
+    pub enable_batching: bool,
     /// Memoize per-subplan rewrite results within each rule-set fixpoint,
     /// keyed by `Arc` identity: a subtree shared by many parents (or
     /// repeated across passes once it has normalized) is rewritten once
@@ -56,6 +59,10 @@ pub struct OptConfig {
     pub join_block_size: usize,
     /// Concurrency used when a server does not declare a limit.
     pub default_concurrency: usize,
+    /// Distinct-key floor below which a batch-marked loop skips warm-up:
+    /// a handful of keys is served as well by overlapped round-trips,
+    /// without delaying first output behind one batched request.
+    pub min_batch_keys: usize,
     /// Upper bound on passes per rule set (safety net; the monad rules are
     /// strongly normalizing so the bound is rarely reached).
     pub max_passes: usize,
@@ -69,9 +76,11 @@ impl Default for OptConfig {
             enable_joins: true,
             enable_cache: true,
             enable_parallel: true,
+            enable_batching: true,
             enable_rewrite_memo: true,
             join_block_size: 256,
             default_concurrency: 5,
+            min_batch_keys: 4,
             max_passes: 20,
         }
     }
@@ -86,6 +95,7 @@ impl OptConfig {
             enable_joins: false,
             enable_cache: false,
             enable_parallel: false,
+            enable_batching: false,
             ..OptConfig::default()
         }
     }

@@ -16,7 +16,10 @@
 //!    operators for joins that must run locally;
 //! 5. **cache** — memoizing outer-independent remote subqueries;
 //! 6. **parallel** — bounded-concurrency retrieval for remote calls in
-//!    inner loops.
+//!    inner loops;
+//! 7. **batch** — marking remote inner loops over batching-capable
+//!    servers so the executor folds per-element requests into multi-key
+//!    wire round-trips (IN-list / multi-uid pushdown).
 
 pub mod catalog;
 pub mod engine;
@@ -70,6 +73,11 @@ pub fn optimize_shared(
     }
     if config.enable_parallel {
         e = rules::parallel::rule_set().run(e, &ctx, &mut trace);
+    }
+    // Batching runs last: it only *marks* ParExt nodes (advisory for the
+    // executor), and every substituting rewrite above drops stale marks.
+    if config.enable_batching {
+        e = rules::batch::rule_set().run(e, &ctx, &mut trace);
     }
     (e, trace)
 }

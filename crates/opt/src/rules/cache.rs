@@ -61,6 +61,7 @@ fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
             body,
             source,
             max_in_flight,
+            batch,
         } => {
             let new_body = wrap_outermost(body)?;
             Some(Expr::ParExt {
@@ -69,6 +70,7 @@ fn cache_inner(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
                 body: new_body,
                 source: source.clone(),
                 max_in_flight: *max_in_flight,
+                batch: batch.clone(),
             })
         }
         _ => None,

@@ -1,6 +1,7 @@
 //! Rule sets, grouped as in the paper: the monadic core plus the
 //! non-monadic sets (pushdown, joins, caching, concurrency).
 
+pub mod batch;
 pub mod cache;
 pub mod joins;
 pub mod monadic;

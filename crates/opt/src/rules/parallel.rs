@@ -91,6 +91,8 @@ fn parallelize(e: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
         body: body.clone(),
         source: source.clone(),
         max_in_flight: cap.max(1),
+        // the batch pass (which runs after this one) decides batching
+        batch: None,
     })
 }
 

@@ -4,13 +4,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use kleisli_core::driver::{BatchCompletion, BatchReply};
 use kleisli_core::{
-    Capabilities, Driver, DriverMetrics, DriverRequest, KError, KResult, LatencyModel,
-    MetricsSnapshot, RequestHandle, ResiliencePolicy, TableStats, Value, WorkerPool,
-    charged_blocks, BlockStream,
+    blocks_of_rows, charged_blocks, BatchPolicy, BlockStream, Capabilities, Driver, DriverMetrics,
+    DriverRequest, KError, KResult, LatencyModel, MetricsSnapshot, RequestHandle,
+    ResiliencePolicy, SharedReply, TableStats, Value, WorkerPool,
 };
 
 use crate::sql::{self, CmpOp, ColRef, Operand, Pred, Query, SelectList};
@@ -358,6 +360,97 @@ fn compare(a: &Datum, op: CmpOp, b: &Datum) -> bool {
     op.eval(a.cmp(b))
 }
 
+/// The shape of an IN-list–mergeable batch: every query structurally
+/// identical — same select list, same (single-table) FROM, same
+/// predicates — except one equality predicate `col = K` whose literal
+/// `K` varies per query. Returns the varying predicate's index plus the
+/// per-query literals, or `None` if the batch doesn't fit the shape.
+fn in_list_shape(queries: &[Query]) -> Option<(usize, Vec<Datum>)> {
+    let base = queries.first()?;
+    if base.from.len() != 1 {
+        return None;
+    }
+    let n_preds = base.preds.len();
+    if queries
+        .iter()
+        .any(|q| q.select != base.select || q.from != base.from || q.preds.len() != n_preds)
+    {
+        return None;
+    }
+    // Exactly one predicate position may disagree across the batch.
+    let k = (0..n_preds).find(|&i| queries.iter().any(|q| q.preds[i] != base.preds[i]))?;
+    if (0..n_preds).any(|i| i != k && queries.iter().any(|q| q.preds[i] != base.preds[i])) {
+        return None;
+    }
+    let mut lits = Vec::with_capacity(queries.len());
+    for q in queries {
+        let p = &q.preds[k];
+        if p.op != CmpOp::Eq || p.lhs != base.preds[k].lhs {
+            return None;
+        }
+        match (&p.lhs, &p.rhs) {
+            (Operand::Col(_), Operand::Lit(d)) => lits.push(d.clone()),
+            _ => return None,
+        }
+    }
+    Some((k, lits))
+}
+
+/// Single-scan IN-list execution: one pass over the table answers every
+/// key, each key receiving exactly the rows — in storage order, the
+/// order both the indexed and scan paths of [`execute_query`] produce —
+/// that its own `col = K` query would have returned.
+fn execute_in_query(
+    db: &Database,
+    base: &Query,
+    k: usize,
+    lits: &[Datum],
+) -> KResult<Vec<Vec<Value>>> {
+    let (tname, alias) = &base.from[0];
+    let table = db.table(tname)?;
+    let binder = Binder {
+        tables: vec![(alias.as_str(), table)],
+    };
+    let preds: Vec<BoundPred> = base
+        .preds
+        .iter()
+        .map(|p| bind_pred(&binder, p))
+        .collect::<KResult<_>>()?;
+    let key_col = match &preds[k].lhs {
+        BoundOperand::Col(r) => r.col,
+        BoundOperand::Lit(_) => unreachable!("in_list_shape requires a column lhs"),
+    };
+    let items: Vec<(String, Resolved)> = match &base.select {
+        SelectList::Star => table
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (c.clone(), Resolved { table: 0, col: ci }))
+            .collect(),
+        SelectList::Items(items) => items
+            .iter()
+            .map(|it| Ok((it.output.clone(), binder.resolve(&it.column)?)))
+            .collect::<KResult<_>>()?,
+    };
+    let mut out: Vec<Vec<Value>> = vec![Vec::new(); lits.len()];
+    for row in &table.rows {
+        if !(0..preds.len()).all(|i| i == k || eval_single(&preds[i], 0, row)) {
+            continue;
+        }
+        for (i, lit) in lits.iter().enumerate() {
+            if compare(&row[key_col], CmpOp::Eq, lit) {
+                out[i].push(Value::record(
+                    items
+                        .iter()
+                        .map(|(name, r)| (Arc::from(name.as_str()), row[r.col].to_value()))
+                        .collect(),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// The simulated remote Sybase server (GDB in the paper). Charges its
 /// latency model per request and per shipped row, and counts traffic in
 /// its metrics — the observables for the pushdown experiments.
@@ -436,6 +529,10 @@ const SYBASE_CONCURRENT_REQUESTS: usize = 8;
 /// hide, and the buffer handoff would be pure overhead.
 pub const SYBASE_PREFETCH_ROWS: usize = 32;
 
+/// Keys per batched wire round-trip — the IN-list width the server
+/// advertises in [`Capabilities::batching`].
+pub const SYBASE_BATCH_KEYS: usize = 16;
+
 impl SybaseCore {
     /// One full request round-trip: charge the request latency, run the
     /// query, and hand back a block stream that charges/counts per
@@ -452,6 +549,46 @@ impl SybaseCore {
             Arc::clone(&self.latency),
             Arc::clone(&self.metrics),
         ))
+    }
+
+    /// One wire round-trip answering every key: one request charge, one
+    /// availability check. A batch of structurally identical `SELECT`s
+    /// differing in one equality literal executes as a genuine IN-list —
+    /// a single table scan distributes rows to keys. Any other batch
+    /// falls back to per-key execution, still under the single
+    /// round-trip charge; a key's semantic failure becomes that key's
+    /// `Err` without poisoning its neighbours.
+    fn perform_batch(&self, reqs: &[DriverRequest]) -> KResult<BatchReply> {
+        self.metrics.record_request();
+        if !self.available.load(Ordering::Acquire) {
+            return Err(KError::transport(&self.name, "connection refused"));
+        }
+        self.latency.charge_request();
+        let reply = |rows: Vec<Value>| {
+            SharedReply::materialize(charged_blocks(
+                rows,
+                Arc::clone(&self.latency),
+                Arc::clone(&self.metrics),
+            ))
+        };
+        let parsed: Option<Vec<Query>> = reqs
+            .iter()
+            .map(|r| match r {
+                DriverRequest::Sql { query } => sql::parse(query).ok(),
+                _ => None,
+            })
+            .collect();
+        if let Some(queries) = parsed {
+            if let Some((k, lits)) = in_list_shape(&queries) {
+                let db = self.db.read();
+                // A binding error here would hit every per-key query the
+                // same way; fall through so each key reports it itself.
+                if let Ok(per_key) = execute_in_query(&db, &queries[0], k, &lits) {
+                    return Ok(per_key.into_iter().map(|rows| Ok(reply(rows))).collect());
+                }
+            }
+        }
+        Ok(reqs.iter().map(|req| self.run(req).map(&reply)).collect())
     }
 
     fn run(&self, req: &DriverRequest) -> KResult<Vec<Value>> {
@@ -510,6 +647,15 @@ impl Driver for SybaseServer {
             prefetch_rows: self.core.latency.effective_prefetch(SYBASE_PREFETCH_ROWS),
             // a remote source: advertise retry + circuit breaking
             resilience: ResiliencePolicy::standard(),
+            // IN-list pushdown: the rewriter may fold a per-element
+            // `col = K` loop into ceil(n/16) wire round-trips, each a
+            // single scan. The zero coalesce window keeps sequential
+            // identical requests on their own round-trips (concurrent
+            // ones share a flight).
+            batching: Some(BatchPolicy {
+                max_keys: SYBASE_BATCH_KEYS,
+                coalesce_window: Duration::ZERO,
+            }),
         }
     }
 
@@ -522,6 +668,24 @@ impl Driver for SybaseServer {
         let req = req.clone();
         let prefetch = self.capabilities().prefetch_rows;
         Ok(self.pool.submit(prefetch, move || core.perform(&req)))
+    }
+
+    fn batch(&self, reqs: &[DriverRequest]) -> KResult<BatchReply> {
+        self.core.perform_batch(reqs)
+    }
+
+    fn submit_batch(
+        &self,
+        reqs: Vec<DriverRequest>,
+        complete: BatchCompletion,
+    ) -> Option<RequestHandle> {
+        let core = Arc::clone(&self.core);
+        // One admission ticket for the whole wire request, regardless of
+        // how many logical keys it answers.
+        Some(self.pool.submit(0, move || {
+            complete(core.perform_batch(&reqs));
+            Ok(blocks_of_rows(Box::new(std::iter::empty())))
+        }))
     }
 
     fn nonblocking_submit(&self) -> bool {
